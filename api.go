@@ -1,0 +1,284 @@
+package bofl
+
+import (
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+	"bofl/internal/ml"
+	"bofl/internal/pareto"
+)
+
+// ---- Controller (the paper's contribution) ----
+
+type (
+	// Controller is the BoFL three-phase pace controller.
+	Controller = core.Controller
+	// Options configures a Controller; zero values select the paper's
+	// defaults (τ = 5 s, 1% quasi-random start points, 3% minimum
+	// exploration, 1% HVI stopping threshold, batch cap 10).
+	Options = core.Options
+	// PaceController is the interface shared by BoFL and the baselines.
+	PaceController = core.PaceController
+	// Executor runs one training minibatch under a DVFS configuration.
+	Executor = core.Executor
+	// ExecutorFunc adapts a function to Executor.
+	ExecutorFunc = core.ExecutorFunc
+	// JobResult is one job's measured latency and energy.
+	JobResult = core.JobResult
+	// RoundReport summarizes one executed round.
+	RoundReport = core.RoundReport
+	// MBOReport summarizes one between-round MBO computation.
+	MBOReport = core.MBOReport
+	// Phase identifies the controller's operating phase.
+	Phase = core.Phase
+	// Acquisition selects the multi-objective search strategy.
+	Acquisition = core.Acquisition
+	// ControllerSnapshot is a controller's serializable state for
+	// persistence across client restarts.
+	ControllerSnapshot = core.Snapshot
+)
+
+// Acquisition strategies.
+const (
+	AcqEHVI   = core.AcqEHVI   // the paper's expected-hypervolume-improvement search
+	AcqParEGO = core.AcqParEGO // scalarization ablation
+)
+
+// The controller's phases.
+const (
+	PhaseRandomExplore   = core.PhaseRandomExplore
+	PhaseParetoConstruct = core.PhaseParetoConstruct
+	PhaseExploit         = core.PhaseExploit
+)
+
+// NewController builds a BoFL controller over a DVFS space.
+func NewController(space Space, opts Options) (*Controller, error) {
+	return core.New(space, opts)
+}
+
+// ---- Baselines ----
+
+type (
+	// Performant runs every job at x_max (the paper's default real-time
+	// baseline).
+	Performant = core.Performant
+	// Oracle exploits a complete offline profile (the paper's unattainable
+	// optimum).
+	Oracle = core.Oracle
+	// RandomExplorer is the ablation controller with random instead of
+	// Bayesian exploration.
+	RandomExplorer = core.RandomExplorer
+	// LinearPace is a SmartPC-style 1-D linear pace controller.
+	LinearPace = core.LinearPace
+)
+
+// NewPerformant builds the x_max baseline.
+func NewPerformant(space Space) (*Performant, error) { return core.NewPerformant(space) }
+
+// NewOracle builds the offline-profile oracle.
+func NewOracle(profile *Profile, space Space, safety float64) (*Oracle, error) {
+	return core.NewOracle(profile, space, safety)
+}
+
+// NewRandomExplorer builds the random-exploration ablation.
+func NewRandomExplorer(space Space, opts Options, seed int64) (*RandomExplorer, error) {
+	return core.NewRandomExplorer(space, opts, seed)
+}
+
+// NewLinearPace builds the SmartPC-style baseline.
+func NewLinearPace(space Space, safety float64) (*LinearPace, error) {
+	return core.NewLinearPace(space, safety)
+}
+
+// ---- Devices (simulated testbeds) ----
+
+type (
+	// Device is a simulated edge board.
+	Device = device.Device
+	// Space is a discrete DVFS configuration space.
+	Space = device.Space
+	// Config is one DVFS operating point.
+	Config = device.Config
+	// Freq is a clock frequency in GHz.
+	Freq = device.Freq
+	// Workload selects a training-cost model.
+	Workload = device.Workload
+	// Meter observes performance with realistic measurement noise.
+	Meter = device.Meter
+	// NoiseModel controls measurement error.
+	NoiseModel = device.NoiseModel
+	// Measurement is one noisy observation.
+	Measurement = device.Measurement
+	// Profile is an exhaustive offline characterization.
+	Profile = device.Profile
+	// ProfilePoint is one profile entry.
+	ProfilePoint = device.ProfilePoint
+	// DeviceSpec describes a custom board for NewCustomDevice.
+	DeviceSpec = device.Spec
+	// UnitSpec describes one processing unit of a custom board.
+	UnitSpec = device.UnitSpec
+	// WorkloadSpec describes one workload's demand on a custom board.
+	WorkloadSpec = device.WorkloadSpec
+)
+
+// The evaluation workloads.
+const (
+	ViT      = device.ViT
+	ResNet50 = device.ResNet50
+	LSTM     = device.LSTM
+)
+
+// JetsonAGX builds the simulated Nvidia Jetson AGX Xavier testbed.
+func JetsonAGX() *Device { return device.JetsonAGX() }
+
+// JetsonTX2 builds the simulated Nvidia Jetson TX2 testbed.
+func JetsonTX2() *Device { return device.JetsonTX2() }
+
+// DeviceByName resolves "jetson-agx"/"agx"/"jetson-tx2"/"tx2".
+func DeviceByName(name string) (*Device, bool) { return device.ByName(name) }
+
+// NewCustomDevice builds a simulated board from a user-provided spec —
+// frequency ladders, electrical constants and per-workload cost anchors.
+func NewCustomDevice(spec DeviceSpec) (*Device, error) { return device.NewCustom(spec) }
+
+// NewMeter creates a noisy performance observer for a device.
+func NewMeter(dev *Device, noise NoiseModel, seed int64) *Meter {
+	return device.NewMeter(dev, noise, seed)
+}
+
+// DefaultNoise is the evaluation's measurement-noise model.
+func DefaultNoise() NoiseModel { return device.DefaultNoise() }
+
+// ProfileAll exhaustively profiles a (device, workload) pair — the oracle's
+// offline step.
+func ProfileAll(dev *Device, w Workload) (*Profile, error) { return device.ProfileAll(dev, w) }
+
+// ---- Federated learning substrate ----
+
+type (
+	// TaskSpec is one FL task (Table 2 of the paper).
+	TaskSpec = fl.TaskSpec
+	// FLClient is an FL participant with a model, local data and a pace
+	// controller.
+	FLClient = fl.Client
+	// FLClientConfig configures an FLClient.
+	FLClientConfig = fl.ClientConfig
+	// FLServer orchestrates rounds and FedAvg aggregation.
+	FLServer = fl.Server
+	// FLServerConfig configures an FLServer.
+	FLServerConfig = fl.ServerConfig
+	// Participant abstracts a reachable client (local or HTTP).
+	Participant = fl.Participant
+	// LocalParticipant adapts an in-process FLClient.
+	LocalParticipant = fl.LocalParticipant
+	// RoundRequest / RoundResponse are the FL wire messages.
+	RoundRequest  = fl.RoundRequest
+	RoundResponse = fl.RoundResponse
+	// Selector chooses a round's participants.
+	Selector = fl.Selector
+	// EnergyAwareSelector prefers low-energy clients (AutoFL-style).
+	EnergyAwareSelector = fl.EnergyAwareSelector
+	// BandwidthEstimator converts reporting deadlines into training
+	// deadlines (the paper's footnote-3 extension).
+	BandwidthEstimator = fl.BandwidthEstimator
+)
+
+// NewEnergyAwareSelector builds an energy-aware participant selector.
+func NewEnergyAwareSelector(seed int64, exploreFrac float64) *EnergyAwareSelector {
+	return fl.NewEnergyAwareSelector(seed, exploreFrac)
+}
+
+// NewBandwidthEstimator builds an uplink-throughput estimator.
+func NewBandwidthEstimator(initialBytesPerSecond, alpha, headroom float64) (*BandwidthEstimator, error) {
+	return fl.NewBandwidthEstimator(initialBytesPerSecond, alpha, headroom)
+}
+
+// ModelPayloadBytes estimates a parameter vector's wire size.
+func ModelPayloadBytes(numParams int) int64 { return fl.ModelPayloadBytes(numParams) }
+
+// Tasks returns the paper's three FL tasks configured for a device.
+func Tasks(dev *Device, ratio float64, rounds int) ([]TaskSpec, error) {
+	return fl.Tasks(dev, ratio, rounds)
+}
+
+// TaskTMin computes T_min = T(x_max)·W for a task on a device.
+func TaskTMin(dev *Device, t TaskSpec) (float64, error) { return fl.TMin(dev, t) }
+
+// SampleDeadlines draws round deadlines uniformly from [tmin, ratio·tmin].
+func SampleDeadlines(tmin, ratio float64, rounds int, seed int64) ([]float64, error) {
+	return fl.SampleDeadlines(tmin, ratio, rounds, seed)
+}
+
+// NewFLClient builds an FL participant.
+func NewFLClient(cfg FLClientConfig) (*FLClient, error) { return fl.NewClient(cfg) }
+
+// NewFLServer builds an FL server.
+func NewFLServer(cfg FLServerConfig) (*FLServer, error) { return fl.NewServer(cfg) }
+
+// ---- Machine-learning substrate ----
+
+type (
+	// MLModel is a trainable classifier with a flat parameter vector.
+	MLModel = ml.Model
+	// MLExample is one training sample.
+	MLExample = ml.Example
+)
+
+// NewMLP builds a one-hidden-layer perceptron classifier.
+func NewMLP(in, hidden, out int, seed int64) (MLModel, error) {
+	return ml.NewMLP(in, hidden, out, seed)
+}
+
+// NewLinearModel builds a logistic-regression classifier.
+func NewLinearModel(in, out int, seed int64) (MLModel, error) { return ml.NewLinear(in, out, seed) }
+
+// NewLSTMModel builds an LSTM sequence classifier.
+func NewLSTMModel(vocab, emb, hid, out int, seed int64) (MLModel, error) {
+	return ml.NewLSTMClassifier(vocab, emb, hid, out, seed)
+}
+
+// NewCNNModel builds a small convolutional classifier for side×side images.
+func NewCNNModel(side, filters, out int, seed int64) (MLModel, error) {
+	return ml.NewCNN(side, filters, out, seed)
+}
+
+// ImagePatterns generates a synthetic image dataset of oriented-bar classes.
+func ImagePatterns(n, side, classes int, noise float64, seed int64) ([]MLExample, error) {
+	return ml.ImagePatterns(n, side, classes, noise, seed)
+}
+
+// Blobs generates a synthetic feature-classification dataset.
+func Blobs(n, dim, classes int, spread float64, seed int64) ([]MLExample, error) {
+	return ml.Blobs(n, dim, classes, spread, seed)
+}
+
+// Sentiment generates a synthetic binary sequence-classification dataset.
+func Sentiment(n, vocab, seqLen int, mix float64, seed int64) ([]MLExample, error) {
+	return ml.Sentiment(n, vocab, seqLen, mix, seed)
+}
+
+// PartitionExamples shards a dataset across FL clients round-robin (IID).
+func PartitionExamples(examples []MLExample, parts int) ([][]MLExample, error) {
+	return ml.Partition(examples, parts)
+}
+
+// PartitionNonIID shards a labelled dataset with Dirichlet(α) label skew —
+// the standard emulation of heterogeneous federated client data.
+func PartitionNonIID(examples []MLExample, parts, classes int, alpha float64, seed int64) ([][]MLExample, error) {
+	return ml.PartitionNonIID(examples, parts, classes, alpha, seed)
+}
+
+// ---- Pareto utilities ----
+
+type (
+	// ObjectivePoint is a point in the (energy, latency) objective space.
+	ObjectivePoint = pareto.Point
+)
+
+// ParetoFront extracts the non-dominated subset under minimization.
+func ParetoFront(pts []ObjectivePoint) []ObjectivePoint { return pareto.Front(pts) }
+
+// Hypervolume computes the exact 2-D hypervolume indicator.
+func Hypervolume(pts []ObjectivePoint, ref ObjectivePoint) float64 {
+	return pareto.Hypervolume(pts, ref)
+}

@@ -1,0 +1,159 @@
+package bofl_test
+
+import (
+	"testing"
+
+	"bofl"
+)
+
+// Exercise the public constructors end to end: a miniature federation with
+// every model type and both data partitioners, on a custom device with a
+// thermal wrapper and a simulated DVFS backend.
+func TestPublicFederationWithEveryModelKind(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() (bofl.MLModel, []bofl.MLExample, error)
+	}{
+		{"linear", func() (bofl.MLModel, []bofl.MLExample, error) {
+			m, err := bofl.NewLinearModel(6, 3, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := bofl.Blobs(60, 6, 3, 0.5, 1)
+			return m, d, err
+		}},
+		{"mlp", func() (bofl.MLModel, []bofl.MLExample, error) {
+			m, err := bofl.NewMLP(6, 8, 3, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := bofl.Blobs(60, 6, 3, 0.5, 2)
+			return m, d, err
+		}},
+		{"cnn", func() (bofl.MLModel, []bofl.MLExample, error) {
+			m, err := bofl.NewCNNModel(8, 4, 2, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := bofl.ImagePatterns(60, 8, 2, 0.3, 3)
+			return m, d, err
+		}},
+		{"lstm", func() (bofl.MLModel, []bofl.MLExample, error) {
+			m, err := bofl.NewLSTMModel(16, 4, 6, 2, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := bofl.Sentiment(60, 16, 6, 0.2, 4)
+			return m, d, err
+		}},
+	}
+	dev := bofl.JetsonAGX()
+	for _, mk := range models {
+		model, data, err := mk.build()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		ctrl, err := bofl.NewPerformant(dev.Space())
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := bofl.NewFLClient(bofl.FLClientConfig{
+			ID:         mk.name,
+			Device:     dev,
+			Workload:   bofl.ViT,
+			Model:      model,
+			Data:       data,
+			BatchSize:  8,
+			LearnRate:  0.1,
+			Controller: ctrl,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		srv, err := bofl.NewFLServer(bofl.FLServerConfig{
+			InitialParams: client.Params(),
+			Jobs:          10,
+			DeadlineRatio: 2,
+			Selector:      bofl.NewEnergyAwareSelector(1, 0.25),
+			Seed:          2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(&bofl.LocalParticipant{Client: client})
+		res, err := srv.RunRound()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if len(res.Responses) != 1 || !res.Reports[0].DeadlineMet {
+			t.Errorf("%s: bad round %+v", mk.name, res.Reports)
+		}
+	}
+}
+
+func TestPublicPartitioners(t *testing.T) {
+	data, err := bofl.Blobs(100, 4, 4, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid, err := bofl.PartitionExamples(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonIID, err := bofl.PartitionNonIID(data, 4, 4, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range [][][]bofl.MLExample{iid, nonIID} {
+		total := 0
+		for _, s := range shards {
+			total += len(s)
+		}
+		if total != 100 {
+			t.Errorf("partition lost examples: %d", total)
+		}
+	}
+}
+
+func TestPublicCustomDeviceWithThermalWrapper(t *testing.T) {
+	dev, err := bofl.NewCustomDevice(bofl.DeviceSpec{
+		Name:        "test-soc",
+		StaticWatts: 1,
+		CPU:         bofl.UnitSpec{Freqs: []bofl.Freq{0.5, 1.0, 2.0}, VMin: 0.6, VMax: 1.0, DynCoeff: 2, IdleFrac: 0.3},
+		GPU:         bofl.UnitSpec{Freqs: []bofl.Freq{0.2, 0.6, 1.0}, VMin: 0.6, VMax: 1.0, DynCoeff: 4, IdleFrac: 0.3},
+		Mem:         bofl.UnitSpec{Freqs: []bofl.Freq{0.8, 1.6}, VMin: 0.6, VMax: 0.9, DynCoeff: 1, IdleFrac: 0.4},
+		Workloads: map[bofl.Workload]bofl.WorkloadSpec{
+			"w": {CPUShare: 0.5, GPUShare: 1, MemShare: 0.2, SerialFrac: 0.3, LatencyAtMax: 0.1, EnergyAtMax: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	board, err := bofl.NewThermalDevice(dev, bofl.DefaultThermal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, energy, err := board.RunJob("w", dev.Space().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || energy <= 0 {
+		t.Errorf("job cost (%v, %v)", lat, energy)
+	}
+
+	backend, err := bofl.NewSimDVFSBackend(dev.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Apply(dev.Space().Min()); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := backend.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != dev.Space().Min() {
+		t.Errorf("backend current = %+v", cur)
+	}
+}

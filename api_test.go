@@ -1,0 +1,134 @@
+package bofl_test
+
+import (
+	"testing"
+
+	"bofl"
+)
+
+// The facade tests exercise the public API end to end the way a downstream
+// user would, without touching internal packages.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	dev := bofl.JetsonAGX()
+	ctrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 1, Tau: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := bofl.NewMeter(dev, bofl.DefaultNoise(), 1)
+	exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+		m, err := meter.Measure(bofl.ViT, cfg, 0.2)
+		if err != nil {
+			return bofl.JobResult{}, err
+		}
+		return bofl.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+	tasks, err := bofl.Tasks(dev, 2.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmin, err := bofl.TaskTMin(dev, tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines, err := bofl.SampleDeadlines(tmin, 2.0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		rep, err := ctrl.RunRound(tasks[0].Jobs(), deadlines[r], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DeadlineMet {
+			t.Errorf("round %d missed deadline", rep.Round)
+		}
+		if _, err := ctrl.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctrl.NumExplored() == 0 || len(ctrl.Front()) == 0 {
+		t.Error("controller made no progress")
+	}
+}
+
+func TestPublicBaselinesAndProfile(t *testing.T) {
+	dev := bofl.JetsonTX2()
+	if _, err := bofl.NewPerformant(dev.Space()); err != nil {
+		t.Fatal(err)
+	}
+	profile, err := bofl.ProfileAll(dev, bofl.LSTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := bofl.NewOracle(profile, dev.Space(), 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle.TrueFront()) < 3 {
+		t.Error("oracle front too small")
+	}
+	if _, err := bofl.NewRandomExplorer(dev.Space(), bofl.Options{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bofl.NewLinearPace(dev.Space(), 1.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicParetoHelpers(t *testing.T) {
+	pts := []bofl.ObjectivePoint{{X: 1, Y: 3}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	front := bofl.ParetoFront(pts)
+	if len(front) != 2 {
+		t.Errorf("front = %v", front)
+	}
+	if hv := bofl.Hypervolume(front, bofl.ObjectivePoint{X: 4, Y: 4}); hv <= 0 {
+		t.Errorf("hypervolume %v", hv)
+	}
+}
+
+func TestPublicHardwareFacade(t *testing.T) {
+	root := t.TempDir()
+	paths, err := bofl.EmulateSysfsTree(root, bofl.Config{CPU: 1.0, GPU: 0.5, Mem: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := bofl.NewSysfsDVFSBackend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Apply(bofl.Config{CPU: 2.0, GPU: 1.0, Mem: 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	sensorRoot, err := bofl.EmulatePowerSensorTree(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bofl.WritePowerRail(sensorRoot, bofl.RailGPU, 10); err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := bofl.NewPowerSensor(sensorRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := sensor.ReadTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 9.9 || total > 10.1 {
+		t.Errorf("total power %v, want ≈10", total)
+	}
+	var acc bofl.EnergyAccumulator
+	if err := acc.Add(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDeviceByName(t *testing.T) {
+	if _, ok := bofl.DeviceByName("agx"); !ok {
+		t.Error("agx not resolvable")
+	}
+	if _, ok := bofl.DeviceByName("unknown"); ok {
+		t.Error("unknown device resolved")
+	}
+}

@@ -1,0 +1,236 @@
+// Command boflbench regenerates the paper's tables and figures on the
+// simulated testbeds and prints them as plain-text tables.
+//
+// Usage:
+//
+//	boflbench -exp all                 # everything (several minutes)
+//	boflbench -exp table1,fig5        # a subset
+//	boflbench -exp fig9 -rounds 40    # fewer rounds for a quick look
+//
+// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig9 fig10 fig11
+// fig12 fig13, plus the beyond-the-paper extensions ext-variance (multi-seed
+// error bars) and ext-thermal (throttling board with adaptive BoFL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/experiment"
+	"bofl/internal/fl"
+)
+
+// writeCSV creates path (and parent dirs) and streams fn into it.
+func writeCSV(path string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "boflbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("boflbench", flag.ContinueOnError)
+	var (
+		exps   = fs.String("exp", "all", "comma-separated experiment ids (or 'all')")
+		rounds = fs.Int("rounds", 100, "FL rounds per task run")
+		seed   = fs.Int64("seed", 1, "base random seed")
+		tau    = fs.Float64("tau", 5, "reference measurement duration τ (seconds)")
+		csvDir = fs.String("csv-dir", "", "also write figure scatter/series data as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := core.Options{Tau: *tau}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	section := func(id, title string) bool {
+		if !all && !want[id] {
+			return false
+		}
+		fmt.Fprintf(out, "\n===== %s — %s =====\n", id, title)
+		return true
+	}
+
+	if section("table1", "testbed DVFS spaces") {
+		if err := experiment.WriteTable1(out, experiment.Table1()); err != nil {
+			return err
+		}
+	}
+	if section("table2", "FL task specifications") {
+		rows, err := experiment.Table2()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable2(out, rows); err != nil {
+			return err
+		}
+	}
+	if section("fig2", "DVFS leverage across the configuration space") {
+		agx, _ := device.ByName("agx")
+		for _, w := range device.Workloads() {
+			d, err := experiment.Figure2(agx, w)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteFigure2(out, d); err != nil {
+				return err
+			}
+		}
+	}
+	if section("fig3", "ViT vs GPU frequency at two CPU clocks") {
+		d, err := experiment.Figure3()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure3(out, d); err != nil {
+			return err
+		}
+	}
+	if section("fig4", "three workloads vs CPU frequency") {
+		d, err := experiment.Figure4()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure4(out, d); err != nil {
+			return err
+		}
+	}
+	if section("fig5", "AGX normalized to TX2 at x_max") {
+		rows, err := experiment.Figure5()
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure5(out, rows); err != nil {
+			return err
+		}
+	}
+	energyFigure := func(id string, ratio float64) error {
+		cmps, err := experiment.Figure9(ratio, *rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		for _, cmp := range cmps {
+			if err := experiment.WriteEnergyComparison(out, cmp, 40); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%s.csv", id, cmp.Task.Workload))
+				if err := writeCSV(path, func(w io.Writer) error {
+					return experiment.WriteEnergyComparisonCSV(w, cmp)
+				}); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n", path)
+			}
+		}
+		return nil
+	}
+	if section("fig9", "per-round energy, ratio 2.0") {
+		if err := energyFigure("fig9", 2.0); err != nil {
+			return err
+		}
+	}
+	if section("fig10", "per-round energy, ratio 4.0") {
+		if err := energyFigure("fig10", 4.0); err != nil {
+			return err
+		}
+	}
+	if section("fig11", "BoFL vs actual Pareto fronts") {
+		data, err := experiment.Figure11(2.0, *rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure11(out, data); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			for _, d := range data {
+				path := filepath.Join(*csvDir, fmt.Sprintf("fig11_%s.csv", d.Workload))
+				if err := writeCSV(path, func(w io.Writer) error {
+					return experiment.WriteFigure11CSV(w, d)
+				}); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n", path)
+			}
+		}
+	}
+	if section("table3", "exploration walkthrough, ratio 2.0") {
+		data, err := experiment.Table3(*rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteTable3(out, data); err != nil {
+			return err
+		}
+	}
+	if section("fig12", "sensitivity to deadline length") {
+		cells, err := experiment.Figure12(nil, *rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure12(out, cells); err != nil {
+			return err
+		}
+	}
+	if section("ext-variance", "extension: multi-seed mean ± std of the headline metrics") {
+		agx, _ := device.ByName("agx")
+		rows, err := experiment.VarianceStudy(agx, 2.0, *rounds, 5, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteVarianceStudy(out, rows, 2.0); err != nil {
+			return err
+		}
+	}
+	if section("ext-thermal", "extension: thermally throttling board") {
+		agx, _ := device.ByName("agx")
+		tasks, err := fl.Tasks(agx, 2.5, *rounds)
+		if err != nil {
+			return err
+		}
+		rows, err := experiment.ThermalStudy(agx, tasks[0], *rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteThermalStudy(out, rows); err != nil {
+			return err
+		}
+	}
+	if section("fig13", "MBO module overhead") {
+		rows, err := experiment.Figure13(2.0, *rounds, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteFigure13(out, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

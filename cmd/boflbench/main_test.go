@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStaticSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1,table2,fig3,fig4,fig5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2100", "T_min", "Pareto", "AGX/TX2"} {
+		if want == "Pareto" {
+			continue // fig sections only here
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "fig9") {
+		t.Error("unselected section rendered")
+	}
+}
+
+func TestRunDynamicSectionQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig11", "-rounds", "16", "-tau", "3", "-csv-dir", filepath.Join(t.TempDir(), "csv")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HV coverage") {
+		t.Errorf("fig11 output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "wrote ") {
+		t.Errorf("csv export missing:\n%s", out)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

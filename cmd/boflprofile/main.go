@@ -1,0 +1,71 @@
+// Command boflprofile exhaustively profiles a simulated device's DVFS space
+// for one workload — the offline step that produces the Oracle baseline — and
+// emits the profile (optionally as JSON) plus its true Pareto front.
+//
+// Usage:
+//
+//	boflprofile -device agx -workload vit
+//	boflprofile -device tx2 -workload resnet50 -json profile.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bofl/internal/device"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "boflprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("boflprofile", flag.ContinueOnError)
+	var (
+		devName  = fs.String("device", "agx", "device: agx or tx2")
+		workload = fs.String("workload", "vit", "workload: vit, resnet50 or lstm")
+		jsonPath = fs.String("json", "", "write the full profile as JSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		return fmt.Errorf("unknown device %q", *devName)
+	}
+	profile, err := device.ProfileAll(dev, device.Workload(*workload))
+	if err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(profile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d profile points to %s\n", len(profile.Points), *jsonPath)
+	}
+
+	front := profile.ParetoFront()
+	fmt.Fprintf(out, "%s / %s: %d configurations, %d on the Pareto front, T_min %.3fs per minibatch\n",
+		dev.Name(), *workload, len(profile.Points), len(front), profile.MinLatency())
+	fmt.Fprintln(out, "pareto front (energy-ascending):")
+	fmt.Fprintln(out, "cpu(GHz)  gpu(GHz)  mem(GHz)  latency(s)  energy(J)")
+	for _, i := range front {
+		p := profile.Points[i]
+		fmt.Fprintf(out, "%7.2f  %8.2f  %8.2f  %10.3f  %9.3f\n",
+			float64(p.Config.CPU), float64(p.Config.GPU), float64(p.Config.Mem), p.Latency, p.Energy)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bofl/internal/device"
+)
+
+func TestRunProfileText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "tx2", "-workload", "lstm"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "936 configurations") {
+		t.Errorf("output missing space size:\n%s", out)
+	}
+	if !strings.Contains(out, "pareto front") {
+		t.Errorf("output missing front:\n%s", out)
+	}
+}
+
+func TestRunProfileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "agx", "-workload", "vit", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p device.Profile
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != 2100 {
+		t.Errorf("profile has %d points", len(p.Points))
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "nope"}, &buf); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

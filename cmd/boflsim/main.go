@@ -1,0 +1,108 @@
+// Command boflsim runs one FL task on a simulated testbed under a chosen
+// pace controller and prints per-round energy and deadline statistics — the
+// workhorse behind Figures 9 and 10.
+//
+// Usage:
+//
+//	boflsim -device agx -task vit -controller bofl -ratio 2.0 -rounds 100
+//	boflsim -device tx2 -task lstm -controller performant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/experiment"
+	"bofl/internal/fl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "boflsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("boflsim", flag.ContinueOnError)
+	var (
+		devName  = fs.String("device", "agx", "device: agx or tx2")
+		taskName = fs.String("task", "vit", "task: vit, resnet50 or lstm")
+		ctrl     = fs.String("controller", "bofl", "controller: bofl, performant, oracle, random, linearpace")
+		ratio    = fs.Float64("ratio", 2.0, "deadline ratio T_max/T_min")
+		rounds   = fs.Int("rounds", 100, "FL rounds")
+		seed     = fs.Int64("seed", 1, "random seed")
+		tau      = fs.Float64("tau", 5, "reference measurement duration τ (seconds)")
+		verbose  = fs.Bool("v", false, "print every round")
+		loadSnap = fs.String("load-snapshot", "", "resume a BoFL controller from this snapshot file")
+		saveSnap = fs.String("save-snapshot", "", "write the BoFL controller's final state to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*loadSnap != "" || *saveSnap != "") && *ctrl != "bofl" {
+		return fmt.Errorf("snapshots only apply to the bofl controller")
+	}
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		return fmt.Errorf("unknown device %q", *devName)
+	}
+	tasks, err := fl.Tasks(dev, *ratio, *rounds)
+	if err != nil {
+		return err
+	}
+	var task fl.TaskSpec
+	found := false
+	for _, t := range tasks {
+		if string(t.Workload) == *taskName {
+			task, found = t, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown task %q (want vit, resnet50 or lstm)", *taskName)
+	}
+
+	runRes, err := experiment.RunTask(experiment.RunConfig{
+		Device:       dev,
+		Task:         task,
+		Rounds:       *rounds,
+		Controller:   experiment.ControllerKind(*ctrl),
+		Seed:         *seed,
+		CtrlOptions:  core.Options{Tau: *tau},
+		LoadSnapshot: *loadSnap,
+		SaveSnapshot: *saveSnap,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s on %s, controller=%s, ratio=%.1f, rounds=%d\n",
+		task.Name, dev.Name(), *ctrl, *ratio, *rounds)
+	energies := make([]float64, 0, len(runRes.Reports))
+	for _, rep := range runRes.Reports {
+		energies = append(energies, rep.Energy)
+		if *verbose {
+			fmt.Fprintf(out, "round %3d: ddl %6.1fs used %6.1fs energy %7.1fJ phase=%v explored=%d\n",
+				rep.Round, rep.Deadline, rep.Duration, rep.Energy, rep.Phase, len(rep.Explored))
+		}
+	}
+	fmt.Fprintf(out, "energy/round: %s\n", experiment.Sparkline(energies))
+	fmt.Fprintf(out, "total energy: %.0f J over %d rounds (%.1f J/round)\n",
+		runRes.TotalEnergy, len(runRes.Reports), runRes.TotalEnergy/float64(len(runRes.Reports)))
+	fmt.Fprintf(out, "deadline misses: %d\n", runRes.DeadlineMisses)
+	if runRes.BoFL != nil {
+		p1, p2 := runRes.PhaseBoundaries()
+		fmt.Fprintf(out, "phases: random-explore ≤ r%d, pareto-construct ≤ r%d, exploit after\n", p1, p2)
+		fmt.Fprintf(out, "explored %d/%d configurations (%.1f%%), front size %d\n",
+			runRes.BoFL.NumExplored(), dev.Space().Size(),
+			100*float64(runRes.BoFL.NumExplored())/float64(dev.Space().Size()),
+			len(runRes.BoFL.Front()))
+		fmt.Fprintf(out, "MBO wall time: %v over %d runs\n", runRes.MBOWallTime(), len(runRes.MBO))
+	}
+	return nil
+}

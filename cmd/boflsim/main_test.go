@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBoflsimQuick(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-device", "agx", "-task", "vit", "-controller", "performant", "-rounds", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CIFAR10-ViT", "total energy", "deadline misses: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBoflsimBoflVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-task", "lstm", "-controller", "bofl", "-rounds", "6", "-tau", "3", "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "phase=") {
+		t.Errorf("verbose output missing per-round lines:\n%s", out)
+	}
+	if !strings.Contains(out, "explored") {
+		t.Errorf("output missing BoFL stats:\n%s", out)
+	}
+}
+
+func TestRunBoflsimSnapshotRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/snap.json"
+	var buf bytes.Buffer
+	err := run([]string{"-task", "vit", "-controller", "bofl", "-rounds", "10", "-tau", "3",
+		"-save-snapshot", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"-task", "vit", "-controller", "bofl", "-rounds", "4", "-tau", "3",
+		"-load-snapshot", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A resumed exploitation-phase controller must not re-explore.
+	if !strings.Contains(buf.String(), "MBO wall time: 0s over 0 runs") {
+		t.Errorf("resumed run re-ran MBO:\n%s", buf.String())
+	}
+	// Snapshots with a non-BoFL controller are rejected.
+	if err := run([]string{"-controller", "performant", "-save-snapshot", path}, &buf); err == nil {
+		t.Error("snapshot with performant controller accepted")
+	}
+	if err := run([]string{"-controller", "bofl", "-rounds", "2", "-load-snapshot", "/nonexistent"}, &buf); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+}
+
+func TestRunBoflsimErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "nope"}, &buf); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run([]string{"-task", "nope"}, &buf); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := run([]string{"-task", "vit", "-controller", "nope", "-rounds", "2"}, &buf); err == nil {
+		t.Error("unknown controller accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

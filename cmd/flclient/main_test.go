@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bofl/internal/fl"
+)
+
+func TestParseClientFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg, err := parseClientFlags(fs, []string{"-id", "edge-9", "-device", "tx2", "-controller", "performant", "-examples", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.id != "edge-9" || cfg.devName != "tx2" || cfg.controller != "performant" || cfg.examples != 64 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	if _, err := parseClientFlags(fs2, []string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestBuildClientErrors(t *testing.T) {
+	if _, err := buildClient(clientConfig{devName: "nope", controller: "bofl", examples: 16}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := buildClient(clientConfig{id: "a", devName: "agx", controller: "nope", examples: 16}); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	client, err := buildClient(clientConfig{id: "edge-t", devName: "agx", controller: "performant", seed: 1, examples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fl.NewClientHandler(client))
+	defer ts.Close()
+
+	p, err := fl.DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Round(fl.RoundRequest{Round: 1, Params: client.Params(), Jobs: 10, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientID != "edge-t" || !resp.Report.DeadlineMet {
+		t.Errorf("bad response %+v", resp.Report)
+	}
+}

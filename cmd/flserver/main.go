@@ -1,0 +1,125 @@
+// Command flserver orchestrates a federated learning task over HTTP client
+// daemons (cmd/flclient): per round it selects participants, assigns a
+// deadline, dispatches training and FedAvg-aggregates the updates.
+//
+// Usage:
+//
+//	flserver -clients http://127.0.0.1:8071,http://127.0.0.1:8072 -rounds 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bofl/internal/fl"
+	"bofl/internal/ml"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flserver", flag.ContinueOnError)
+	var (
+		clients  = fs.String("clients", "", "comma-separated client base URLs to dial directly")
+		checkin  = fs.String("checkin", "", "listen address for client check-ins (Figure 1 step 1), e.g. :8070")
+		minPool  = fs.Int("min-pool", 1, "with -checkin: wait until this many clients registered")
+		rounds   = fs.Int("rounds", 20, "FL rounds")
+		jobs     = fs.Int("jobs", 100, "jobs (minibatches) per round")
+		ratio    = fs.Float64("ratio", 2.0, "deadline ratio T_max/T_min")
+		perRound = fs.Int("per-round", 0, "participants per round (0 = all)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "per-round HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	global, err := ml.NewMLP(8, 16, 4, 42)
+	if err != nil {
+		return err
+	}
+	var selector fl.Selector = fl.AllSelector{}
+	if *perRound > 0 {
+		selector = fl.NewRandomSelector(*seed)
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		InitialParams:        global.Params(),
+		Jobs:                 *jobs,
+		DeadlineRatio:        *ratio,
+		Selector:             selector,
+		ParticipantsPerRound: *perRound,
+		Seed:                 *seed,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *checkin != "":
+		// Figure 1, step 1: wait for devices to check in.
+		reg := fl.NewRegistry(*timeout)
+		httpSrv := &http.Server{Addr: *checkin, Handler: reg.Handler()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "flserver: check-in listener:", err)
+			}
+		}()
+		defer httpSrv.Close()
+		fmt.Printf("waiting for %d client(s) to check in on %s\n", *minPool, *checkin)
+		for reg.Len() < *minPool {
+			time.Sleep(200 * time.Millisecond)
+		}
+		for _, p := range reg.Participants() {
+			srv.Register(p)
+			fmt.Printf("registered %s via check-in\n", p.ID())
+		}
+	case *clients != "":
+		for _, url := range strings.Split(*clients, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			p, err := fl.DialParticipant(url, *timeout)
+			if err != nil {
+				return err
+			}
+			srv.Register(p)
+			fmt.Printf("registered %s at %s\n", p.ID(), url)
+		}
+	default:
+		return fmt.Errorf("need -clients or -checkin")
+	}
+	return orchestrate(srv, *rounds, os.Stdout)
+}
+
+// orchestrate drives the federation for the given number of rounds, printing
+// per-round summaries.
+func orchestrate(srv *fl.Server, rounds int, out io.Writer) error {
+	for r := 0; r < rounds; r++ {
+		res, err := srv.RunRound()
+		if err != nil {
+			return err
+		}
+		var energy float64
+		misses := 0
+		for _, rep := range res.Reports {
+			energy += rep.Energy
+			if !rep.DeadlineMet {
+				misses++
+			}
+		}
+		fmt.Fprintf(out, "round %3d: deadline %6.1fs, %d participants, %8.1f J, %d misses\n",
+			res.Round, res.Deadline, len(res.Responses), energy, misses)
+	}
+	fmt.Fprintln(out, "done; global model aggregated over", rounds, "rounds")
+	return nil
+}

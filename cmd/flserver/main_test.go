@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+	"bofl/internal/ml"
+)
+
+func testServer(t *testing.T, n int) *fl.Server {
+	t.Helper()
+	global, err := ml.NewMLP(8, 16, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		InitialParams: global.Params(),
+		Jobs:          20,
+		DeadlineRatio: 2,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.JetsonAGX()
+	for i := 0; i < n; i++ {
+		model, err := ml.NewMLP(8, 16, 4, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ml.Blobs(64, 8, 4, 0.6, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := core.NewPerformant(dev.Space())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := fl.NewClient(fl.ClientConfig{
+			ID: "c" + string(rune('0'+i)), Device: dev, Workload: device.ViT,
+			Model: model, Data: data, BatchSize: 8, LearnRate: 0.1,
+			Controller: ctrl, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(&fl.LocalParticipant{Client: c})
+	}
+	return srv
+}
+
+func TestOrchestratePrintsRounds(t *testing.T) {
+	srv := testServer(t, 2)
+	var buf bytes.Buffer
+	if err := orchestrate(srv, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "round ") != 3 {
+		t.Errorf("expected 3 round lines:\n%s", out)
+	}
+	if !strings.Contains(out, "0 misses") {
+		t.Errorf("expected zero misses:\n%s", out)
+	}
+	if !strings.Contains(out, "done;") {
+		t.Errorf("missing completion line:\n%s", out)
+	}
+}
+
+func TestOrchestratePropagatesErrors(t *testing.T) {
+	global, err := ml.NewMLP(2, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{InitialParams: global.Params(), Jobs: 1, DeadlineRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orchestrate(srv, 1, &buf); err == nil {
+		t.Error("empty federation accepted")
+	}
+}

@@ -1,0 +1,30 @@
+// Package bofl is a Go implementation of BoFL (Bayesian Optimized Local
+// Training Pace Control for Energy Efficient Federated Learning, Guo et al.,
+// Middleware '22): a per-client controller that tunes a device's CPU, GPU and
+// memory-controller clock frequencies (DVFS) online so that every federated
+// learning round meets its training deadline at near-minimal energy.
+//
+// The controller treats per-minibatch latency T(x) and energy E(x) as black
+// boxes over the discrete DVFS space, explores the space safely under a
+// deadline guardian, constructs the (energy, latency) Pareto front with
+// multi-objective Bayesian optimization (Gaussian-process surrogates and the
+// expected-hypervolume-improvement acquisition), and then exploits the front
+// by solving an exact branch-and-bound ILP each round.
+//
+// This root package is the public API: it re-exports the controller, the
+// comparison baselines, the simulated Jetson devices, the FL substrate and
+// the supporting types from the internal packages. See the examples/
+// directory for runnable programs and DESIGN.md for the architecture.
+//
+// Quick start:
+//
+//	dev := bofl.JetsonAGX()
+//	ctrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 1})
+//	// each FL round:
+//	report, err := ctrl.RunRound(jobs, deadlineSeconds, executor)
+//	// between rounds (configuration window):
+//	mbo, err := ctrl.BetweenRounds()
+//
+// where executor runs one training minibatch under a requested DVFS
+// configuration and reports its measured latency and energy.
+package bofl

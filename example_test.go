@@ -1,0 +1,103 @@
+package bofl_test
+
+import (
+	"fmt"
+
+	"bofl"
+)
+
+// The BoFL controller wraps a training loop: each round it decides the DVFS
+// configuration of every minibatch job and guarantees the round deadline.
+func Example() {
+	dev := bofl.JetsonAGX()
+	ctrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 1, Tau: 3})
+	if err != nil {
+		panic(err)
+	}
+
+	// The executor trains one minibatch under the requested configuration
+	// and reports its measured cost; here a noise-free simulator stands in.
+	exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+		lat, energy, err := dev.Perf(bofl.ViT, cfg)
+		if err != nil {
+			return bofl.JobResult{}, err
+		}
+		return bofl.JobResult{Latency: lat, Energy: energy}, nil
+	})
+
+	report, err := ctrl.RunRound(200, 74.4, exec) // W=200 jobs, 2×T_min deadline
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deadline met:", report.DeadlineMet)
+	fmt.Println("phase:", report.Phase)
+	// Output:
+	// deadline met: true
+	// phase: random-explore
+}
+
+// ParetoFront extracts the non-dominated configurations from measured
+// (energy, latency) points.
+func ExampleParetoFront() {
+	points := []bofl.ObjectivePoint{
+		{X: 5.0, Y: 0.20}, // fast but hungry
+		{X: 3.5, Y: 0.30}, // slow but lean
+		{X: 5.5, Y: 0.25}, // dominated by the first
+		{X: 4.2, Y: 0.24}, // a useful trade-off
+	}
+	for _, p := range bofl.ParetoFront(points) {
+		fmt.Printf("%.1f J @ %.2f s\n", p.X, p.Y)
+	}
+	// Output:
+	// 3.5 J @ 0.30 s
+	// 4.2 J @ 0.24 s
+	// 5.0 J @ 0.20 s
+}
+
+// ProfileAll is the Oracle's offline step: exhaustively characterize a
+// device and read off the true Pareto front.
+func ExampleProfileAll() {
+	dev := bofl.JetsonTX2()
+	profile, err := bofl.ProfileAll(dev, bofl.LSTM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("configurations:", len(profile.Points))
+	fmt.Println("per-minibatch T_min:", fmt.Sprintf("%.3fs", profile.MinLatency()))
+	// Output:
+	// configurations: 936
+	// per-minibatch T_min: 0.695s
+}
+
+// SampleDeadlines reproduces the paper's deadline protocol: uniform draws
+// from (just above) T_min up to ratio·T_min.
+func ExampleSampleDeadlines() {
+	deadlines, err := bofl.SampleDeadlines(37.2, 2.0, 3, 42)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range deadlines {
+		fmt.Printf("%.1fs\n", d)
+	}
+	// Output:
+	// 51.5s
+	// 40.4s
+	// 60.0s
+}
+
+// NewBandwidthEstimator converts reporting deadlines (when gradients must be
+// back at the server) into training deadlines for the controller.
+func ExampleNewBandwidthEstimator() {
+	bw, err := bofl.NewBandwidthEstimator(625_000, 0.3, 1.0) // ≈5 Mbps LTE
+	if err != nil {
+		panic(err)
+	}
+	payload := bofl.ModelPayloadBytes(800_000) // a small model update
+	training, err := bw.TrainingDeadline(60, payload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("train for %.1fs, upload the rest\n", training)
+	// Output:
+	// train for 49.8s, upload the rest
+}

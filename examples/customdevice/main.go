@@ -1,0 +1,144 @@
+// Customdevice: BoFL on hardware you define yourself. The paper argues the
+// black-box approach applies "to any NN model on any hardware" — this example
+// builds a phone-class board from a spec (frequency ladders, electrical
+// constants, per-workload anchors) and runs the full explore/construct/
+// exploit pipeline against it, comparing the result with the Performant
+// baseline and the offline optimum.
+//
+//	go run ./examples/customdevice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bofl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A hypothetical phone SoC: big CPU ladder, modest GPU, LPDDR5.
+	spec := bofl.DeviceSpec{
+		Name:        "phone-soc",
+		StaticWatts: 0.9,
+		CPU: bofl.UnitSpec{
+			Freqs: ladder(0.3, 2.84, 18),
+			VMin:  0.55, VMax: 1.05, DynCoeff: 2.2, IdleFrac: 0.22,
+		},
+		GPU: bofl.UnitSpec{
+			Freqs: ladder(0.18, 0.95, 9),
+			VMin:  0.55, VMax: 0.95, DynCoeff: 4.5, IdleFrac: 0.25,
+		},
+		Mem: bofl.UnitSpec{
+			Freqs: ladder(0.55, 3.2, 6),
+			VMin:  0.55, VMax: 0.85, DynCoeff: 1.1, IdleFrac: 0.40,
+		},
+		Workloads: map[bofl.Workload]bofl.WorkloadSpec{
+			"mobilenet-v3": {
+				CPUShare: 0.45, GPUShare: 1.0, MemShare: 0.25, SerialFrac: 0.3,
+				LatencyAtMax: 0.060, EnergyAtMax: 0.55,
+			},
+		},
+	}
+	dev, err := bofl.NewCustomDevice(spec)
+	if err != nil {
+		return err
+	}
+	const workload = bofl.Workload("mobilenet-v3")
+	fmt.Printf("%s: %d DVFS configurations\n", dev.Name(), dev.Space().Size())
+
+	const (
+		jobs   = 120
+		rounds = 40
+		ratio  = 2.5
+	)
+	lat, err := dev.Latency(workload, dev.Space().Max())
+	if err != nil {
+		return err
+	}
+	tmin := lat * jobs
+	deadlines, err := bofl.SampleDeadlines(tmin, ratio, rounds, 17)
+	if err != nil {
+		return err
+	}
+
+	runOne := func(ctrl bofl.PaceController, seed int64) (float64, int, error) {
+		meter := bofl.NewMeter(dev, bofl.DefaultNoise(), seed)
+		exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+			m, err := meter.Measure(workload, cfg, 0.1)
+			if err != nil {
+				return bofl.JobResult{}, err
+			}
+			return bofl.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+		})
+		total, misses := 0.0, 0
+		for _, ddl := range deadlines {
+			rep, err := ctrl.RunRound(jobs, ddl, exec)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += rep.Energy
+			if !rep.DeadlineMet {
+				misses++
+			}
+			if _, err := ctrl.BetweenRounds(); err != nil {
+				return 0, 0, err
+			}
+		}
+		return total, misses, nil
+	}
+
+	boflCtrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 4, Tau: 1})
+	if err != nil {
+		return err
+	}
+	perfCtrl, err := bofl.NewPerformant(dev.Space())
+	if err != nil {
+		return err
+	}
+	profile, err := bofl.ProfileAll(dev, workload)
+	if err != nil {
+		return err
+	}
+	oracleCtrl, err := bofl.NewOracle(profile, dev.Space(), 1.05)
+	if err != nil {
+		return err
+	}
+
+	boflE, boflM, err := runOne(boflCtrl, 31)
+	if err != nil {
+		return err
+	}
+	perfE, _, err := runOne(perfCtrl, 31)
+	if err != nil {
+		return err
+	}
+	oracleE, _, err := runOne(oracleCtrl, 31)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-12s %10s %8s\n", "controller", "energy (J)", "misses")
+	fmt.Printf("%-12s %10.1f %8d\n", "bofl", boflE, boflM)
+	fmt.Printf("%-12s %10.1f %8s\n", "performant", perfE, "0")
+	fmt.Printf("%-12s %10.1f %8s\n", "oracle", oracleE, "0")
+	fmt.Printf("\nsaving vs performant: %.1f%%, regret vs oracle: %.2f%%\n",
+		100*(1-boflE/perfE), 100*(boflE/oracleE-1))
+	fmt.Printf("explored %d/%d configurations, front size %d\n",
+		boflCtrl.NumExplored(), dev.Space().Size(), len(boflCtrl.Front()))
+	return nil
+}
+
+// ladder builds an n-step frequency table from lo to hi GHz.
+func ladder(lo, hi float64, n int) []bofl.Freq {
+	out := make([]bofl.Freq, n)
+	for i := range out {
+		out[i] = bofl.Freq(lo + (hi-lo)*float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Deadlinesweep: the Figure-12 sensitivity study through the public API —
+// how BoFL's energy saving (vs the Performant baseline) and regret (vs the
+// offline Oracle) change as the server grants longer deadlines.
+//
+//	go run ./examples/deadlinesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bofl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runController drives one pace controller through the task and returns its
+// total energy.
+func runController(ctrl bofl.PaceController, dev *bofl.Device, task bofl.TaskSpec, deadlines []float64, seed int64) (float64, error) {
+	meter := bofl.NewMeter(dev, bofl.DefaultNoise(), seed)
+	exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+		m, err := meter.Measure(task.Workload, cfg, 0.2)
+		if err != nil {
+			return bofl.JobResult{}, err
+		}
+		return bofl.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+	total := 0.0
+	for _, ddl := range deadlines {
+		rep, err := ctrl.RunRound(task.Jobs(), ddl, exec)
+		if err != nil {
+			return 0, err
+		}
+		if !rep.DeadlineMet {
+			return 0, fmt.Errorf("deadline %0.1fs missed (used %0.1fs)", rep.Deadline, rep.Duration)
+		}
+		total += rep.Energy
+		if _, err := ctrl.BetweenRounds(); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+func run() error {
+	dev := bofl.JetsonAGX()
+	const rounds = 60
+
+	// The Oracle needs the offline profile once.
+	profile, err := bofl.ProfileAll(dev, bofl.ViT)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("CIFAR10-ViT on jetson-agx: sensitivity to deadline length")
+	fmt.Println("ratio   BoFL (J)   Performant (J)   Oracle (J)   saving   regret")
+	for _, ratio := range []float64{2.0, 2.5, 3.0, 3.5, 4.0} {
+		tasks, err := bofl.Tasks(dev, ratio, rounds)
+		if err != nil {
+			return err
+		}
+		task := tasks[0]
+		tmin, err := bofl.TaskTMin(dev, task)
+		if err != nil {
+			return err
+		}
+		deadlines, err := bofl.SampleDeadlines(tmin, ratio, rounds, 11)
+		if err != nil {
+			return err
+		}
+
+		boflCtrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 5})
+		if err != nil {
+			return err
+		}
+		perfCtrl, err := bofl.NewPerformant(dev.Space())
+		if err != nil {
+			return err
+		}
+		oracleCtrl, err := bofl.NewOracle(profile, dev.Space(), 1.05)
+		if err != nil {
+			return err
+		}
+
+		boflE, err := runController(boflCtrl, dev, task, deadlines, 21)
+		if err != nil {
+			return err
+		}
+		perfE, err := runController(perfCtrl, dev, task, deadlines, 21)
+		if err != nil {
+			return err
+		}
+		oracleE, err := runController(oracleCtrl, dev, task, deadlines, 21)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.1fx  %9.0f  %15.0f  %11.0f   %5.1f%%   %5.2f%%\n",
+			ratio, boflE, perfE, oracleE,
+			100*(1-boflE/perfE), 100*(boflE/oracleE-1))
+	}
+	return nil
+}

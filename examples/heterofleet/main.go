@@ -1,0 +1,136 @@
+// Heterofleet: a federated learning task over a heterogeneous fleet — two
+// Jetson AGX boards and two Jetson TX2 boards — each pacing its own training
+// with a private BoFL controller while a FedAvg server aggregates the model.
+//
+// This is the scenario the paper's introduction motivates: the server only
+// assigns per-round deadlines; every device minimizes its own battery drain
+// locally, whatever its hardware.
+//
+//	go run ./examples/heterofleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bofl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		features = 8
+		classes  = 4
+		hidden   = 16
+		jobs     = 60 // minibatches per round per client
+		rounds   = 20
+	)
+
+	// One shared model architecture; the server holds the global weights.
+	global, err := bofl.NewMLP(features, hidden, classes, 42)
+	if err != nil {
+		return err
+	}
+	server, err := bofl.NewFLServer(bofl.FLServerConfig{
+		InitialParams: global.Params(),
+		Jobs:          jobs,
+		DeadlineRatio: 2.5,
+		Seed:          1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Synthetic data, sharded across the fleet.
+	all, err := bofl.Blobs(1200, features, classes, 0.6, 3)
+	if err != nil {
+		return err
+	}
+	test := all[:200]
+	shards, err := bofl.PartitionExamples(all[200:], 4)
+	if err != nil {
+		return err
+	}
+
+	fleet := []struct {
+		id  string
+		dev *bofl.Device
+	}{
+		{"agx-0", bofl.JetsonAGX()},
+		{"agx-1", bofl.JetsonAGX()},
+		{"tx2-0", bofl.JetsonTX2()},
+		{"tx2-1", bofl.JetsonTX2()},
+	}
+	clients := make([]*bofl.FLClient, 0, len(fleet))
+	for i, node := range fleet {
+		model, err := bofl.NewMLP(features, hidden, classes, 42)
+		if err != nil {
+			return err
+		}
+		ctrl, err := bofl.NewController(node.dev.Space(), bofl.Options{Seed: int64(i + 1), Tau: 3})
+		if err != nil {
+			return err
+		}
+		client, err := bofl.NewFLClient(bofl.FLClientConfig{
+			ID:         node.id,
+			Device:     node.dev,
+			Workload:   bofl.ViT,
+			Model:      model,
+			Data:       shards[i],
+			BatchSize:  16,
+			LearnRate:  0.15,
+			Controller: ctrl,
+			Seed:       int64(i + 10),
+		})
+		if err != nil {
+			return err
+		}
+		clients = append(clients, client)
+		server.Register(&bofl.LocalParticipant{Client: client})
+	}
+
+	fmt.Printf("fleet of %d devices, %d jobs/round, %d rounds\n\n", len(fleet), jobs, rounds)
+	for r := 0; r < rounds; r++ {
+		res, err := server.RunRound()
+		if err != nil {
+			return err
+		}
+		var energy float64
+		misses := 0
+		for _, rep := range res.Reports {
+			energy += rep.Energy
+			if !rep.DeadlineMet {
+				misses++
+			}
+		}
+		fmt.Printf("round %2d: deadline %5.1fs, fleet energy %7.1f J, deadline misses %d\n",
+			res.Round, res.Deadline, energy, misses)
+	}
+
+	// Evaluate the aggregated global model.
+	eval, err := bofl.NewMLP(features, hidden, classes, 42)
+	if err != nil {
+		return err
+	}
+	copy(eval.Params(), server.GlobalParams())
+	correct := 0
+	for _, ex := range test {
+		pred, err := eval.Predict(ex)
+		if err != nil {
+			return err
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	fmt.Printf("\nglobal model accuracy: %.1f%%\n", 100*float64(correct)/float64(len(test)))
+	for _, c := range clients {
+		fmt.Printf("%s consumed %8.1f J total\n", c.ID(), c.TotalEnergy())
+	}
+	return nil
+}

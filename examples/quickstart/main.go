@@ -1,0 +1,83 @@
+// Quickstart: wrap a training loop with the BoFL pace controller.
+//
+// The example simulates 30 federated learning rounds of the CIFAR10-ViT task
+// on a Jetson AGX. Each round the controller decides the DVFS configuration
+// of every minibatch job; the executor reports the measured latency and
+// energy. Per-round energy drops sharply once the controller finishes its
+// exploration phases.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bofl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev := bofl.JetsonAGX()
+
+	// The controller only needs the DVFS space; T(x) and E(x) stay black
+	// boxes behind the executor.
+	ctrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	// The executor runs one minibatch under the requested configuration.
+	// On a real board this trains the model and reads CUDA timers and the
+	// INA3221 power sensor; here the simulated meter stands in.
+	meter := bofl.NewMeter(dev, bofl.DefaultNoise(), 1)
+	exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+		m, err := meter.Measure(bofl.ViT, cfg, 0.2)
+		if err != nil {
+			return bofl.JobResult{}, err
+		}
+		return bofl.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+
+	// The paper's CIFAR10-ViT task: W = 200 jobs per round, deadlines
+	// drawn from [T_min, 2·T_min].
+	tasks, err := bofl.Tasks(dev, 2.0, 30)
+	if err != nil {
+		return err
+	}
+	task := tasks[0]
+	tmin, err := bofl.TaskTMin(dev, task)
+	if err != nil {
+		return err
+	}
+	deadlines, err := bofl.SampleDeadlines(tmin, task.DeadlineRatio, task.Rounds, 7)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s: %d jobs/round, T_min %.1fs\n\n", task.Name, dev.Name(), task.Jobs(), tmin)
+	for round := 0; round < task.Rounds; round++ {
+		report, err := ctrl.RunRound(task.Jobs(), deadlines[round], exec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %2d [%-16v]: deadline %5.1fs, used %5.1fs, energy %6.1f J\n",
+			report.Round, report.Phase, report.Deadline, report.Duration, report.Energy)
+
+		// Between rounds (while the device would upload gradients) the
+		// controller refits its surrogates and plans the next batch of
+		// explorations.
+		if _, err := ctrl.BetweenRounds(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\nexplored %d of %d configurations; final Pareto front has %d points\n",
+		ctrl.NumExplored(), dev.Space().Size(), len(ctrl.Front()))
+	return nil
+}

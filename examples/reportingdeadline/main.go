@@ -1,0 +1,101 @@
+// Reportingdeadline: the paper's footnote-3 extension. Some FL servers only
+// specify a *reporting* deadline — when the gradients must be back at the
+// server — rather than a training deadline. This example wires a client-side
+// bandwidth estimator between the server and the BoFL controller: each round
+// it predicts the model upload time from recent transfers and hands the
+// controller what is left for training.
+//
+//	go run ./examples/reportingdeadline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bofl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dev := bofl.JetsonAGX()
+	ctrl, err := bofl.NewController(dev.Space(), bofl.Options{Seed: 2})
+	if err != nil {
+		return err
+	}
+	meter := bofl.NewMeter(dev, bofl.DefaultNoise(), 2)
+	exec := bofl.ExecutorFunc(func(cfg bofl.Config) (bofl.JobResult, error) {
+		m, err := meter.Measure(bofl.ResNet50, cfg, 0.25)
+		if err != nil {
+			return bofl.JobResult{}, err
+		}
+		return bofl.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+
+	// The paper's §6.5 example link: ResNet50 over ≈5 Mbps LTE. The
+	// estimator starts from that guess and refines with every observed
+	// upload; 25% headroom absorbs throughput variance.
+	bw, err := bofl.NewBandwidthEstimator(625_000, 0.3, 1.25)
+	if err != nil {
+		return err
+	}
+	const modelParams = 800_000 // a small ResNet-ish update
+	payload := bofl.ModelPayloadBytes(modelParams)
+
+	tasks, err := bofl.Tasks(dev, 2.0, 25)
+	if err != nil {
+		return err
+	}
+	task := tasks[1] // ImageNet-ResNet50
+	tmin, err := bofl.TaskTMin(dev, task)
+	if err != nil {
+		return err
+	}
+
+	// The simulated LTE link: true throughput drifts around 5 Mbps.
+	rng := rand.New(rand.NewSource(9))
+	linkBps := 625_000.0
+
+	fmt.Printf("%s with reporting deadlines (payload %.1f MB)\n\n", task.Name, float64(payload)/1e6)
+	for round := 1; round <= task.Rounds; round++ {
+		// Server grants a reporting deadline: training budget + upload
+		// slack, as a real server accounting for the network would.
+		reporting := tmin*(1.2+rng.Float64()) + 15
+
+		training, err := bw.TrainingDeadline(reporting, payload)
+		if err != nil {
+			fmt.Printf("round %2d: skipped (%v)\n", round, err)
+			continue
+		}
+		rep, err := ctrl.RunRound(task.Jobs(), training, exec)
+		if err != nil {
+			return err
+		}
+
+		// Simulate the upload over the drifting link and feed the
+		// observation back into the estimator.
+		linkBps *= 0.9 + 0.2*rng.Float64()
+		uploadTime := float64(payload) / linkBps
+		if err := bw.ObserveTransfer(payload, uploadTime); err != nil {
+			return err
+		}
+		est, _ := bw.Estimate()
+
+		total := rep.Duration + uploadTime
+		status := "reported in time"
+		if total > reporting {
+			status = "LATE"
+		}
+		fmt.Printf("round %2d: reporting %5.1fs → training %5.1fs; trained %5.1fs + upload %4.1fs = %5.1fs (%s, link est %.2f Mbps)\n",
+			round, reporting, training, rep.Duration, uploadTime, total, status, est*8/1e6)
+		if _, err := ctrl.BetweenRounds(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module bofl
+
+go 1.22

@@ -1,0 +1,81 @@
+package bofl
+
+import (
+	"bofl/internal/device"
+	"bofl/internal/dvfs"
+	"bofl/internal/power"
+)
+
+// ---- DVFS actuation ----
+
+type (
+	// DVFSBackend applies configurations to hardware or a simulator.
+	DVFSBackend = dvfs.Backend
+	// SimDVFSBackend is the in-memory backend for simulated devices.
+	SimDVFSBackend = dvfs.SimBackend
+	// SysfsDVFSBackend drives sysfs-style kernel frequency files.
+	SysfsDVFSBackend = dvfs.SysfsBackend
+	// SysfsPaths locates the kernel files controlling each unit's clock.
+	SysfsPaths = dvfs.SysfsPaths
+)
+
+// NewSimDVFSBackend creates a simulated DVFS backend for a space.
+func NewSimDVFSBackend(space Space) (*SimDVFSBackend, error) { return dvfs.NewSimBackend(space) }
+
+// NewSysfsDVFSBackend opens a backend over sysfs frequency directories.
+func NewSysfsDVFSBackend(paths SysfsPaths) (*SysfsDVFSBackend, error) {
+	return dvfs.NewSysfsBackend(paths)
+}
+
+// EmulateSysfsTree creates a sysfs-like frequency-control tree under root —
+// for demos and tests without a real board.
+func EmulateSysfsTree(root string, initial Config) (SysfsPaths, error) {
+	return dvfs.EmulateTree(root, initial)
+}
+
+// ---- Thermal modelling (extension) ----
+
+type (
+	// ThermalModel is a first-order RC thermal model with throttling.
+	ThermalModel = device.ThermalModel
+	// ThermalDevice wraps a Device with mutable thermal state.
+	ThermalDevice = device.ThermalDevice
+)
+
+// DefaultThermal is a plausible passively-cooled edge-board model.
+func DefaultThermal() ThermalModel { return device.DefaultThermal() }
+
+// NewThermalDevice wraps a device with a thermal throttling model.
+func NewThermalDevice(dev *Device, model ThermalModel) (*ThermalDevice, error) {
+	return device.NewThermalDevice(dev, model)
+}
+
+// ---- Power sensing ----
+
+type (
+	// PowerSensor reads INA3221-style rail power from sysfs files.
+	PowerSensor = power.Sensor
+	// PowerRail identifies one sensor channel.
+	PowerRail = power.Rail
+	// EnergyAccumulator integrates job energies.
+	EnergyAccumulator = power.Accumulator
+)
+
+// The INA3221 rails exposed by the Jetson boards.
+const (
+	RailGPU = power.RailGPU
+	RailCPU = power.RailCPU
+	RailSOC = power.RailSOC
+)
+
+// NewPowerSensor opens a sensor rooted at an INA3221-style directory.
+func NewPowerSensor(root string) (*PowerSensor, error) { return power.NewSensor(root) }
+
+// EmulatePowerSensorTree creates an INA3221-style file tree for demos.
+func EmulatePowerSensorTree(root string) (string, error) { return power.EmulateSensorTree(root) }
+
+// WritePowerRail updates a rail file with a power value in Watts (simulated
+// board drivers use this between jobs).
+func WritePowerRail(root string, r PowerRail, watts float64) error {
+	return power.WriteRail(root, r, watts)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"bofl/internal/device"
+	"bofl/internal/pareto"
+)
+
+// hvCoverage returns the fraction of the true front's hypervolume dominated
+// by the controller's observed front under the given reference.
+func hvCoverage(c *Controller, trueFront []pareto.Point, ref pareto.Point) float64 {
+	trueHV := pareto.Hypervolume(trueFront, ref)
+	if trueHV <= 0 {
+		return 0
+	}
+	return pareto.Hypervolume(c.Front(), ref) / trueHV
+}
+
+func TestParEGOAcquisitionEndToEnd(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 3, Tau: 2, Acquisition: AcqParEGO, MBORestarts: 1, MBOIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 2.5, 20, 3)
+	reports := runTask(t, c, dev, device.ViT, 60, 20, deadlines, 44)
+	for _, rep := range reports {
+		if !rep.DeadlineMet {
+			t.Errorf("ParEGO round %d missed deadline", rep.Round)
+		}
+	}
+	if c.Phase() != PhaseExploit {
+		t.Errorf("ParEGO controller stuck in phase %v", c.Phase())
+	}
+	if len(c.Front()) == 0 {
+		t.Error("empty front")
+	}
+}
+
+func TestUnknownAcquisitionRejected(t *testing.T) {
+	if _, err := New(smallSpace(), Options{Acquisition: "random-forest"}); err == nil {
+		t.Error("unknown acquisition accepted")
+	}
+}
+
+func TestEHVIBeatsOrMatchesParEGOFrontQuality(t *testing.T) {
+	// Not a strict superiority claim — both must reach a decent front;
+	// EHVI must not be more than a few points behind ParEGO.
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	trueFront := profile.FrontPoints()
+	coverage := func(acq Acquisition) float64 {
+		c, err := New(space, Options{Seed: 6, Tau: 2, Acquisition: acq, MBORestarts: 1, MBOIters: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xmaxLat, err := dev.Latency(device.ViT, space.Max())
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadlines := mkDeadlines(xmaxLat*60*1.1, 3, 20, 6)
+		runTask(t, c, dev, device.ViT, 60, 20, deadlines, 55)
+		ref := trueFront[len(trueFront)-1]
+		for _, p := range trueFront {
+			if p.X > ref.X {
+				ref.X = p.X
+			}
+			if p.Y > ref.Y {
+				ref.Y = p.Y
+			}
+		}
+		// Use a common generous reference derived from the true front.
+		ref.X *= 1.5
+		ref.Y *= 1.5
+		return hvCoverage(c, trueFront, ref)
+	}
+	ehvi := coverage(AcqEHVI)
+	parego := coverage(AcqParEGO)
+	if ehvi < 0.85 {
+		t.Errorf("EHVI coverage %.2f too low", ehvi)
+	}
+	if parego < 0.70 {
+		t.Errorf("ParEGO coverage %.2f too low", parego)
+	}
+	if ehvi < parego-0.10 {
+		t.Errorf("EHVI coverage %.2f clearly behind ParEGO %.2f", ehvi, parego)
+	}
+}

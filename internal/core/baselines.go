@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bofl/internal/device"
+	"bofl/internal/ilp"
+	"bofl/internal/pareto"
+)
+
+// Performant is the paper's default real-time baseline: every job runs at
+// x_max, guaranteeing deadlines at maximal energy cost (§6.1).
+type Performant struct {
+	xmax device.Config
+}
+
+var _ PaceController = (*Performant)(nil)
+
+// NewPerformant builds the baseline for a DVFS space.
+func NewPerformant(space device.Space) (*Performant, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return &Performant{xmax: space.Max()}, nil
+}
+
+// RunRound executes every job at x_max.
+func (p *Performant) RunRound(jobs int, deadline float64, exec Executor) (RoundReport, error) {
+	if jobs <= 0 {
+		return RoundReport{}, ErrNoJobs
+	}
+	var duration, energy float64
+	for j := 0; j < jobs; j++ {
+		res, err := exec.RunJob(p.xmax)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		duration += res.Latency
+		energy += res.Energy
+	}
+	return RoundReport{
+		Jobs:        jobs,
+		Deadline:    deadline,
+		Duration:    duration,
+		Energy:      energy,
+		DeadlineMet: duration <= deadline,
+	}, nil
+}
+
+// BetweenRounds is a no-op.
+func (p *Performant) BetweenRounds() (MBOReport, error) { return MBOReport{}, nil }
+
+// Oracle exploits a complete offline profile of the true (noise-free)
+// objective functions: it solves the exploitation ILP over the true Pareto
+// set every round and never explores. It is unattainable in practice (§6.1)
+// and serves as the lower bound for BoFL's regret.
+type Oracle struct {
+	space   device.Space
+	front   []int // flat indices of the true Pareto set
+	latency map[int]float64
+	energy  map[int]float64
+	xmaxIdx int
+	safety  float64
+}
+
+var _ PaceController = (*Oracle)(nil)
+
+// NewOracle builds an oracle from an offline profile. safety inflates
+// predicted times in the ILP to absorb measurement noise during execution
+// (use 1.0 for a noise-free executor).
+func NewOracle(profile *device.Profile, space device.Space, safety float64) (*Oracle, error) {
+	if profile == nil || len(profile.Points) == 0 {
+		return nil, errors.New("core: empty oracle profile")
+	}
+	if safety < 1 {
+		return nil, fmt.Errorf("core: oracle safety %v must be ≥ 1", safety)
+	}
+	xmaxIdx, err := space.Index(space.Max())
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{
+		space:   space,
+		front:   profile.ParetoFront(),
+		latency: make(map[int]float64, len(profile.Points)),
+		energy:  make(map[int]float64, len(profile.Points)),
+		xmaxIdx: xmaxIdx,
+		safety:  safety,
+	}
+	frontIdx := make([]int, len(o.front))
+	for k, j := range o.front {
+		frontIdx[k] = profile.Points[j].Index
+	}
+	o.front = frontIdx
+	for _, pt := range profile.Points {
+		o.latency[pt.Index] = pt.Latency
+		o.energy[pt.Index] = pt.Energy
+	}
+	return o, nil
+}
+
+// RunRound solves and executes the optimal blend for the round.
+func (o *Oracle) RunRound(jobs int, deadline float64, exec Executor) (RoundReport, error) {
+	if jobs <= 0 {
+		return RoundReport{}, ErrNoJobs
+	}
+	rs := &roundState{remaining: jobs, timeLeft: deadline, exec: exec}
+	for rs.remaining > 0 {
+		opts := make([]ilp.Option, len(o.front))
+		for k, idx := range o.front {
+			opts[k] = ilp.Option{Time: o.latency[idx] * o.safety, Energy: o.energy[idx]}
+		}
+		plan, err := ilp.Solve(opts, rs.remaining, rs.timeLeft)
+		if errors.Is(err, ilp.ErrInfeasible) {
+			// Degenerate deadline: sprint at x_max.
+			for rs.remaining > 0 {
+				res, err := exec.RunJob(o.space.Max())
+				if err != nil {
+					return RoundReport{}, err
+				}
+				rs.remaining--
+				rs.timeLeft -= res.Latency
+				rs.duration += res.Latency
+				rs.energy += res.Energy
+			}
+			break
+		}
+		if err != nil {
+			return RoundReport{}, err
+		}
+		if err := o.execute(rs, plan, exec); err != nil {
+			return RoundReport{}, err
+		}
+	}
+	return RoundReport{
+		Phase:       PhaseExploit,
+		Jobs:        jobs,
+		Deadline:    deadline,
+		Duration:    rs.duration,
+		Energy:      rs.energy,
+		DeadlineMet: rs.duration <= deadline,
+	}, nil
+}
+
+func (o *Oracle) execute(rs *roundState, plan ilp.Assignment, exec Executor) error {
+	type slot struct {
+		idx   int
+		count int
+		pred  float64
+	}
+	slots := make([]slot, 0, len(o.front))
+	for k, idx := range o.front {
+		if plan.Counts[k] > 0 {
+			slots = append(slots, slot{idx: idx, count: plan.Counts[k], pred: o.latency[idx] * o.safety})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].pred > slots[j].pred })
+	plannedRemaining := 0.0
+	for _, s := range slots {
+		plannedRemaining += float64(s.count) * s.pred
+	}
+	for _, s := range slots {
+		cfg, err := o.space.Config(s.idx)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < s.count && rs.remaining > 0; j++ {
+			res, err := exec.RunJob(cfg)
+			if err != nil {
+				return err
+			}
+			rs.remaining--
+			rs.timeLeft -= res.Latency
+			rs.duration += res.Latency
+			rs.energy += res.Energy
+			plannedRemaining -= s.pred
+			if plannedRemaining > rs.timeLeft {
+				return nil // drift: caller re-solves
+			}
+		}
+	}
+	return nil
+}
+
+// BetweenRounds is a no-op: the oracle's profiling happened offline.
+func (o *Oracle) BetweenRounds() (MBOReport, error) { return MBOReport{}, nil }
+
+// TrueFront exposes the oracle's Pareto front as (energy, latency) points —
+// the red stars of Figure 11.
+func (o *Oracle) TrueFront() []pareto.Point {
+	out := make([]pareto.Point, len(o.front))
+	for k, idx := range o.front {
+		out[k] = pareto.Point{X: o.energy[idx], Y: o.latency[idx]}
+	}
+	return out
+}
+
+// RandomExplorer is an ablation controller: it explores uniformly random
+// configurations (with the same deadline guardian machinery as BoFL) and
+// never switches to model-guided search. Comparing it against BoFL isolates
+// the value of the Bayesian suggestions.
+type RandomExplorer struct {
+	inner *Controller
+	rng   *rand.Rand
+}
+
+var _ PaceController = (*RandomExplorer)(nil)
+
+// NewRandomExplorer builds the ablation controller.
+func NewRandomExplorer(space device.Space, opts Options, seed int64) (*RandomExplorer, error) {
+	inner, err := New(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomExplorer{inner: inner, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// RunRound delegates to the BoFL round machinery.
+func (r *RandomExplorer) RunRound(jobs int, deadline float64, exec Executor) (RoundReport, error) {
+	return r.inner.RunRound(jobs, deadline, exec)
+}
+
+// BetweenRounds replaces MBO suggestions with uniform random unexplored
+// candidates of the same batch size, and applies the same stopping rule on
+// explored volume (but cannot use hypervolume gain, having no model).
+func (r *RandomExplorer) BetweenRounds() (MBOReport, error) {
+	c := r.inner
+	if c.phase != PhaseParetoConstruct {
+		return MBOReport{}, nil
+	}
+	exploredFrac := float64(len(c.observed)) / float64(len(c.candidates))
+	if exploredFrac >= 2*c.opts.MinExploredFrac {
+		c.phase = PhaseExploit
+		return MBOReport{Ran: true, StoppedConstruction: true}, nil
+	}
+	k := c.batchSize()
+	c.queue = c.queue[:0]
+	for len(c.queue) < k {
+		idx := r.rng.Intn(len(c.candidates))
+		if _, seen := c.observed[idx]; !seen {
+			c.queue = append(c.queue, idx)
+		}
+	}
+	return MBOReport{Ran: true, SuggestionCount: len(c.queue)}, nil
+}
+
+// Explored reports distinct configurations observed.
+func (r *RandomExplorer) Explored() int { return r.inner.NumExplored() }
+
+// Front exposes the observed Pareto front.
+func (r *RandomExplorer) Front() []pareto.Point { return r.inner.Front() }
+
+// LinearPace is a SmartPC-style baseline (§2.1): it models latency as a
+// linear function of a single axis (the GPU clock, with CPU and memory pinned
+// at maximum), measures the two extremes once, and then picks the slowest
+// single configuration its linear model predicts will meet each deadline.
+// Its failure mode is exactly the paper's critique: the true response is
+// neither linear nor one-dimensional.
+type LinearPace struct {
+	space    device.Space
+	safety   float64
+	measured bool
+	tFast    float64 // measured latency at max GPU clock
+	tSlow    float64 // measured latency at min GPU clock
+}
+
+var _ PaceController = (*LinearPace)(nil)
+
+// NewLinearPace builds the baseline.
+func NewLinearPace(space device.Space, safety float64) (*LinearPace, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if safety < 1 {
+		return nil, fmt.Errorf("core: linear-pace safety %v must be ≥ 1", safety)
+	}
+	return &LinearPace{space: space, safety: safety}, nil
+}
+
+// RunRound calibrates on first use, then runs all jobs at the predicted
+// slowest feasible GPU step (re-checking against the measured pace and
+// sprinting to x_max if the linear model proves optimistic).
+func (l *LinearPace) RunRound(jobs int, deadline float64, exec Executor) (RoundReport, error) {
+	if jobs <= 0 {
+		return RoundReport{}, ErrNoJobs
+	}
+	var duration, energy float64
+	remaining := jobs
+	timeLeft := deadline
+	run := func(cfg device.Config) error {
+		res, err := exec.RunJob(cfg)
+		if err != nil {
+			return err
+		}
+		remaining--
+		timeLeft -= res.Latency
+		duration += res.Latency
+		energy += res.Energy
+		return nil
+	}
+	xmax := l.space.Max()
+	slowest := device.Config{CPU: xmax.CPU, GPU: l.space.GPU[0], Mem: xmax.Mem}
+
+	if !l.measured {
+		// One calibration job at each extreme.
+		before := duration
+		if err := run(xmax); err != nil {
+			return RoundReport{}, err
+		}
+		l.tFast = duration - before
+		before = duration
+		if err := run(slowest); err != nil {
+			return RoundReport{}, err
+		}
+		l.tSlow = duration - before
+		l.measured = true
+	}
+
+	// Linear model: t(f) = tFast + (tSlow − tFast)·(fMax − f)/(fMax − fMin).
+	// Choose the smallest f whose predicted time fits the budget.
+	cfg := xmax
+	for i := 0; i < len(l.space.GPU) && len(l.space.GPU) > 1; i++ {
+		f := l.space.GPU[i]
+		frac := float64(xmax.GPU-f) / float64(xmax.GPU-l.space.GPU[0])
+		pred := l.tFast + (l.tSlow-l.tFast)*frac
+		if pred*l.safety*float64(remaining) <= timeLeft {
+			cfg = device.Config{CPU: xmax.CPU, GPU: f, Mem: xmax.Mem}
+			break
+		}
+	}
+	for remaining > 0 {
+		if err := run(cfg); err != nil {
+			return RoundReport{}, err
+		}
+		// The linear prediction is unreliable; guard with the measured
+		// fast pace.
+		if cfg != xmax && timeLeft < float64(remaining)*l.tFast*l.safety*1.2 {
+			cfg = xmax
+		}
+	}
+	return RoundReport{
+		Jobs:        jobs,
+		Deadline:    deadline,
+		Duration:    duration,
+		Energy:      energy,
+		DeadlineMet: duration <= deadline,
+	}, nil
+}
+
+// BetweenRounds is a no-op.
+func (l *LinearPace) BetweenRounds() (MBOReport, error) { return MBOReport{}, nil }

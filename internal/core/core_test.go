@@ -1,0 +1,550 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bofl/internal/device"
+	"bofl/internal/pareto"
+)
+
+// simExec is an Executor backed by the device simulator with measurement
+// noise, mirroring what the FL layer wires up.
+type simExec struct {
+	t     *testing.T
+	meter *device.Meter
+	w     device.Workload
+	// jobsRun and energy are accumulated for assertions.
+	jobsRun int
+	energy  float64
+}
+
+func newSimExec(t *testing.T, dev *device.Device, w device.Workload, seed int64) *simExec {
+	t.Helper()
+	return &simExec{t: t, meter: device.NewMeter(dev, device.DefaultNoise(), seed), w: w}
+}
+
+func (e *simExec) RunJob(cfg device.Config) (JobResult, error) {
+	m, err := e.meter.Measure(e.w, cfg, 0.25) // single-job observation
+	if err != nil {
+		return JobResult{}, err
+	}
+	e.jobsRun++
+	e.energy += m.Energy
+	return JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+}
+
+// smallSpace is a reduced DVFS space that keeps controller tests fast while
+// preserving the 3-D structure.
+func smallSpace() device.Space {
+	full := device.JetsonAGX().Space()
+	return device.Space{
+		CPU: []device.Freq{full.CPU[0], full.CPU[8], full.CPU[16], full.CPU[24]},
+		GPU: []device.Freq{full.GPU[0], full.GPU[4], full.GPU[9], full.GPU[13]},
+		Mem: []device.Freq{full.Mem[0], full.Mem[3], full.Mem[5]},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(device.Space{}, Options{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	if _, err := New(smallSpace(), Options{Tau: -1}); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := New(smallSpace(), Options{Safety: 0.5}); err == nil {
+		t.Error("safety < 1 accepted")
+	}
+	if _, err := New(smallSpace(), Options{StartFrac: 2}); err == nil {
+		t.Error("start fraction > 1 accepted")
+	}
+	if _, err := New(smallSpace(), Options{FirstJobSlowdown: 0.5}); err == nil {
+		t.Error("slowdown bound < 1 accepted")
+	}
+}
+
+func TestRunRoundValidation(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newSimExec(t, device.JetsonAGX(), device.ViT, 1)
+	if _, err := c.RunRound(0, 10, exec); !errors.Is(err, ErrNoJobs) {
+		t.Errorf("zero jobs: %v", err)
+	}
+	if _, err := c.RunRound(10, -1, exec); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestControllerStartsWithXmax(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first device.Config
+	got := false
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		if !got {
+			first, got = cfg, true
+		}
+		lat, energy, err := dev.Perf(device.ViT, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Latency: lat, Energy: energy}, nil
+	})
+	if _, err := c.RunRound(40, 60, exec); err != nil {
+		t.Fatal(err)
+	}
+	if first != space.Max() {
+		t.Errorf("first configuration %+v, want x_max %+v", first, space.Max())
+	}
+}
+
+// runTask drives a controller through a full FL task and returns reports.
+func runTask(t *testing.T, ctrl PaceController, dev *device.Device, w device.Workload, jobs, rounds int, deadlines []float64, seed int64) []RoundReport {
+	t.Helper()
+	exec := newSimExec(t, dev, w, seed)
+	out := make([]RoundReport, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		rep, err := ctrl.RunRound(jobs, deadlines[r], exec)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		out = append(out, rep)
+		if _, err := ctrl.BetweenRounds(); err != nil {
+			t.Fatalf("between rounds %d: %v", r, err)
+		}
+	}
+	return out
+}
+
+func mkDeadlines(tmin, ratio float64, rounds int, seed int64) []float64 {
+	// Simple LCG to avoid importing math/rand here.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	out := make([]float64, rounds)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := float64(state>>11) / float64(1<<53)
+		out[i] = tmin * (1 + u*(ratio-1))
+	}
+	return out
+}
+
+func TestDeadlinesNeverViolated(t *testing.T) {
+	// The paper's central safety claim (C3): every training deadline is
+	// met, across random seeds, tasks and deadline tightness.
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 60
+	tmin := xmaxLat * jobs
+	for _, ratio := range []float64{1.6, 2.0, 3.0} {
+		for seed := int64(0); seed < 3; seed++ {
+			// Cheap MBO settings: the property under test is deadline
+			// safety, which must hold regardless of surrogate quality.
+			c, err := New(space, Options{Seed: seed, Tau: 2, MBORestarts: 1, MBOIters: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadlines := mkDeadlines(tmin*1.08, ratio, 20, seed+7)
+			reports := runTask(t, c, dev, device.ViT, jobs, 20, deadlines, seed+100)
+			for _, rep := range reports {
+				if !rep.DeadlineMet {
+					t.Errorf("ratio %v seed %d round %d: deadline %.2f exceeded (duration %.2f, phase %v)",
+						ratio, seed, rep.Round, rep.Deadline, rep.Duration, rep.Phase)
+				}
+				if rep.Jobs != jobs {
+					t.Errorf("round %d trained %d jobs, want %d", rep.Round, rep.Jobs, jobs)
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseProgression(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 5, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Phase() != PhaseRandomExplore {
+		t.Fatalf("initial phase %v", c.Phase())
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 60
+	deadlines := mkDeadlines(xmaxLat*jobs*1.1, 2.5, 30, 11)
+	exec := newSimExec(t, dev, device.ViT, 50)
+	var sawConstruct, sawExploit bool
+	for r := 0; r < 30; r++ {
+		if _, err := c.RunRound(jobs, deadlines[r], exec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+		switch c.Phase() {
+		case PhaseParetoConstruct:
+			sawConstruct = true
+			if sawExploit {
+				t.Fatal("phase went backwards from exploit")
+			}
+		case PhaseExploit:
+			sawExploit = true
+		}
+	}
+	if !sawConstruct {
+		t.Error("never entered Pareto construction")
+	}
+	if !sawExploit {
+		t.Error("never entered exploitation")
+	}
+	// Stopping condition honoured: at least 3% of the space explored.
+	if frac := float64(c.NumExplored()) / float64(space.Size()); frac < 0.03 {
+		t.Errorf("stopped after exploring only %.1f%% of the space", frac*100)
+	}
+}
+
+func TestExploitationSavesEnergyVsPerformant(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs, rounds = 60, 30
+	tmin := xmaxLat * jobs
+	deadlines := mkDeadlines(tmin*1.1, 2.5, rounds, 13)
+
+	bofl, err := New(space, Options{Seed: 2, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boflReports := runTask(t, bofl, dev, device.ViT, jobs, rounds, deadlines, 500)
+
+	perf, err := NewPerformant(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfReports := runTask(t, perf, dev, device.ViT, jobs, rounds, deadlines, 500)
+
+	// Compare the exploitation tail (skip the exploration prefix).
+	var boflE, perfE float64
+	for r := rounds / 2; r < rounds; r++ {
+		boflE += boflReports[r].Energy
+		perfE += perfReports[r].Energy
+	}
+	saving := 1 - boflE/perfE
+	if saving < 0.10 {
+		t.Errorf("BoFL exploitation saves only %.1f%% vs Performant, want >10%%", saving*100)
+	}
+}
+
+func TestBoflRegretVsOracleIsSmall(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	// Build the oracle profile restricted to the small space.
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	oracle, err := NewOracle(profile, space, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs, rounds = 60, 40
+	tmin := xmaxLat * jobs
+	deadlines := mkDeadlines(tmin*1.1, 2.5, rounds, 17)
+
+	bofl, err := New(space, Options{Seed: 4, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boflReports := runTask(t, bofl, dev, device.ViT, jobs, rounds, deadlines, 900)
+	oracleReports := runTask(t, oracle, dev, device.ViT, jobs, rounds, deadlines, 900)
+
+	var boflE, oracleE float64
+	for r := rounds / 2; r < rounds; r++ { // steady state only
+		boflE += boflReports[r].Energy
+		oracleE += oracleReports[r].Energy
+	}
+	regret := boflE/oracleE - 1
+	if regret > 0.10 {
+		t.Errorf("steady-state regret vs oracle %.1f%%, want <10%%", regret*100)
+	}
+	for _, rep := range oracleReports {
+		if !rep.DeadlineMet {
+			t.Errorf("oracle missed deadline in round %d", rep.Round)
+		}
+	}
+}
+
+// restrictedProfile profiles only the configurations of a reduced space.
+func restrictedProfile(t *testing.T, dev *device.Device, w device.Workload, space device.Space) *device.Profile {
+	t.Helper()
+	pts := make([]device.ProfilePoint, 0, space.Size())
+	for i := 0; i < space.Size(); i++ {
+		cfg, err := space.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, energy, err := dev.Perf(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, device.ProfilePoint{Index: i, Config: cfg, Latency: lat, Energy: energy})
+	}
+	return &device.Profile{Device: dev.Name(), Workload: w, Points: pts}
+}
+
+func TestBoflFrontApproachesTrueFront(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	trueFront := profile.FrontPoints()
+	ref, err := pareto.ReferenceFrom(func() []pareto.Point {
+		out := make([]pareto.Point, len(profile.Points))
+		for i, p := range profile.Points {
+			out[i] = pareto.Point{X: p.Energy, Y: p.Latency}
+		}
+		return out
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(space, Options{Seed: 6, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 3, 25, 23)
+	runTask(t, c, dev, device.ViT, 60, 25, deadlines, 77)
+
+	trueHV := pareto.Hypervolume(trueFront, ref)
+	gotHV := pareto.Hypervolume(c.Front(), ref)
+	if frac := gotHV / trueHV; frac < 0.85 {
+		t.Errorf("BoFL front covers %.1f%% of true hypervolume, want ≥85%%", frac*100)
+	}
+}
+
+func TestPerformant(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	p, err := NewPerformant(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPerformant(device.Space{}); err == nil {
+		t.Error("invalid space accepted")
+	}
+	exec := newSimExec(t, dev, device.ViT, 9)
+	rep, err := p.RunRound(20, 100, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeadlineMet || rep.Energy <= 0 {
+		t.Errorf("bad report %+v", rep)
+	}
+	if _, err := p.RunRound(0, 100, exec); !errors.Is(err, ErrNoJobs) {
+		t.Errorf("zero jobs: %v", err)
+	}
+	if mr, err := p.BetweenRounds(); err != nil || mr.Ran {
+		t.Errorf("BetweenRounds = %+v, %v", mr, err)
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	space := smallSpace()
+	if _, err := NewOracle(nil, space, 1.0); err == nil {
+		t.Error("nil profile accepted")
+	}
+	dev := device.JetsonAGX()
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	if _, err := NewOracle(profile, space, 0.9); err == nil {
+		t.Error("safety < 1 accepted")
+	}
+	o, err := NewOracle(profile, space, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.TrueFront()) < 3 {
+		t.Errorf("oracle front too small: %d", len(o.TrueFront()))
+	}
+}
+
+func TestOracleBeatsPerformant(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	oracle, err := NewOracle(profile, space, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := NewPerformant(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, _ := dev.Latency(device.ViT, space.Max())
+	deadline := xmaxLat * 60 * 2.0
+
+	oexec := newSimExec(t, dev, device.ViT, 31)
+	orep, err := oracle.RunRound(60, deadline, oexec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pexec := newSimExec(t, dev, device.ViT, 31)
+	prep, err := perf.RunRound(60, deadline, pexec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orep.Energy >= prep.Energy {
+		t.Errorf("oracle energy %v should beat performant %v", orep.Energy, prep.Energy)
+	}
+	if !orep.DeadlineMet {
+		t.Error("oracle missed deadline")
+	}
+}
+
+func TestRandomExplorerAblation(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	r, err := NewRandomExplorer(space, Options{Seed: 8, Tau: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, _ := dev.Latency(device.ViT, space.Max())
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 2.5, 20, 29)
+	reports := runTask(t, r, dev, device.ViT, 60, 20, deadlines, 600)
+	for _, rep := range reports {
+		if !rep.DeadlineMet {
+			t.Errorf("random explorer missed deadline in round %d", rep.Round)
+		}
+	}
+	if r.Explored() < 9 {
+		t.Errorf("random explorer explored only %d configs", r.Explored())
+	}
+	if len(r.Front()) == 0 {
+		t.Error("random explorer has empty front")
+	}
+}
+
+func TestLinearPaceRunsAndIsWorseThanOracle(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	lp, err := NewLinearPace(space, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLinearPace(space, 0.5); err == nil {
+		t.Error("safety < 1 accepted")
+	}
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	oracle, err := NewOracle(profile, space, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, _ := dev.Latency(device.ViT, space.Max())
+	deadlines := mkDeadlines(xmaxLat*60*1.15, 2.5, 15, 37)
+	lpReports := runTask(t, lp, dev, device.ViT, 60, 15, deadlines, 800)
+	oReports := runTask(t, oracle, dev, device.ViT, 60, 15, deadlines, 800)
+	var lpE, oE float64
+	for i := range lpReports {
+		lpE += lpReports[i].Energy
+		oE += oReports[i].Energy
+	}
+	if lpE <= oE {
+		t.Errorf("1-D linear pace control (%v J) should not beat the oracle (%v J)", lpE, oE)
+	}
+}
+
+func TestBatchSizeRule(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 1, Tau: 5, MaxBatch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.batchSize(); got != 1 {
+		t.Errorf("batch size before any round = %d, want 1", got)
+	}
+	c.deadlineSum, c.deadlineCount = 55*4, 4 // T_avg = 55s, τ = 5 → K = 10 (capped)
+	if got := c.batchSize(); got != 10 {
+		t.Errorf("batch size = %d, want 10", got)
+	}
+	c.deadlineSum, c.deadlineCount = 12*2, 2 // T_avg = 12 → K = 2
+	if got := c.batchSize(); got != 2 {
+		t.Errorf("batch size = %d, want 2", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseRandomExplore.String() != "random-explore" ||
+		PhaseParetoConstruct.String() != "pareto-construct" ||
+		PhaseExploit.String() != "exploit" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase name wrong")
+	}
+}
+
+func TestGuardianTriggersOnTightDeadline(t *testing.T) {
+	// With a deadline barely above T_min, the guardian must force most
+	// jobs to x_max and still meet the deadline.
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 10, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, _ := dev.Latency(device.ViT, space.Max())
+	exec := newSimExec(t, dev, device.ViT, 55)
+	rep, err := c.RunRound(60, xmaxLat*60*1.12, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeadlineMet {
+		t.Errorf("tight round missed: duration %v deadline %v", rep.Duration, rep.Deadline)
+	}
+	if len(rep.Explored) > 3 {
+		t.Errorf("guardian should limit exploration under a tight deadline, explored %d", len(rep.Explored))
+	}
+}
+
+func TestReportsAccounting(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 12, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newSimExec(t, dev, device.ViT, 66)
+	xmaxLat, _ := dev.Latency(device.ViT, space.Max())
+	rep, err := c.RunRound(50, xmaxLat*50*2, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.jobsRun != 50 {
+		t.Errorf("executor ran %d jobs, report says %d", exec.jobsRun, rep.Jobs)
+	}
+	if math.Abs(exec.energy-rep.Energy) > 1e-9 {
+		t.Errorf("energy accounting mismatch: %v vs %v", exec.energy, rep.Energy)
+	}
+	if rep.Round != 1 || rep.FrontSize == 0 {
+		t.Errorf("bad report: %+v", rep)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bofl/internal/device"
+)
+
+// Failure-injection tests: executors that error, lie, or jitter wildly must
+// surface clean errors or be absorbed safely — never corrupt state or panic.
+
+var errBoom = errors.New("boom")
+
+func TestExecutorErrorPropagates(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		return JobResult{}, errBoom
+	})
+	if _, err := c.RunRound(10, 100, exec); !errors.Is(err, errBoom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestExecutorErrorMidRound(t *testing.T) {
+	dev := device.JetsonAGX()
+	c, err := New(smallSpace(), Options{Seed: 2, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		calls++
+		if calls == 7 {
+			return JobResult{}, errBoom
+		}
+		lat, energy, err := dev.Perf(device.ViT, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Latency: lat, Energy: energy}, nil
+	})
+	if _, err := c.RunRound(30, 60, exec); !errors.Is(err, errBoom) {
+		t.Fatalf("mid-round error not propagated: %v", err)
+	}
+	// The controller must remain usable for the next round.
+	calls = 1000
+	rep, err := c.RunRound(30, 60, exec)
+	if err != nil {
+		t.Fatalf("controller unusable after failure: %v", err)
+	}
+	if rep.Jobs != 30 {
+		t.Errorf("recovered round trained %d jobs", rep.Jobs)
+	}
+}
+
+func TestImplausibleJobResultsRejected(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []JobResult{
+		{Latency: 0, Energy: 1},
+		{Latency: -1, Energy: 1},
+		{Latency: 1, Energy: -1},
+	} {
+		bad := bad
+		exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) { return bad, nil })
+		if _, err := c.RunRound(5, 100, exec); err == nil {
+			t.Errorf("implausible result %+v accepted", bad)
+		} else if !strings.Contains(err.Error(), "implausible") {
+			t.Errorf("unexpected error for %+v: %v", bad, err)
+		}
+	}
+}
+
+func TestDeadlineSafetyUnderHeavyJitter(t *testing.T) {
+	// Even with ±30% execution jitter (way beyond the calibrated noise),
+	// the guardian's safety margins must keep misses rare and bounded:
+	// with jitter this heavy the occasional miss is physically
+	// unavoidable, but it must stay the exception.
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	rng := rand.New(rand.NewSource(99))
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		lat, energy, err := dev.Perf(device.ViT, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		jitter := 0.7 + 0.6*rng.Float64()
+		return JobResult{Latency: lat * jitter, Energy: energy * jitter}, nil
+	})
+	c, err := New(space, Options{Seed: 4, Tau: 2, Safety: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	const rounds = 30
+	deadlines := mkDeadlines(xmaxLat*60*1.25, 2.5, rounds, 31)
+	for r := 0; r < rounds; r++ {
+		rep, err := c.RunRound(60, deadlines[r], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DeadlineMet {
+			misses++
+		}
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if misses > 2 {
+		t.Errorf("%d deadline misses under heavy jitter, want ≤2", misses)
+	}
+}
+
+func TestAdversarialSlowConfigStillSafe(t *testing.T) {
+	// An executor where non-x_max configurations are pathologically slow
+	// (20× the calibrated latency): the guardian must still save every
+	// deadline by sprinting at x_max.
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	xmax := space.Max()
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		lat, energy, err := dev.Perf(device.ViT, cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		if cfg != xmax {
+			lat *= 2.5 // still within the FirstJobSlowdown budget of x_max multiples
+			energy *= 2.5
+		}
+		return JobResult{Latency: lat, Energy: energy}, nil
+	})
+	c, err := New(space, Options{Seed: 5, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, xmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 2.0, 15, 77)
+	for r := 0; r < 15; r++ {
+		rep, err := c.RunRound(60, deadlines[r], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DeadlineMet {
+			t.Errorf("round %d missed: duration %.2f deadline %.2f", rep.Round, rep.Duration, rep.Deadline)
+		}
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOracleExecutorErrorPropagates(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	profile := restrictedProfile(t, dev, device.ViT, space)
+	o, err := NewOracle(profile, space, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		return JobResult{}, errBoom
+	})
+	if _, err := o.RunRound(10, 1000, exec); !errors.Is(err, errBoom) {
+		t.Errorf("oracle swallowed the error: %v", err)
+	}
+}
+
+func TestPerformantExecutorErrorPropagates(t *testing.T) {
+	p, err := NewPerformant(smallSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		return JobResult{}, errBoom
+	})
+	if _, err := p.RunRound(10, 1000, exec); !errors.Is(err, errBoom) {
+		t.Errorf("performant swallowed the error: %v", err)
+	}
+}

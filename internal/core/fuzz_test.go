@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bofl/internal/device"
+)
+
+// Property fuzz: for arbitrary (seeded) executor behaviours within physical
+// bounds — random latency landscapes, random noise, random deadline ratios —
+// the controller must always complete every job with consistent accounting
+// and never panic. Deadline safety is asserted only when the landscape is
+// noise-free (with unbounded noise a miss can be genuinely unavoidable).
+
+// randomLandscape builds a consistent synthetic landscape: each flat index
+// maps to a fixed latency/energy drawn once, with latency bounded within
+// [lat(xmax), slowBound·lat(xmax)].
+type randomLandscape struct {
+	lat, energy []float64
+	space       device.Space
+	noise       float64
+	rng         *rand.Rand
+}
+
+func newRandomLandscape(space device.Space, seed int64, slowBound, noise float64) *randomLandscape {
+	rng := rand.New(rand.NewSource(seed))
+	n := space.Size()
+	l := &randomLandscape{
+		lat:    make([]float64, n),
+		energy: make([]float64, n),
+		space:  space,
+		noise:  noise,
+		rng:    rng,
+	}
+	base := 0.2
+	xmaxIdx := n - 1 // CPU-major layout puts x_max at the last flat index
+	for i := 0; i < n; i++ {
+		l.lat[i] = base * (1 + rng.Float64()*(slowBound-1))
+		l.energy[i] = 1 + rng.Float64()*6
+	}
+	l.lat[xmaxIdx] = base // x_max is the fastest point, as on real hardware
+	return l
+}
+
+func (l *randomLandscape) exec() Executor {
+	return ExecutorFunc(func(cfg device.Config) (JobResult, error) {
+		idx, err := l.space.Index(cfg)
+		if err != nil {
+			return JobResult{}, err
+		}
+		jitter := 1.0
+		if l.noise > 0 {
+			jitter = math.Exp(l.noise * l.rng.NormFloat64())
+		}
+		return JobResult{Latency: l.lat[idx] * jitter, Energy: l.energy[idx] * jitter}, nil
+	})
+}
+
+func TestControllerFuzzRandomLandscapes(t *testing.T) {
+	space := smallSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slowBound := 1.5 + rng.Float64()*6 // up to 7.5× slower than x_max
+		noise := rng.Float64() * 0.04
+		land := newRandomLandscape(space, seed, slowBound, noise)
+		opts := Options{
+			Seed:             seed,
+			Tau:              1 + rng.Float64()*3,
+			Safety:           1.03 + rng.Float64()*0.1,
+			FirstJobSlowdown: slowBound * 1.3,
+			MBORestarts:      1,
+			MBOIters:         2,
+		}
+		c, err := New(space, opts)
+		if err != nil {
+			return false
+		}
+		jobs := 20 + rng.Intn(60)
+		tminTrue := 0.2 * float64(jobs)
+		exec := land.exec()
+		for r := 0; r < 12; r++ {
+			deadline := tminTrue * (1.15 + rng.Float64()*2)
+			rep, err := c.RunRound(jobs, deadline, exec)
+			if err != nil {
+				t.Logf("seed %d round %d: %v", seed, r, err)
+				return false
+			}
+			if rep.Jobs != jobs {
+				t.Logf("seed %d: %d jobs reported", seed, rep.Jobs)
+				return false
+			}
+			if rep.Energy <= 0 || rep.Duration <= 0 {
+				t.Logf("seed %d: degenerate accounting %+v", seed, rep)
+				return false
+			}
+			if noise == 0 && !rep.DeadlineMet {
+				t.Logf("seed %d round %d: noise-free miss (used %.2f, ddl %.2f, phase %v)",
+					seed, r, rep.Duration, rep.Deadline, rep.Phase)
+				return false
+			}
+			if _, err := c.BetweenRounds(); err != nil {
+				t.Logf("seed %d: between rounds: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControllerNoiseFreeDeadlineInvariant(t *testing.T) {
+	// Dedicated sweep of the strongest safety claim: with noise-free
+	// execution, no deadline is ever missed across many landscapes.
+	space := smallSpace()
+	for seed := int64(100); seed < 130; seed++ {
+		land := newRandomLandscape(space, seed, 6, 0)
+		c, err := New(space, Options{Seed: seed, Tau: 2, FirstJobSlowdown: 8, MBORestarts: 1, MBOIters: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec := land.exec()
+		jobs := 50
+		tmin := 0.2 * float64(jobs)
+		for r := 0; r < 10; r++ {
+			deadline := tmin * (1.1 + float64(r%5)*0.4)
+			rep, err := c.RunRound(jobs, deadline, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.DeadlineMet {
+				t.Fatalf("seed %d round %d: noise-free deadline miss (used %.2f of %.2f, phase %v)",
+					seed, r, rep.Duration, rep.Deadline, rep.Phase)
+			}
+			if _, err := c.BetweenRounds(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

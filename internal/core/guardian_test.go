@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"bofl/internal/device"
+)
+
+// guardianStats drives one controller through tight-deadline rounds and
+// counts deadline misses.
+func guardianStats(t *testing.T, disable bool, seed int64) (misses, rounds int) {
+	t.Helper()
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{
+		Seed:            seed,
+		Tau:             2,
+		DisableGuardian: disable,
+		MBORestarts:     1,
+		MBOIters:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newSimExec(t, dev, device.ViT, seed+500)
+	const nRounds = 12
+	// Tight deadlines (1.1–1.5 × T_min) are exactly the regime where a
+	// guardian-less explorer gets caught mid-exploration.
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 1.36, nRounds, seed+9)
+	for r := 0; r < nRounds; r++ {
+		rep, err := c.RunRound(60, deadlines[r], exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.DeadlineMet {
+			misses++
+		}
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return misses, nRounds
+}
+
+func TestGuardianAblationPreventsMisses(t *testing.T) {
+	// The §4.2 design claim quantified: with the guardian the controller
+	// never misses, without it the same tight deadlines produce misses.
+	var withMisses, withoutMisses int
+	for seed := int64(0); seed < 4; seed++ {
+		m, _ := guardianStats(t, false, seed)
+		withMisses += m
+		m, _ = guardianStats(t, true, seed)
+		withoutMisses += m
+	}
+	if withMisses != 0 {
+		t.Errorf("guardian enabled: %d misses, want 0", withMisses)
+	}
+	if withoutMisses == 0 {
+		t.Error("guardian disabled: zero misses — the ablation regime is not tight enough to be informative")
+	}
+}

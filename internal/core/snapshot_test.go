@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bofl/internal/device"
+)
+
+func trainedController(t *testing.T, rounds int) (*Controller, *device.Device) {
+	t.Helper()
+	dev := device.JetsonAGX()
+	space := smallSpace()
+	c, err := New(space, Options{Seed: 9, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newSimExec(t, dev, device.ViT, 12)
+	xmaxLat, err := dev.Latency(device.ViT, space.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 2.5, rounds, 41)
+	for r := 0; r < rounds; r++ {
+		if _, err := c.RunRound(60, deadlines[r], exec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, dev
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig, dev := trainedController(t, 15)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(smallSpace(), Options{Seed: 9, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Phase() != orig.Phase() {
+		t.Errorf("phase %v, want %v", restored.Phase(), orig.Phase())
+	}
+	if restored.NumExplored() != orig.NumExplored() {
+		t.Errorf("explored %d, want %d", restored.NumExplored(), orig.NumExplored())
+	}
+	of, rf := orig.Front(), restored.Front()
+	if len(of) != len(rf) {
+		t.Fatalf("front sizes %d vs %d", len(rf), len(of))
+	}
+	for i := range of {
+		if of[i] != rf[i] {
+			t.Errorf("front[%d] = %v, want %v", i, rf[i], of[i])
+		}
+	}
+
+	// The restored controller must keep operating safely — and because it
+	// restored into the exploitation phase, it must not re-explore.
+	exec := newSimExec(t, dev, device.ViT, 90)
+	xmaxLat, err := dev.Latency(device.ViT, smallSpace().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := restored.RunRound(60, xmaxLat*60*1.8, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DeadlineMet {
+		t.Error("restored controller missed a deadline")
+	}
+	if restored.Phase() == PhaseExploit && len(rep.Explored) > 0 {
+		t.Errorf("restored exploit-phase controller explored %d configs", len(rep.Explored))
+	}
+}
+
+func TestSnapshotPreservesRoundCounter(t *testing.T) {
+	orig, dev := trainedController(t, 5)
+	snap := orig.Snapshot()
+	restored, err := New(smallSpace(), Options{Seed: 9, Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	exec := newSimExec(t, dev, device.ViT, 91)
+	xmaxLat, err := dev.Latency(device.ViT, smallSpace().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := restored.RunRound(60, xmaxLat*60*2, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Round != 6 {
+		t.Errorf("round counter %d, want 6", rep.Round)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Snapshot{Version: snapshotVersion, Phase: PhaseRandomExplore, SpaceSize: smallSpace().Size()}
+	if err := c.Restore(good); err != nil {
+		t.Fatalf("minimal snapshot rejected: %v", err)
+	}
+	bad := []Snapshot{
+		{Version: 99, Phase: PhaseRandomExplore, SpaceSize: smallSpace().Size()},
+		{Version: snapshotVersion, Phase: 0, SpaceSize: smallSpace().Size()},
+		{Version: snapshotVersion, Phase: PhaseExploit, SpaceSize: 5},
+		{Version: snapshotVersion, Phase: PhaseExploit, SpaceSize: smallSpace().Size(), Queue: []int{-1}},
+		{Version: snapshotVersion, Phase: PhaseExploit, SpaceSize: smallSpace().Size(),
+			Observations: []obsSnapshot{{Index: 99999, Jobs: 1, SumLat: 1, SumE: 1}}},
+		{Version: snapshotVersion, Phase: PhaseExploit, SpaceSize: smallSpace().Size(),
+			Observations: []obsSnapshot{{Index: 0, Jobs: 0, SumLat: 1, SumE: 1}}},
+	}
+	for i, s := range bad {
+		if err := c.Restore(s); err == nil {
+			t.Errorf("bad snapshot %d accepted", i)
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	c, err := New(smallSpace(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadSnapshot(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRestoreFailureLeavesControllerUsable(t *testing.T) {
+	c, dev := trainedController(t, 8)
+	before := c.NumExplored()
+	// A failing restore must not corrupt the live state.
+	if err := c.Restore(Snapshot{Version: 99}); err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+	if c.NumExplored() != before {
+		t.Error("failed restore mutated observations")
+	}
+	exec := newSimExec(t, dev, device.ViT, 92)
+	if _, err := c.RunRound(60, 100, exec); err != nil {
+		t.Errorf("controller unusable after failed restore: %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper argues its approach "can be generally applied to any NN model on
+// any hardware" (§2.2). This file provides the builder for that claim: users
+// describe a board's frequency ladders, electrical constants and per-workload
+// anchors, and get a Device usable everywhere the built-in testbeds are.
+
+// UnitSpec describes one processing unit (CPU, GPU or memory controller).
+type UnitSpec struct {
+	// Freqs is the unit's discrete clock ladder in GHz, strictly ascending.
+	Freqs []Freq
+	// VMin / VMax is the operating-voltage range across the ladder.
+	VMin, VMax float64
+	// DynCoeff is the dynamic power coefficient: P = DynCoeff·f·V(f)².
+	DynCoeff float64
+	// IdleFrac is the fraction of active power drawn while clock-gated.
+	IdleFrac float64
+}
+
+func (u UnitSpec) validate(name string) error {
+	if len(u.Freqs) == 0 {
+		return fmt.Errorf("device: %s has no frequency ladder", name)
+	}
+	prev := Freq(0)
+	for i, f := range u.Freqs {
+		if f <= prev {
+			return fmt.Errorf("device: %s ladder not strictly ascending at step %d", name, i)
+		}
+		prev = f
+	}
+	if u.VMin <= 0 || u.VMax < u.VMin {
+		return fmt.Errorf("device: %s voltage range [%v, %v] invalid", name, u.VMin, u.VMax)
+	}
+	if u.DynCoeff <= 0 {
+		return fmt.Errorf("device: %s dynamic coefficient %v must be positive", name, u.DynCoeff)
+	}
+	if u.IdleFrac < 0 || u.IdleFrac > 1 {
+		return fmt.Errorf("device: %s idle fraction %v out of [0,1]", name, u.IdleFrac)
+	}
+	return nil
+}
+
+// WorkloadSpec describes one training workload's demand on the board.
+type WorkloadSpec struct {
+	// CPUShare, GPUShare and MemShare are the relative busy times of the
+	// units at x_max; at least one must be positive (the largest defines
+	// the bottleneck at full clocks).
+	CPUShare, GPUShare, MemShare float64
+	// SerialFrac is the non-overlappable fraction of the units' work.
+	SerialFrac float64
+	// LatencyAtMax / EnergyAtMax anchor the model: the measured (or
+	// estimated) per-minibatch cost at maximum clocks.
+	LatencyAtMax, EnergyAtMax float64
+}
+
+func (w WorkloadSpec) validate(name Workload) error {
+	if w.CPUShare < 0 || w.GPUShare < 0 || w.MemShare < 0 {
+		return fmt.Errorf("device: workload %q has negative shares", name)
+	}
+	if w.CPUShare == 0 && w.GPUShare == 0 && w.MemShare == 0 {
+		return fmt.Errorf("device: workload %q has no work at all", name)
+	}
+	if w.SerialFrac < 0 || w.SerialFrac > 1 {
+		return fmt.Errorf("device: workload %q serial fraction %v out of [0,1]", name, w.SerialFrac)
+	}
+	if w.LatencyAtMax <= 0 || w.EnergyAtMax <= 0 {
+		return fmt.Errorf("device: workload %q needs positive latency/energy anchors", name)
+	}
+	return nil
+}
+
+// Spec is a complete custom-device description.
+type Spec struct {
+	Name          string
+	StaticWatts   float64
+	CPU, GPU, Mem UnitSpec
+	Workloads     map[Workload]WorkloadSpec
+}
+
+// NewCustom builds a Device from a spec. The per-workload latency and energy
+// anchors are matched exactly at x_max (the same calibration the built-in
+// testbeds use).
+func NewCustom(spec Spec) (*Device, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("device: custom device needs a name")
+	}
+	if spec.StaticWatts < 0 || math.IsNaN(spec.StaticWatts) {
+		return nil, fmt.Errorf("device: static power %v invalid", spec.StaticWatts)
+	}
+	if err := spec.CPU.validate("cpu"); err != nil {
+		return nil, err
+	}
+	if err := spec.GPU.validate("gpu"); err != nil {
+		return nil, err
+	}
+	if err := spec.Mem.validate("mem"); err != nil {
+		return nil, err
+	}
+	if len(spec.Workloads) == 0 {
+		return nil, fmt.Errorf("device: custom device needs at least one workload")
+	}
+
+	toUnit := func(u UnitSpec) unitParams {
+		return unitParams{
+			fMin:     u.Freqs[0],
+			fMax:     u.Freqs[len(u.Freqs)-1],
+			vMin:     u.VMin,
+			vMax:     u.VMax,
+			dynCoeff: u.DynCoeff,
+			idleFrac: u.IdleFrac,
+		}
+	}
+	d := &Device{
+		name: spec.Name,
+		space: Space{
+			CPU: append([]Freq(nil), spec.CPU.Freqs...),
+			GPU: append([]Freq(nil), spec.GPU.Freqs...),
+			Mem: append([]Freq(nil), spec.Mem.Freqs...),
+		},
+		units:     [3]unitParams{toUnit(spec.CPU), toUnit(spec.GPU), toUnit(spec.Mem)},
+		staticW:   spec.StaticWatts,
+		workloads: make(map[Workload]workParams, len(spec.Workloads)),
+	}
+	if err := d.space.Validate(); err != nil {
+		return nil, err
+	}
+	for name, w := range spec.Workloads {
+		if err := w.validate(name); err != nil {
+			return nil, err
+		}
+		d.workloads[name] = d.mixToWork(w.CPUShare, w.GPUShare, w.MemShare, w.SerialFrac)
+		d.calibrate(name, w.LatencyAtMax, w.EnergyAtMax)
+	}
+	return d, nil
+}

@@ -1,0 +1,129 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func phoneSpec() Spec {
+	return Spec{
+		Name:        "pixel-sim",
+		StaticWatts: 0.8,
+		CPU:         UnitSpec{Freqs: freqSteps(0.3, 2.8, 16), VMin: 0.55, VMax: 1.05, DynCoeff: 2.0, IdleFrac: 0.25},
+		GPU:         UnitSpec{Freqs: freqSteps(0.2, 0.9, 8), VMin: 0.55, VMax: 0.95, DynCoeff: 4.0, IdleFrac: 0.25},
+		Mem:         UnitSpec{Freqs: freqSteps(0.5, 2.1, 5), VMin: 0.55, VMax: 0.85, DynCoeff: 1.2, IdleFrac: 0.4},
+		Workloads: map[Workload]WorkloadSpec{
+			"mobilenet": {CPUShare: 0.4, GPUShare: 1.0, MemShare: 0.2, SerialFrac: 0.25, LatencyAtMax: 0.08, EnergyAtMax: 0.9},
+			ViT:         {CPUShare: 0.3, GPUShare: 1.0, MemShare: 0.15, SerialFrac: 0.2, LatencyAtMax: 0.5, EnergyAtMax: 3.2},
+		},
+	}
+}
+
+func TestNewCustomAnchorsMatch(t *testing.T) {
+	dev, err := NewCustom(phoneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name() != "pixel-sim" {
+		t.Errorf("name = %q", dev.Name())
+	}
+	if got := dev.Space().Size(); got != 16*8*5 {
+		t.Errorf("space size %d", got)
+	}
+	lat, energy, err := dev.Perf("mobilenet", dev.Space().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.08)/0.08 > 1e-9 {
+		t.Errorf("latency anchor %v, want 0.08", lat)
+	}
+	if math.Abs(energy-0.9)/0.9 > 1e-9 {
+		t.Errorf("energy anchor %v, want 0.9", energy)
+	}
+}
+
+func TestNewCustomLatencyMonotone(t *testing.T) {
+	dev, err := NewCustom(phoneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Space()
+	prev := math.Inf(1)
+	for _, f := range s.GPU {
+		c := s.Max()
+		c.GPU = f
+		lat, err := dev.Latency("mobilenet", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat > prev+1e-12 {
+			t.Fatalf("latency rose with GPU clock at %v", f)
+		}
+		prev = lat
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	mutate := func(f func(*Spec)) Spec {
+		s := phoneSpec()
+		f(&s)
+		return s
+	}
+	bad := []Spec{
+		mutate(func(s *Spec) { s.Name = "" }),
+		mutate(func(s *Spec) { s.StaticWatts = -1 }),
+		mutate(func(s *Spec) { s.CPU.Freqs = nil }),
+		mutate(func(s *Spec) { s.CPU.Freqs = []Freq{2, 1} }),
+		mutate(func(s *Spec) { s.GPU.VMin = 0 }),
+		mutate(func(s *Spec) { s.GPU.VMax = 0.1 }),
+		mutate(func(s *Spec) { s.Mem.DynCoeff = 0 }),
+		mutate(func(s *Spec) { s.Mem.IdleFrac = 1.5 }),
+		mutate(func(s *Spec) { s.Workloads = nil }),
+		mutate(func(s *Spec) {
+			s.Workloads["bad"] = WorkloadSpec{SerialFrac: 0.2, LatencyAtMax: 1, EnergyAtMax: 1}
+		}),
+		mutate(func(s *Spec) {
+			s.Workloads["bad"] = WorkloadSpec{CPUShare: 1, SerialFrac: 2, LatencyAtMax: 1, EnergyAtMax: 1}
+		}),
+		mutate(func(s *Spec) {
+			s.Workloads["bad"] = WorkloadSpec{CPUShare: 1, SerialFrac: 0.2, LatencyAtMax: 0, EnergyAtMax: 1}
+		}),
+		mutate(func(s *Spec) {
+			s.Workloads["bad"] = WorkloadSpec{CPUShare: -1, GPUShare: 1, SerialFrac: 0.2, LatencyAtMax: 1, EnergyAtMax: 1}
+		}),
+	}
+	for i, s := range bad {
+		if _, err := NewCustom(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestCustomDeviceWorksWithProfiler(t *testing.T) {
+	dev, err := NewCustom(phoneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileAll(dev, "mobilenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != dev.Space().Size() {
+		t.Errorf("profile has %d points", len(p.Points))
+	}
+	if len(p.ParetoFront()) < 3 {
+		t.Errorf("custom device front too small: %d", len(p.ParetoFront()))
+	}
+}
+
+func TestCustomSpecIsolatedFromDevice(t *testing.T) {
+	spec := phoneSpec()
+	dev, err := NewCustom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CPU.Freqs[0] = 99 // mutating the spec must not affect the device
+	if dev.Space().CPU[0] == 99 {
+		t.Error("device shares the spec's ladder slice")
+	}
+}

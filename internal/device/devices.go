@@ -1,0 +1,93 @@
+package device
+
+// Frequency tables from Table 1 of the paper. The boards expose discrete
+// ladders; the exact intermediate steps are not published, so we interpolate
+// linearly between the published endpoints with the published step counts,
+// which preserves the space sizes (AGX 25×14×6 = 2100, TX2 12×13×6 = 936).
+
+// JetsonAGX builds the simulated Nvidia Jetson AGX Xavier testbed with
+// calibrated models for all three workloads.
+//
+// Calibration anchors (per minibatch at x_max):
+//   - latency: T_min/W from Table 2 (e.g. ViT: 37.2 s / 200 jobs = 0.186 s)
+//   - energy: Performant per-round energy from Figures 9–10 divided by W
+//     (e.g. ViT: ≈900 J / 200 jobs = 4.5 J), consistent with the Figure 11
+//     per-minibatch energy axes.
+func JetsonAGX() *Device {
+	d := &Device{
+		name: "jetson-agx",
+		space: Space{
+			CPU: freqSteps(0.42, 2.26, 25),
+			GPU: freqSteps(0.11, 1.38, 14),
+			Mem: freqSteps(0.20, 2.13, 6),
+		},
+		units: [3]unitParams{
+			{fMin: 0.42, fMax: 2.26, vMin: 0.62, vMax: 1.10, dynCoeff: 3.0, idleFrac: 0.30}, // 8-core Carmel CPU
+			{fMin: 0.11, fMax: 1.38, vMin: 0.60, vMax: 1.00, dynCoeff: 8.0, idleFrac: 0.30}, // 512-core Volta GPU
+			{fMin: 0.20, fMax: 2.13, vMin: 0.60, vMax: 0.90, dynCoeff: 2.0, idleFrac: 0.45}, // LPDDR4x controller
+		},
+		staticW: 2.0,
+	}
+	// Relative busy-time mixes at x_max, chosen to reproduce §2.2: ViT and
+	// ResNet50 are GPU-bound (flat latency vs CPU clock, Figure 4a) while
+	// LSTM is CPU-bound (latency halves as the CPU speeds up). ResNet50
+	// adds heavy memory traffic. ViT's 0.28 CPU share puts the CPU↔GPU
+	// bottleneck crossover near 1.0 GHz GPU when the CPU runs at its
+	// lowest clock (Figure 3a). Absolute scales are set by calibrate.
+	d.workloads = map[Workload]workParams{
+		ViT:      d.mixToWork(0.28, 1.00, 0.10, 0.20),
+		ResNet50: d.mixToWork(0.15, 1.00, 0.35, 0.20),
+		LSTM:     d.mixToWork(1.00, 0.40, 0.15, 0.30),
+	}
+	// Table 2: W = E·N jobs per round; T_min = T(x_max)·W.
+	d.calibrate(ViT, 37.2/200, 4.50)      // B=32 E=5 N=40
+	d.calibrate(ResNet50, 46.9/180, 6.40) // B=8  E=2 N=90
+	d.calibrate(LSTM, 46.1/160, 6.20)     // B=8  E=4 N=40
+	return d
+}
+
+// JetsonTX2 builds the simulated Nvidia Jetson TX2 testbed.
+//
+// Energy anchors derive from Figure 5b (AGX energy normalized to TX2: ViT
+// 0.85, ResNet50 0.70, LSTM 0.80); latency anchors from Table 2's TX2 T_min
+// row. Note the paper's Figure 5a latency ratios are mutually inconsistent
+// with Table 2 for LSTM (see EXPERIMENTS.md); we calibrate to Table 2, which
+// is the quantity the control loop actually consumes.
+func JetsonTX2() *Device {
+	d := &Device{
+		name: "jetson-tx2",
+		space: Space{
+			CPU: freqSteps(0.34, 2.03, 12),
+			GPU: freqSteps(0.11, 1.30, 13),
+			Mem: freqSteps(0.41, 1.87, 6),
+		},
+		units: [3]unitParams{
+			{fMin: 0.34, fMax: 2.03, vMin: 0.64, vMax: 1.14, dynCoeff: 2.4, idleFrac: 0.32}, // Denver2 + A57 CPU
+			{fMin: 0.11, fMax: 1.30, vMin: 0.62, vMax: 1.05, dynCoeff: 6.0, idleFrac: 0.32}, // 256-core Pascal GPU
+			{fMin: 0.41, fMax: 1.87, vMin: 0.60, vMax: 0.95, dynCoeff: 1.6, idleFrac: 0.48}, // LPDDR4 controller
+		},
+		staticW: 1.6,
+	}
+	d.workloads = map[Workload]workParams{
+		ViT:      d.mixToWork(0.32, 1.00, 0.12, 0.22),
+		ResNet50: d.mixToWork(0.18, 1.00, 0.40, 0.22),
+		LSTM:     d.mixToWork(1.00, 0.45, 0.18, 0.32),
+	}
+	d.calibrate(ViT, 36.0/75, 4.50/0.85)      // B=32 E=5 N=15
+	d.calibrate(ResNet50, 49.2/60, 6.40/0.70) // B=8  E=2 N=30
+	d.calibrate(LSTM, 55.6/80, 6.20/0.80)     // B=8  E=4 N=20
+	return d
+}
+
+// ByName returns the simulated device with the given name ("jetson-agx" or
+// "jetson-tx2").
+func ByName(name string) (*Device, bool) {
+	switch name {
+	case "jetson-agx", "agx":
+		return JetsonAGX(), true
+	case "jetson-tx2", "tx2":
+		return JetsonTX2(), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,102 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Measurement is one noisy observation of a configuration's per-minibatch
+// performance, as a real performance observer (CUDA event timers + INA3221
+// power rails) would report it.
+type Measurement struct {
+	Config  Config
+	Latency float64 // seconds per minibatch
+	Energy  float64 // Joules per minibatch
+}
+
+// NoiseModel controls measurement error. Errors are multiplicative lognormal
+// and shrink with the square root of the observation duration — short
+// transient measurements are unreliable because the board's voltage rails
+// have not settled, which is exactly why the paper keeps each exploration
+// running for at least τ seconds (§4.2, workload assignment).
+type NoiseModel struct {
+	// LatencySigma and EnergySigma are the relative standard deviations at
+	// the reference duration.
+	LatencySigma float64
+	EnergySigma  float64
+	// RefDuration is the observation length at which the base sigmas
+	// apply (the paper's τ, default 5 s).
+	RefDuration float64
+	// MaxInflation caps the error growth for very short observations.
+	MaxInflation float64
+}
+
+// DefaultNoise is the noise model used throughout the evaluation.
+func DefaultNoise() NoiseModel {
+	return NoiseModel{
+		LatencySigma: 0.015,
+		EnergySigma:  0.030,
+		RefDuration:  5.0,
+		MaxInflation: 5.0,
+	}
+}
+
+// inflation returns the sigma multiplier for an observation of the given
+// duration.
+func (n NoiseModel) inflation(duration float64) float64 {
+	if duration <= 0 {
+		return n.MaxInflation
+	}
+	f := math.Sqrt(n.RefDuration / duration)
+	if f < 1 {
+		f = 1
+	}
+	if f > n.MaxInflation {
+		f = n.MaxInflation
+	}
+	return f
+}
+
+// Meter observes a device's performance with realistic measurement noise.
+// It is the simulated counterpart of the paper's performance observer
+// (module 2 in Figure 8).
+type Meter struct {
+	dev   *Device
+	noise NoiseModel
+	rng   *rand.Rand
+}
+
+// NewMeter creates a meter over dev with the given noise model, seeded
+// deterministically.
+func NewMeter(dev *Device, noise NoiseModel, seed int64) *Meter {
+	return &Meter{dev: dev, noise: noise, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Measure reports the observed per-minibatch latency and energy of running
+// workload w under configuration c for roughly `duration` seconds. Longer
+// observations yield lower-variance estimates.
+func (m *Meter) Measure(w Workload, c Config, duration float64) (Measurement, error) {
+	lat, energy, err := m.dev.Perf(w, c)
+	if err != nil {
+		return Measurement{}, err
+	}
+	inf := m.noise.inflation(duration)
+	lat *= math.Exp(m.noise.LatencySigma * inf * m.rng.NormFloat64())
+	energy *= math.Exp(m.noise.EnergySigma * inf * m.rng.NormFloat64())
+	return Measurement{Config: c, Latency: lat, Energy: energy}, nil
+}
+
+// Validate checks the noise model's parameters.
+func (n NoiseModel) Validate() error {
+	if n.LatencySigma < 0 || n.EnergySigma < 0 {
+		return fmt.Errorf("device: negative noise sigma (%v, %v)", n.LatencySigma, n.EnergySigma)
+	}
+	if n.RefDuration <= 0 {
+		return fmt.Errorf("device: non-positive reference duration %v", n.RefDuration)
+	}
+	if n.MaxInflation < 1 {
+		return fmt.Errorf("device: max inflation %v must be ≥ 1", n.MaxInflation)
+	}
+	return nil
+}

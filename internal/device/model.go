@@ -1,0 +1,159 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload identifies one of the paper's three FL training workloads.
+type Workload string
+
+// The three evaluation workloads from §6.1.
+const (
+	ViT      Workload = "vit"      // CIFAR10-ViT (Vision Transformer)
+	ResNet50 Workload = "resnet50" // ImageNet-ResNet50
+	LSTM     Workload = "lstm"     // IMDB-LSTM
+)
+
+// Workloads lists all supported workloads in the paper's presentation order.
+func Workloads() []Workload { return []Workload{ViT, ResNet50, LSTM} }
+
+// unitParams describes one processing unit's electrical behaviour.
+type unitParams struct {
+	fMin, fMax Freq    // frequency range (for the voltage curve)
+	vMin, vMax float64 // operating-voltage range across the frequency range
+	dynCoeff   float64 // dynamic power coefficient: P = dynCoeff·f·V(f)²
+	idleFrac   float64 // fraction of active power drawn while clock-gated
+}
+
+// voltage interpolates the unit's V/f curve.
+func (u unitParams) voltage(f Freq) float64 {
+	if u.fMax == u.fMin {
+		return u.vMax
+	}
+	frac := (float64(f) - float64(u.fMin)) / (float64(u.fMax) - float64(u.fMin))
+	frac = math.Max(0, math.Min(1, frac))
+	return u.vMin + (u.vMax-u.vMin)*frac
+}
+
+// activePower is the unit's full-duty dynamic power at frequency f.
+func (u unitParams) activePower(f Freq) float64 {
+	v := u.voltage(f)
+	return u.dynCoeff * float64(f) * v * v
+}
+
+// workParams describes one workload's per-minibatch computational demand on a
+// particular device.
+type workParams struct {
+	// cpuWork, gpuWork, memWork are seconds of work at 1 GHz on the
+	// respective unit (i.e. giga-cycles / giga-transfers per minibatch).
+	cpuWork, gpuWork, memWork float64
+	// serialFrac is the fraction of the three units' work that cannot be
+	// overlapped; the rest proceeds concurrently, bounded by the slowest
+	// unit (the bottleneck).
+	serialFrac float64
+	// powerScale calibrates the total board power for this workload
+	// (instruction-mix effects).
+	powerScale float64
+}
+
+// Device is a simulated edge board: a DVFS space plus the calibrated
+// performance model for each workload.
+type Device struct {
+	name      string
+	space     Space
+	units     [3]unitParams // CPU, GPU, Mem
+	staticW   float64       // board static power, Watts
+	workloads map[Workload]workParams
+}
+
+// Name returns the device's human-readable name.
+func (d *Device) Name() string { return d.name }
+
+// Space returns the device's DVFS configuration space.
+func (d *Device) Space() Space { return d.space }
+
+// times returns the per-unit busy times for one minibatch of w under c.
+func (d *Device) times(w workParams, c Config) (tc, tg, tm float64) {
+	return w.cpuWork / float64(c.CPU), w.gpuWork / float64(c.GPU), w.memWork / float64(c.Mem)
+}
+
+// Latency returns the true (noise-free) execution latency of one minibatch of
+// the workload under DVFS configuration c, in seconds.
+func (d *Device) Latency(w Workload, c Config) (float64, error) {
+	wp, ok := d.workloads[w]
+	if !ok {
+		return 0, fmt.Errorf("device: %s has no calibration for workload %q", d.name, w)
+	}
+	return d.latency(wp, c), nil
+}
+
+func (d *Device) latency(wp workParams, c Config) float64 {
+	tc, tg, tm := d.times(wp, c)
+	bottleneck := math.Max(tc, math.Max(tg, tm))
+	return wp.serialFrac*(tc+tg+tm) + (1-wp.serialFrac)*bottleneck
+}
+
+// Energy returns the true (noise-free) energy consumed by one minibatch of
+// the workload under c, in Joules.
+func (d *Device) Energy(w Workload, c Config) (float64, error) {
+	wp, ok := d.workloads[w]
+	if !ok {
+		return 0, fmt.Errorf("device: %s has no calibration for workload %q", d.name, w)
+	}
+	return d.energy(wp, c), nil
+}
+
+func (d *Device) energy(wp workParams, c Config) float64 {
+	t := d.latency(wp, c)
+	tc, tg, tm := d.times(wp, c)
+	utils := [3]float64{tc / t, tg / t, tm / t}
+	freqs := [3]Freq{c.CPU, c.GPU, c.Mem}
+	power := d.staticW
+	for i, u := range d.units {
+		util := math.Min(utils[i], 1)
+		active := u.activePower(freqs[i])
+		power += util*active + (1-util)*u.idleFrac*active
+	}
+	return power * t * wp.powerScale
+}
+
+// Perf returns both objectives at once.
+func (d *Device) Perf(w Workload, c Config) (latency, energy float64, err error) {
+	wp, ok := d.workloads[w]
+	if !ok {
+		return 0, 0, fmt.Errorf("device: %s has no calibration for workload %q", d.name, w)
+	}
+	return d.latency(wp, c), d.energy(wp, c), nil
+}
+
+// mixToWork converts a relative busy-time mix at x_max (tc : tg : tm) into
+// absolute work amounts (seconds of work at 1 GHz): a unit with a faster
+// maximum clock needs proportionally more raw work to occupy the same share
+// of the minibatch.
+func (d *Device) mixToWork(tcMix, tgMix, tmMix, serialFrac float64) workParams {
+	xmax := d.space.Max()
+	return workParams{
+		cpuWork:    tcMix * float64(xmax.CPU),
+		gpuWork:    tgMix * float64(xmax.GPU),
+		memWork:    tmMix * float64(xmax.Mem),
+		serialFrac: serialFrac,
+		powerScale: 1,
+	}
+}
+
+// calibrate rescales the workload's compute demand so the minibatch latency
+// at x_max equals latencyTarget, and its power scale so the minibatch energy
+// at x_max equals energyTarget. Both T and E are degree-1 homogeneous in the
+// work vector, which makes this exact.
+func (d *Device) calibrate(w Workload, latencyTarget, energyTarget float64) {
+	wp := d.workloads[w]
+	xmax := d.space.Max()
+	wp.powerScale = 1
+	scale := latencyTarget / d.latency(wp, xmax)
+	wp.cpuWork *= scale
+	wp.gpuWork *= scale
+	wp.memWork *= scale
+	wp.powerScale = energyTarget / d.energy(wp, xmax)
+	d.workloads[w] = wp
+}

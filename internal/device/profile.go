@@ -1,0 +1,74 @@
+package device
+
+import (
+	"bofl/internal/pareto"
+)
+
+// ProfilePoint is one entry of an exhaustive offline profile.
+type ProfilePoint struct {
+	Index   int     `json:"index"`
+	Config  Config  `json:"config"`
+	Latency float64 `json:"latencySeconds"`
+	Energy  float64 `json:"energyJoules"`
+}
+
+// Profile is a complete noise-free characterization of a (device, workload)
+// pair over the whole DVFS space — the paper's Oracle, obtainable only by
+// long-lasting offline profiling.
+type Profile struct {
+	Device   string         `json:"device"`
+	Workload Workload       `json:"workload"`
+	Points   []ProfilePoint `json:"points"`
+}
+
+// ProfileAll evaluates the true latency and energy of every configuration in
+// the device's space for workload w.
+func ProfileAll(d *Device, w Workload) (*Profile, error) {
+	space := d.Space()
+	n := space.Size()
+	pts := make([]ProfilePoint, 0, n)
+	for i := 0; i < n; i++ {
+		cfg, err := space.Config(i)
+		if err != nil {
+			return nil, err
+		}
+		lat, energy, err := d.Perf(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, ProfilePoint{Index: i, Config: cfg, Latency: lat, Energy: energy})
+	}
+	return &Profile{Device: d.Name(), Workload: w, Points: pts}, nil
+}
+
+// ParetoFront returns the indices (into Points) of the profile's true Pareto
+// front over (energy, latency), ascending in energy.
+func (p *Profile) ParetoFront() []int {
+	objs := make([]pareto.Point, len(p.Points))
+	for i, pt := range p.Points {
+		objs[i] = pareto.Point{X: pt.Energy, Y: pt.Latency}
+	}
+	return pareto.FrontIndices(objs)
+}
+
+// FrontPoints returns the objective-space Pareto front of the profile.
+func (p *Profile) FrontPoints() []pareto.Point {
+	idx := p.ParetoFront()
+	out := make([]pareto.Point, len(idx))
+	for i, j := range idx {
+		out[i] = pareto.Point{X: p.Points[j].Energy, Y: p.Points[j].Latency}
+	}
+	return out
+}
+
+// MinLatency returns the profile's smallest per-minibatch latency (achieved
+// at or near x_max).
+func (p *Profile) MinLatency() float64 {
+	best := p.Points[0].Latency
+	for _, pt := range p.Points[1:] {
+		if pt.Latency < best {
+			best = pt.Latency
+		}
+	}
+	return best
+}

@@ -1,0 +1,158 @@
+// Package device simulates the paper's hardware testbeds: Nvidia Jetson AGX
+// and Jetson TX2 boards running neural-network training minibatches under
+// multi-axis DVFS control.
+//
+// The real boards are unavailable in this environment, so the package
+// substitutes a calibrated analytical model (see DESIGN.md §1):
+//
+//   - Latency per minibatch is a bottleneck/overlap combination of CPU, GPU
+//     and memory-controller work components, each inversely proportional to
+//     its unit's clock frequency.
+//   - Power is a static floor plus per-unit dynamic power C·f·V(f)² weighted
+//     by the unit's duty cycle, with a partial idle draw for gated units.
+//   - Measurements carry multiplicative noise that shrinks with observation
+//     duration, reproducing the paper's rationale for the τ reference
+//     measurement window (§4.2).
+//
+// Everything BoFL observes — the non-linearity, the NN-model dependence and
+// the hardware dependence of §2.2 — emerges from this model, while the
+// controller continues to treat T(x) and E(x) as black boxes.
+package device
+
+import (
+	"fmt"
+)
+
+// Freq is a clock frequency in GHz.
+type Freq float64
+
+// Config is one DVFS operating point: the clock frequencies of the CPU, GPU
+// and memory controller.
+type Config struct {
+	CPU Freq `json:"cpuGHz"`
+	GPU Freq `json:"gpuGHz"`
+	Mem Freq `json:"memGHz"`
+}
+
+// Space is a device's discrete DVFS configuration space: the cross product of
+// the per-unit frequency tables (ascending).
+type Space struct {
+	CPU []Freq
+	GPU []Freq
+	Mem []Freq
+}
+
+// Size returns the number of distinct configurations in the space.
+func (s Space) Size() int { return len(s.CPU) * len(s.GPU) * len(s.Mem) }
+
+// Dims returns the per-axis table lengths in CPU, GPU, Mem order; this is the
+// grid layout expected by mobo.HaltonIndices.
+func (s Space) Dims() []int { return []int{len(s.CPU), len(s.GPU), len(s.Mem)} }
+
+// Config returns the configuration at flat index i (CPU-major ordering,
+// matching Dims).
+func (s Space) Config(i int) (Config, error) {
+	if i < 0 || i >= s.Size() {
+		return Config{}, fmt.Errorf("device: flat index %d out of range [0,%d)", i, s.Size())
+	}
+	nm, ng := len(s.Mem), len(s.GPU)
+	return Config{
+		CPU: s.CPU[i/(ng*nm)],
+		GPU: s.GPU[(i/nm)%ng],
+		Mem: s.Mem[i%nm],
+	}, nil
+}
+
+// Index returns the flat index of c, which must be composed of exact table
+// entries.
+func (s Space) Index(c Config) (int, error) {
+	ci, gi, mi := -1, -1, -1
+	for i, f := range s.CPU {
+		if f == c.CPU {
+			ci = i
+			break
+		}
+	}
+	for i, f := range s.GPU {
+		if f == c.GPU {
+			gi = i
+			break
+		}
+	}
+	for i, f := range s.Mem {
+		if f == c.Mem {
+			mi = i
+			break
+		}
+	}
+	if ci < 0 || gi < 0 || mi < 0 {
+		return 0, fmt.Errorf("device: config %+v not in space", c)
+	}
+	return (ci*len(s.GPU)+gi)*len(s.Mem) + mi, nil
+}
+
+// Normalize maps c to [0,1]³ by per-axis table position — the coordinate
+// system the GP surrogates operate in.
+func (s Space) Normalize(c Config) ([]float64, error) {
+	i, err := s.Index(c)
+	if err != nil {
+		return nil, err
+	}
+	nm, ng := len(s.Mem), len(s.GPU)
+	ci, gi, mi := i/(ng*nm), (i/nm)%ng, i%nm
+	norm := func(idx, n int) float64 {
+		if n <= 1 {
+			return 0
+		}
+		return float64(idx) / float64(n-1)
+	}
+	return []float64{norm(ci, len(s.CPU)), norm(gi, len(s.GPU)), norm(mi, len(s.Mem))}, nil
+}
+
+// Max returns x_max: the configuration with every unit at its highest clock —
+// the paper's guardian configuration and the Performant baseline.
+func (s Space) Max() Config {
+	return Config{
+		CPU: s.CPU[len(s.CPU)-1],
+		GPU: s.GPU[len(s.GPU)-1],
+		Mem: s.Mem[len(s.Mem)-1],
+	}
+}
+
+// Min returns the configuration with every unit at its lowest clock.
+func (s Space) Min() Config {
+	return Config{CPU: s.CPU[0], GPU: s.GPU[0], Mem: s.Mem[0]}
+}
+
+// Validate checks that every axis is non-empty, positive and ascending.
+func (s Space) Validate() error {
+	axes := []struct {
+		name string
+		f    []Freq
+	}{{"cpu", s.CPU}, {"gpu", s.GPU}, {"mem", s.Mem}}
+	for _, ax := range axes {
+		if len(ax.f) == 0 {
+			return fmt.Errorf("device: empty %s frequency table", ax.name)
+		}
+		prev := Freq(0)
+		for i, f := range ax.f {
+			if f <= prev {
+				return fmt.Errorf("device: %s table not strictly ascending at index %d (%v after %v)", ax.name, i, f, prev)
+			}
+			prev = f
+		}
+	}
+	return nil
+}
+
+// freqSteps builds an n-step geometric-ish frequency ladder from lo to hi
+// (inclusive), rounded to 3 decimals, strictly ascending.
+func freqSteps(lo, hi Freq, n int) []Freq {
+	out := make([]Freq, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		v := float64(lo) + (float64(hi)-float64(lo))*frac
+		out[i] = Freq(float64(int(v*1000+0.5)) / 1000)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Real Jetson boards throttle under sustained load: silicon temperature rises
+// with dissipated power and the firmware caps clocks near the limit, so the
+// latency/energy landscape BoFL learned while cold drifts as the board heats
+// up. The paper's evaluation avoids this regime (bench-mounted boards, short
+// rounds); this file models it as an extension so the adaptive controller
+// (core.Options.DriftThreshold) can be exercised.
+
+// ThermalModel is a first-order RC thermal model with linear throttling.
+type ThermalModel struct {
+	// AmbientC is the idle temperature in °C.
+	AmbientC float64
+	// ThrottleC is where throttling begins; CriticalC where it saturates.
+	ThrottleC, CriticalC float64
+	// ResistanceCPerW converts steady-state power draw into a temperature
+	// rise: T_ss = Ambient + R·P.
+	ResistanceCPerW float64
+	// TimeConstantS is the RC time constant in seconds.
+	TimeConstantS float64
+	// MaxSlowdown is the latency multiplier at full throttle.
+	MaxSlowdown float64
+}
+
+// DefaultThermal is a plausible passively-cooled edge-board model: a
+// sustained ≈15 W draw settles around 25+15·3 = 70 °C, well into throttling.
+func DefaultThermal() ThermalModel {
+	return ThermalModel{
+		AmbientC:        25,
+		ThrottleC:       60,
+		CriticalC:       85,
+		ResistanceCPerW: 3.0,
+		TimeConstantS:   120,
+		MaxSlowdown:     1.6,
+	}
+}
+
+// Validate checks the model's parameters.
+func (m ThermalModel) Validate() error {
+	if m.ThrottleC <= m.AmbientC {
+		return fmt.Errorf("device: throttle temp %v must exceed ambient %v", m.ThrottleC, m.AmbientC)
+	}
+	if m.CriticalC <= m.ThrottleC {
+		return fmt.Errorf("device: critical temp %v must exceed throttle %v", m.CriticalC, m.ThrottleC)
+	}
+	if m.ResistanceCPerW <= 0 || m.TimeConstantS <= 0 {
+		return fmt.Errorf("device: thermal resistance/time constant must be positive")
+	}
+	if m.MaxSlowdown < 1 {
+		return fmt.Errorf("device: max slowdown %v must be ≥ 1", m.MaxSlowdown)
+	}
+	return nil
+}
+
+// ThermalDevice wraps a Device with mutable thermal state. It is not safe for
+// concurrent use (one board, one training loop).
+type ThermalDevice struct {
+	dev   *Device
+	model ThermalModel
+	tempC float64
+}
+
+// NewThermalDevice wraps dev with the thermal model, starting at ambient.
+func NewThermalDevice(dev *Device, model ThermalModel) (*ThermalDevice, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("device: nil device")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &ThermalDevice{dev: dev, model: model, tempC: model.AmbientC}, nil
+}
+
+// Device returns the wrapped (cold) device.
+func (t *ThermalDevice) Device() *Device { return t.dev }
+
+// Temperature returns the current silicon temperature in °C.
+func (t *ThermalDevice) Temperature() float64 { return t.tempC }
+
+// Reset cools the board back to ambient.
+func (t *ThermalDevice) Reset() { t.tempC = t.model.AmbientC }
+
+// slowdown returns the current latency multiplier.
+func (t *ThermalDevice) slowdown() float64 {
+	frac := (t.tempC - t.model.ThrottleC) / (t.model.CriticalC - t.model.ThrottleC)
+	frac = math.Max(0, math.Min(1, frac))
+	return 1 + frac*(t.model.MaxSlowdown-1)
+}
+
+// Perf returns the latency and energy of one minibatch at the *current*
+// temperature. Throttled jobs take longer; their energy grows with the square
+// root of the slowdown (lower clocks draw less power, but the static floor
+// keeps burning for the extra time).
+func (t *ThermalDevice) Perf(w Workload, c Config) (latency, energy float64, err error) {
+	lat, e, err := t.dev.Perf(w, c)
+	if err != nil {
+		return 0, 0, err
+	}
+	s := t.slowdown()
+	return lat * s, e * math.Sqrt(s), nil
+}
+
+// RunJob executes one minibatch at the current temperature, then integrates
+// the thermal state forward by the job's duration. Returns the (true,
+// noise-free) latency and energy of the job.
+func (t *ThermalDevice) RunJob(w Workload, c Config) (latency, energy float64, err error) {
+	lat, e, err := t.Perf(w, c)
+	if err != nil {
+		return 0, 0, err
+	}
+	power := e / lat
+	t.Advance(power, lat)
+	return lat, e, nil
+}
+
+// Advance integrates the first-order thermal model: the board spends
+// `duration` seconds dissipating `powerWatts`.
+func (t *ThermalDevice) Advance(powerWatts, duration float64) {
+	if duration <= 0 {
+		return
+	}
+	tss := t.model.AmbientC + t.model.ResistanceCPerW*math.Max(powerWatts, 0)
+	decay := 1 - math.Exp(-duration/t.model.TimeConstantS)
+	t.tempC += (tss - t.tempC) * decay
+}
+
+// Cool lets the board idle for `duration` seconds (between rounds).
+func (t *ThermalDevice) Cool(duration float64) {
+	t.Advance(0, duration)
+}

@@ -1,0 +1,85 @@
+// Package dvfs actuates hardware clock frequencies. It is the simulated
+// counterpart of the paper's DVFS controller (module 3 in Figure 8), which on
+// a real Jetson board writes frequencies into sysfs kernel files such as
+// /sys/devices/*/devfreq/*/min_freq and max_freq.
+//
+// Two backends are provided behind one interface: SimBackend applies
+// configurations to the in-process device simulator, and SysfsBackend
+// reads/writes real sysfs-style files — usable against an actual board or an
+// emulated tree rooted in any directory (which is how its tests run).
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bofl/internal/device"
+)
+
+// Backend applies DVFS configurations to hardware (or a simulator) and
+// reports the currently applied configuration.
+type Backend interface {
+	// Apply sets the CPU, GPU and memory-controller clocks.
+	Apply(cfg device.Config) error
+	// Current returns the configuration most recently applied.
+	Current() (device.Config, error)
+}
+
+// ErrNotApplied indicates Current was called before any Apply.
+var ErrNotApplied = errors.New("dvfs: no configuration applied yet")
+
+// SimBackend is an in-memory backend bound to a simulated device's space. It
+// validates that configurations are legal operating points for the device.
+type SimBackend struct {
+	space device.Space
+
+	mu      sync.Mutex
+	current device.Config
+	applied bool
+	// applyCount counts Apply calls; the controller uses few switches per
+	// round, and tests assert on this to catch actuation churn.
+	applyCount int
+}
+
+var _ Backend = (*SimBackend)(nil)
+
+// NewSimBackend creates a backend for the given DVFS space.
+func NewSimBackend(space device.Space) (*SimBackend, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return &SimBackend{space: space}, nil
+}
+
+// Apply validates cfg against the space and records it.
+func (b *SimBackend) Apply(cfg device.Config) error {
+	if _, err := b.space.Index(cfg); err != nil {
+		return fmt.Errorf("dvfs: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.applied || b.current != cfg {
+		b.applyCount++
+	}
+	b.current = cfg
+	b.applied = true
+	return nil
+}
+
+// Current returns the last applied configuration.
+func (b *SimBackend) Current() (device.Config, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.applied {
+		return device.Config{}, ErrNotApplied
+	}
+	return b.current, nil
+}
+
+// ApplyCount reports how many distinct configuration switches have occurred.
+func (b *SimBackend) ApplyCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.applyCount
+}

@@ -1,0 +1,180 @@
+package dvfs
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bofl/internal/device"
+)
+
+func TestSimBackendApplyAndCurrent(t *testing.T) {
+	dev := device.JetsonAGX()
+	b, err := NewSimBackend(dev.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Current(); !errors.Is(err, ErrNotApplied) {
+		t.Errorf("Current before Apply: %v, want ErrNotApplied", err)
+	}
+	cfg := dev.Space().Max()
+	if err := b.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Errorf("Current = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestSimBackendRejectsForeignConfig(t *testing.T) {
+	dev := device.JetsonAGX()
+	b, err := NewSimBackend(dev.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(device.Config{CPU: 9, GPU: 9, Mem: 9}); err == nil {
+		t.Error("foreign config accepted")
+	}
+}
+
+func TestSimBackendCountsDistinctSwitches(t *testing.T) {
+	dev := device.JetsonAGX()
+	b, err := NewSimBackend(dev.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Space()
+	a, bb := s.Max(), s.Min()
+	for _, cfg := range []device.Config{a, a, bb, bb, a} {
+		if err := b.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ApplyCount(); got != 3 {
+		t.Errorf("ApplyCount = %d, want 3 (re-applying the same config is free)", got)
+	}
+}
+
+func TestNewSimBackendValidatesSpace(t *testing.T) {
+	if _, err := NewSimBackend(device.Space{}); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestSysfsBackendRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	initial := device.Config{CPU: 2.26, GPU: 1.38, Mem: 2.13}
+	paths, err := EmulateTree(root, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSysfsBackend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := func(a, b device.Freq) bool { return math.Abs(float64(a-b)) < 1e-6 }
+	if !near(got.CPU, initial.CPU) || !near(got.GPU, initial.GPU) || !near(got.Mem, initial.Mem) {
+		t.Errorf("Current = %+v, want %+v", got, initial)
+	}
+
+	next := device.Config{CPU: 0.42, GPU: 0.11, Mem: 0.20}
+	if err := b.Apply(next); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(got.CPU, next.CPU) || !near(got.GPU, next.GPU) || !near(got.Mem, next.Mem) {
+		t.Errorf("after Apply: %+v, want %+v", got, next)
+	}
+}
+
+func TestSysfsBackendWritesBothMinAndMax(t *testing.T) {
+	root := t.TempDir()
+	paths, err := EmulateTree(root, device.Config{CPU: 1.0, GPU: 0.5, Mem: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{paths.CPUDir, paths.GPUDir, paths.MemDir} {
+		minRaw, err := os.ReadFile(filepath.Join(dir, "min_freq"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxRaw, err := os.ReadFile(filepath.Join(dir, "max_freq"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(minRaw) != string(maxRaw) {
+			t.Errorf("%s: min %q != max %q — clock not pinned", dir, minRaw, maxRaw)
+		}
+	}
+}
+
+func TestSysfsBackendUnitConversion(t *testing.T) {
+	// cpufreq files hold kHz: 1.5 GHz = 1_500_000 kHz.
+	root := t.TempDir()
+	paths, err := EmulateTree(root, device.Config{CPU: 1.5, GPU: 1.0, Mem: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(paths.CPUDir, "min_freq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "1500000" {
+		t.Errorf("cpu min_freq = %q, want 1500000 (kHz)", got)
+	}
+	// devfreq files hold Hz.
+	raw, err = os.ReadFile(filepath.Join(paths.GPUDir, "min_freq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "1000000000" {
+		t.Errorf("gpu min_freq = %q, want 1000000000 (Hz)", got)
+	}
+}
+
+func TestNewSysfsBackendValidation(t *testing.T) {
+	if _, err := NewSysfsBackend(SysfsPaths{CPUDir: "/nonexistent", GPUDir: "/nonexistent", MemDir: "/nonexistent", CPUUnit: 1, GPUUnit: 1, MemUnit: 1}); err == nil {
+		t.Error("missing dirs accepted")
+	}
+	root := t.TempDir()
+	paths, err := EmulateTree(root, device.Config{CPU: 1, GPU: 1, Mem: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths.CPUUnit = 0
+	if _, err := NewSysfsBackend(paths); err == nil {
+		t.Error("zero unit accepted")
+	}
+}
+
+func TestSysfsBackendCorruptFile(t *testing.T) {
+	root := t.TempDir()
+	paths, err := EmulateTree(root, device.Config{CPU: 1, GPU: 1, Mem: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSysfsBackend(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(paths.CPUDir, "min_freq"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Current(); err == nil {
+		t.Error("corrupt sysfs value accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package dvfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bofl/internal/device"
+)
+
+// SysfsPaths locates the kernel files that control each unit's clock. On a
+// Jetson board these are, e.g.,
+//
+//	CPU: /sys/devices/system/cpu/cpu0/cpufreq/scaling_{min,max}_freq  (kHz)
+//	GPU: /sys/devices/gpu.0/devfreq/17000000.gv11b/{min,max}_freq     (Hz)
+//	Mem: /sys/kernel/debug/bpmp/debug/clk/emc/rate                    (Hz)
+//
+// Each entry names a directory that contains min_freq and max_freq files; the
+// controller pins the clock by writing the same value to both, which is the
+// technique the paper uses (§5.2, footnote 6).
+type SysfsPaths struct {
+	CPUDir string
+	GPUDir string
+	MemDir string
+	// Unit is the scale of the values in the files relative to Hz
+	// (cpufreq uses kHz ⇒ 1e3; devfreq uses Hz ⇒ 1).
+	CPUUnit, GPUUnit, MemUnit float64
+}
+
+// SysfsBackend drives real (or emulated) sysfs frequency files.
+type SysfsBackend struct {
+	paths SysfsPaths
+}
+
+var _ Backend = (*SysfsBackend)(nil)
+
+// NewSysfsBackend validates that all control directories exist and returns a
+// backend over them. Point the paths at a temp-dir tree to emulate a board.
+func NewSysfsBackend(paths SysfsPaths) (*SysfsBackend, error) {
+	for _, dir := range []string{paths.CPUDir, paths.GPUDir, paths.MemDir} {
+		info, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("dvfs: sysfs dir: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("dvfs: sysfs path %q is not a directory", dir)
+		}
+	}
+	if paths.CPUUnit <= 0 || paths.GPUUnit <= 0 || paths.MemUnit <= 0 {
+		return nil, fmt.Errorf("dvfs: sysfs units must be positive")
+	}
+	return &SysfsBackend{paths: paths}, nil
+}
+
+// Apply pins each unit's clock by writing the frequency into both min_freq
+// and max_freq.
+func (b *SysfsBackend) Apply(cfg device.Config) error {
+	writes := []struct {
+		dir  string
+		freq device.Freq
+		unit float64
+	}{
+		{b.paths.CPUDir, cfg.CPU, b.paths.CPUUnit},
+		{b.paths.GPUDir, cfg.GPU, b.paths.GPUUnit},
+		{b.paths.MemDir, cfg.Mem, b.paths.MemUnit},
+	}
+	for _, w := range writes {
+		hz := int64(float64(w.freq)*1e9/w.unit + 0.5)
+		val := strconv.FormatInt(hz, 10)
+		// Write min_freq before max_freq when lowering and the reverse
+		// when raising would matter on real kernels; pinning both to
+		// the same value makes the order irrelevant except that
+		// max ≥ min must hold transiently, so write max first.
+		for _, name := range []string{"max_freq", "min_freq"} {
+			path := filepath.Join(w.dir, name)
+			if err := os.WriteFile(path, []byte(val+"\n"), 0o644); err != nil {
+				return fmt.Errorf("dvfs: write %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Current reads back the pinned frequencies from the min_freq files.
+func (b *SysfsBackend) Current() (device.Config, error) {
+	read := func(dir string, unit float64) (device.Freq, error) {
+		path := filepath.Join(dir, "min_freq")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("dvfs: read %s: %w", path, err)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("dvfs: parse %s: %w", path, err)
+		}
+		return device.Freq(float64(v) * unit / 1e9), nil
+	}
+	var cfg device.Config
+	var err error
+	if cfg.CPU, err = read(b.paths.CPUDir, b.paths.CPUUnit); err != nil {
+		return device.Config{}, err
+	}
+	if cfg.GPU, err = read(b.paths.GPUDir, b.paths.GPUUnit); err != nil {
+		return device.Config{}, err
+	}
+	if cfg.Mem, err = read(b.paths.MemDir, b.paths.MemUnit); err != nil {
+		return device.Config{}, err
+	}
+	return cfg, nil
+}
+
+// EmulateTree creates a sysfs-like directory tree under root with min/max
+// frequency files for all three units, initialized to the given
+// configuration, and returns ready-to-use paths. Used by tests, examples and
+// demos that have no real board.
+func EmulateTree(root string, initial device.Config) (SysfsPaths, error) {
+	paths := SysfsPaths{
+		CPUDir:  filepath.Join(root, "devices", "system", "cpu", "cpu0", "cpufreq"),
+		GPUDir:  filepath.Join(root, "devices", "gpu.0", "devfreq", "17000000.gv11b"),
+		MemDir:  filepath.Join(root, "kernel", "emc"),
+		CPUUnit: 1e3, // kHz, as cpufreq uses
+		GPUUnit: 1,   // Hz
+		MemUnit: 1,   // Hz
+	}
+	for _, dir := range []string{paths.CPUDir, paths.GPUDir, paths.MemDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return SysfsPaths{}, fmt.Errorf("dvfs: emulate tree: %w", err)
+		}
+	}
+	b := &SysfsBackend{paths: paths}
+	if err := b.Apply(initial); err != nil {
+		return SysfsPaths{}, err
+	}
+	return paths, nil
+}

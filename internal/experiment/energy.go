@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+)
+
+// EnergyRow is one round of the per-round energy comparison (Figures 9–10).
+type EnergyRow struct {
+	Round      int        `json:"round"`
+	Deadline   float64    `json:"deadlineSeconds"`
+	BoFL       float64    `json:"boflJoules"`
+	Performant float64    `json:"performantJoules"`
+	Oracle     float64    `json:"oracleJoules"`
+	Phase      core.Phase `json:"boflPhase"`
+}
+
+// EnergyComparison is the full Figure 9/10 dataset for one task.
+type EnergyComparison struct {
+	Device    string      `json:"device"`
+	Task      fl.TaskSpec `json:"task"`
+	Ratio     float64     `json:"ratio"`
+	Rows      []EnergyRow `json:"rows"`
+	EndPhase1 int         `json:"endPhase1"`
+	EndPhase2 int         `json:"endPhase2"`
+
+	// Totals over all rounds.
+	BoFLTotal       float64 `json:"boflTotalJoules"`
+	PerformantTotal float64 `json:"performantTotalJoules"`
+	OracleTotal     float64 `json:"oracleTotalJoules"`
+	// Improvement vs Performant (1 − BoFL/Performant) and regret vs Oracle
+	// (BoFL/Oracle − 1) — the Figure 12 metrics.
+	Improvement float64 `json:"improvement"`
+	Regret      float64 `json:"regret"`
+
+	BoFLRun *TaskRun `json:"-"`
+}
+
+// EnergyComparisonFor runs one task under BoFL, Performant and Oracle with a
+// shared deadline sequence and pairs the per-round energies (Figures 9–10
+// plot the first 40 rounds of exactly this data).
+func EnergyComparisonFor(dev *device.Device, task fl.TaskSpec, rounds int, seed int64, opts core.Options) (*EnergyComparison, error) {
+	runs := make(map[ControllerKind]*TaskRun, 3)
+	for _, kind := range []ControllerKind{KindBoFL, KindPerformant, KindOracle} {
+		run, err := RunTask(RunConfig{
+			Device:      dev,
+			Task:        task,
+			Rounds:      rounds,
+			Controller:  kind,
+			Seed:        seed,
+			CtrlOptions: opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs[kind] = run
+	}
+	bofl, perf, oracle := runs[KindBoFL], runs[KindPerformant], runs[KindOracle]
+	if bofl.DeadlineMisses > 0 || oracle.DeadlineMisses > 0 {
+		return nil, fmt.Errorf("experiment: deadline misses (bofl %d, oracle %d)", bofl.DeadlineMisses, oracle.DeadlineMisses)
+	}
+
+	out := &EnergyComparison{
+		Device:          dev.Name(),
+		Task:            task,
+		Ratio:           task.DeadlineRatio,
+		BoFLTotal:       bofl.TotalEnergy,
+		PerformantTotal: perf.TotalEnergy,
+		OracleTotal:     oracle.TotalEnergy,
+		Improvement:     1 - bofl.TotalEnergy/perf.TotalEnergy,
+		Regret:          bofl.TotalEnergy/oracle.TotalEnergy - 1,
+		BoFLRun:         bofl,
+	}
+	out.EndPhase1, out.EndPhase2 = bofl.PhaseBoundaries()
+	for r := range bofl.Reports {
+		out.Rows = append(out.Rows, EnergyRow{
+			Round:      r + 1,
+			Deadline:   bofl.Deadlines[r],
+			BoFL:       bofl.Reports[r].Energy,
+			Performant: perf.Reports[r].Energy,
+			Oracle:     oracle.Reports[r].Energy,
+			Phase:      bofl.Reports[r].Phase,
+		})
+	}
+	return out, nil
+}
+
+// Figure9 reproduces Figure 9 (ratio 2.0) or Figure 10 (ratio 4.0) on the
+// AGX testbed: one EnergyComparison per task.
+func Figure9(ratio float64, rounds int, seed int64, opts core.Options) ([]*EnergyComparison, error) {
+	dev := device.JetsonAGX()
+	tasks, err := fl.Tasks(dev, ratio, rounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*EnergyComparison, 0, len(tasks))
+	for i, task := range tasks {
+		cmp, err := EnergyComparisonFor(dev, task, rounds, seed+int64(i)*101, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", task.Name, err)
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// Figure12Cell is one (task, ratio) point of the sensitivity study.
+type Figure12Cell struct {
+	Task        string  `json:"task"`
+	Ratio       float64 `json:"ratio"`
+	RatioLabel  string  `json:"ratioLabel"`
+	Improvement float64 `json:"improvement"` // vs Performant
+	Regret      float64 `json:"regret"`      // vs Oracle
+}
+
+// Figure12 sweeps the deadline ratio over the paper's grid
+// {2.0, 2.5, 3.0, 3.5, 4.0} for all three AGX tasks.
+func Figure12(ratios []float64, rounds int, seed int64, opts core.Options) ([]Figure12Cell, error) {
+	if len(ratios) == 0 {
+		ratios = []float64{2.0, 2.5, 3.0, 3.5, 4.0}
+	}
+	dev := device.JetsonAGX()
+	var cells []Figure12Cell
+	for ri, ratio := range ratios {
+		tasks, err := fl.Tasks(dev, ratio, rounds)
+		if err != nil {
+			return nil, err
+		}
+		for ti, task := range tasks {
+			cmp, err := EnergyComparisonFor(dev, task, rounds, seed+int64(ri*31+ti*7), opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s @%.1fx: %w", task.Name, ratio, err)
+			}
+			cells = append(cells, Figure12Cell{
+				Task:        task.Name,
+				Ratio:       ratio,
+				RatioLabel:  ratioLabel(ratio),
+				Improvement: cmp.Improvement,
+				Regret:      cmp.Regret,
+			})
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"math"
+
+	"bofl/internal/device"
+	"bofl/internal/pareto"
+)
+
+// Figure2Data summarizes the paper's motivating scatter (Figure 2): the cloud
+// of all DVFS configurations in the (training speed, energy efficiency)
+// plane, its Pareto front, and the headline leverage factors — "a proper
+// DVFS configuration may lead to 8× faster training speed and 4× less energy
+// consumption".
+type Figure2Data struct {
+	Device   string          `json:"device"`
+	Workload device.Workload `json:"workload"`
+
+	// Points is the full configuration cloud as (energy, latency) pairs.
+	Points []pareto.Point `json:"points"`
+	// Front is the cloud's Pareto front.
+	Front []pareto.Point `json:"front"`
+
+	// SpeedLeverage is max latency / min latency across the space (the
+	// paper's "8× faster").
+	SpeedLeverage float64 `json:"speedLeverage"`
+	// EnergyLeverage is max energy / min energy across the space (the
+	// paper's "4× less energy").
+	EnergyLeverage float64 `json:"energyLeverage"`
+}
+
+// Figure2 profiles the (device, workload) pair and derives the scatter.
+func Figure2(dev *device.Device, w device.Workload) (*Figure2Data, error) {
+	profile, err := device.ProfileAll(dev, w)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure2Data{
+		Device:   dev.Name(),
+		Workload: w,
+		Points:   make([]pareto.Point, 0, len(profile.Points)),
+	}
+	minLat, maxLat := math.Inf(1), 0.0
+	minE, maxE := math.Inf(1), 0.0
+	for _, p := range profile.Points {
+		out.Points = append(out.Points, pareto.Point{X: p.Energy, Y: p.Latency})
+		minLat = math.Min(minLat, p.Latency)
+		maxLat = math.Max(maxLat, p.Latency)
+		minE = math.Min(minE, p.Energy)
+		maxE = math.Max(maxE, p.Energy)
+	}
+	out.Front = pareto.Front(out.Points)
+	out.SpeedLeverage = maxLat / minLat
+	out.EnergyLeverage = maxE / minE
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+	"bofl/internal/pareto"
+)
+
+// Figure11Data compares a BoFL-constructed Pareto front against the true
+// front from offline profiling for one task.
+type Figure11Data struct {
+	Device   string          `json:"device"`
+	Task     string          `json:"task"`
+	Workload device.Workload `json:"workload"`
+
+	// Explored are the mean observations of every configuration BoFL
+	// tried (the blue circles of Figure 11).
+	Explored []pareto.Point `json:"explored"`
+	// BoFLFront is the front BoFL constructed (blue squares).
+	BoFLFront []pareto.Point `json:"boflFront"`
+	// TrueFront is the offline-profiled optimum (red stars).
+	TrueFront []pareto.Point `json:"trueFront"`
+
+	ExploredCount int     `json:"exploredCount"`
+	SpaceSize     int     `json:"spaceSize"`
+	ExploredFrac  float64 `json:"exploredFrac"`
+	// HVCoverage is the fraction of the true front's hypervolume that the
+	// BoFL front dominates (1.0 = perfect reconstruction).
+	HVCoverage float64 `json:"hvCoverage"`
+}
+
+// Figure11For builds the comparison for one task from a completed BoFL run.
+func Figure11For(dev *device.Device, task fl.TaskSpec, run *TaskRun) (*Figure11Data, error) {
+	if run == nil || run.BoFL == nil {
+		return nil, fmt.Errorf("experiment: figure 11 needs a BoFL run")
+	}
+	profile, err := device.ProfileAll(dev, task.Workload)
+	if err != nil {
+		return nil, err
+	}
+	trueFront := profile.FrontPoints()
+
+	ctrl := run.BoFL
+	explored := ctrl.ObservedPoints()
+
+	all := make([]pareto.Point, 0, len(profile.Points))
+	for _, p := range profile.Points {
+		all = append(all, pareto.Point{X: p.Energy, Y: p.Latency})
+	}
+	ref, err := pareto.ReferenceFrom(all)
+	if err != nil {
+		return nil, err
+	}
+	trueHV := pareto.Hypervolume(trueFront, ref)
+	boflFront := ctrl.Front()
+	coverage := 0.0
+	if trueHV > 0 {
+		coverage = pareto.Hypervolume(boflFront, ref) / trueHV
+	}
+	return &Figure11Data{
+		Device:        dev.Name(),
+		Task:          task.Name,
+		Workload:      task.Workload,
+		Explored:      explored,
+		BoFLFront:     boflFront,
+		TrueFront:     trueFront,
+		ExploredCount: ctrl.NumExplored(),
+		SpaceSize:     dev.Space().Size(),
+		ExploredFrac:  float64(ctrl.NumExplored()) / float64(dev.Space().Size()),
+		HVCoverage:    coverage,
+	}, nil
+}
+
+// Figure11 runs BoFL on all three AGX tasks and compares fronts.
+func Figure11(ratio float64, rounds int, seed int64, opts core.Options) ([]*Figure11Data, error) {
+	dev := device.JetsonAGX()
+	tasks, err := fl.Tasks(dev, ratio, rounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Figure11Data, 0, len(tasks))
+	for i, task := range tasks {
+		run, err := RunTask(RunConfig{
+			Device:      dev,
+			Task:        task,
+			Rounds:      rounds,
+			Controller:  KindBoFL,
+			Seed:        seed + int64(i)*101,
+			CtrlOptions: opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		data, err := Figure11For(dev, task, run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// Table3Row is one exploration round of the Table 3 walkthrough.
+type Table3Row struct {
+	Round       int  `json:"round"`
+	Phase1      bool `json:"phase1"` // red numbers in the paper's table
+	Explored    int  `json:"explored"`
+	ParetoCount int  `json:"paretoCount"` // explored configs on the final front
+}
+
+// Table3Data is the full walkthrough for one task.
+type Table3Data struct {
+	Task        string      `json:"task"`
+	Rows        []Table3Row `json:"rows"`
+	TotalExp    int         `json:"totalExplored"`
+	TotalPareto int         `json:"totalPareto"`
+}
+
+// Table3For derives the walkthrough from a completed BoFL run: per round, how
+// many configurations were explored and how many of them belong to the
+// ultimate Pareto front.
+func Table3For(run *TaskRun) (*Table3Data, error) {
+	if run == nil || run.BoFL == nil {
+		return nil, fmt.Errorf("experiment: table 3 needs a BoFL run")
+	}
+	finalFront := make(map[int]bool)
+	for _, idx := range run.BoFL.FrontIndices() {
+		finalFront[idx] = true
+	}
+	out := &Table3Data{Task: run.Task.Name}
+	for _, rep := range run.Reports {
+		if len(rep.Explored) == 0 && rep.Phase == core.PhaseExploit {
+			break // exploration is over
+		}
+		row := Table3Row{
+			Round:    rep.Round,
+			Phase1:   rep.Phase == core.PhaseRandomExplore,
+			Explored: len(rep.Explored),
+		}
+		for _, idx := range rep.Explored {
+			if finalFront[idx] {
+				row.ParetoCount++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		out.TotalExp += row.Explored
+		out.TotalPareto += row.ParetoCount
+	}
+	return out, nil
+}
+
+// Table3 runs BoFL on the three AGX tasks at ratio 2.0 and derives the
+// walkthrough table.
+func Table3(rounds int, seed int64, opts core.Options) ([]*Table3Data, error) {
+	dev := device.JetsonAGX()
+	tasks, err := fl.Tasks(dev, 2.0, rounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Table3Data, 0, len(tasks))
+	for i, task := range tasks {
+		run, err := RunTask(RunConfig{
+			Device:      dev,
+			Task:        task,
+			Rounds:      rounds,
+			Controller:  KindBoFL,
+			Seed:        seed + int64(i)*101,
+			CtrlOptions: opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		data, err := Table3For(run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bofl/internal/device"
+	"bofl/internal/fl"
+)
+
+// The §2.2 motivation sweeps (Figures 3–5): they characterize the simulated
+// devices the same way the paper characterizes the physical boards.
+
+// SweepPoint is one (frequency → performance) sample.
+type SweepPoint struct {
+	Freq    device.Freq `json:"freqGHz"`
+	Latency float64     `json:"latencySeconds"`
+	Energy  float64     `json:"energyJoules"`
+}
+
+// Figure3Data is ViT's performance vs GPU frequency at two CPU clocks
+// (Figure 3: non-linearity and the energy crossover).
+type Figure3Data struct {
+	Device  string       `json:"device"`
+	CPULow  device.Freq  `json:"cpuLowGHz"`
+	CPUHigh device.Freq  `json:"cpuHighGHz"`
+	AtLow   []SweepPoint `json:"atLowCPU"`
+	AtHigh  []SweepPoint `json:"atHighCPU"`
+}
+
+// Figure3 sweeps the AGX GPU clock for the ViT workload at the lowest and
+// highest CPU clocks, with the memory controller pinned at maximum.
+func Figure3() (*Figure3Data, error) {
+	dev := device.JetsonAGX()
+	s := dev.Space()
+	out := &Figure3Data{
+		Device:  dev.Name(),
+		CPULow:  s.CPU[0],
+		CPUHigh: s.CPU[len(s.CPU)-1],
+	}
+	memMax := s.Mem[len(s.Mem)-1]
+	for _, gpu := range s.GPU {
+		for _, pair := range []struct {
+			cpu device.Freq
+			dst *[]SweepPoint
+		}{{out.CPULow, &out.AtLow}, {out.CPUHigh, &out.AtHigh}} {
+			cfg := device.Config{CPU: pair.cpu, GPU: gpu, Mem: memMax}
+			lat, energy, err := dev.Perf(device.ViT, cfg)
+			if err != nil {
+				return nil, err
+			}
+			*pair.dst = append(*pair.dst, SweepPoint{Freq: gpu, Latency: lat, Energy: energy})
+		}
+	}
+	return out, nil
+}
+
+// Figure4Data is each workload's performance vs CPU frequency (Figure 4:
+// NN-model dependence).
+type Figure4Data struct {
+	Device string                           `json:"device"`
+	Series map[device.Workload][]SweepPoint `json:"series"`
+	Order  []device.Workload                `json:"order"`
+}
+
+// Figure4 sweeps the AGX CPU clock for all three workloads with GPU and
+// memory at maximum.
+func Figure4() (*Figure4Data, error) {
+	dev := device.JetsonAGX()
+	s := dev.Space()
+	out := &Figure4Data{
+		Device: dev.Name(),
+		Series: make(map[device.Workload][]SweepPoint, 3),
+		Order:  device.Workloads(),
+	}
+	gpuMax, memMax := s.GPU[len(s.GPU)-1], s.Mem[len(s.Mem)-1]
+	for _, w := range out.Order {
+		for _, cpu := range s.CPU {
+			cfg := device.Config{CPU: cpu, GPU: gpuMax, Mem: memMax}
+			lat, energy, err := dev.Perf(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out.Series[w] = append(out.Series[w], SweepPoint{Freq: cpu, Latency: lat, Energy: energy})
+		}
+	}
+	return out, nil
+}
+
+// Figure5Row is one workload's AGX performance normalized to TX2 at x_max
+// (Figure 5: hardware dependence).
+type Figure5Row struct {
+	Workload     device.Workload `json:"workload"`
+	LatencyRatio float64         `json:"latencyRatio"` // AGX / TX2
+	EnergyRatio  float64         `json:"energyRatio"`  // AGX / TX2
+}
+
+// Figure5 compares both devices at maximum operational frequencies.
+func Figure5() ([]Figure5Row, error) {
+	agx, tx2 := device.JetsonAGX(), device.JetsonTX2()
+	rows := make([]Figure5Row, 0, 3)
+	for _, w := range device.Workloads() {
+		la, ea, err := agx.Perf(w, agx.Space().Max())
+		if err != nil {
+			return nil, err
+		}
+		lt, et, err := tx2.Perf(w, tx2.Space().Max())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure5Row{
+			Workload:     w,
+			LatencyRatio: la / lt,
+			EnergyRatio:  ea / et,
+		})
+	}
+	return rows, nil
+}
+
+// Table1Row describes one device's DVFS space (Table 1).
+type Table1Row struct {
+	Device   string  `json:"device"`
+	CPUSteps int     `json:"cpuSteps"`
+	CPUMin   float64 `json:"cpuMinGHz"`
+	CPUMax   float64 `json:"cpuMaxGHz"`
+	GPUSteps int     `json:"gpuSteps"`
+	GPUMin   float64 `json:"gpuMinGHz"`
+	GPUMax   float64 `json:"gpuMaxGHz"`
+	MemSteps int     `json:"memSteps"`
+	MemMin   float64 `json:"memMinGHz"`
+	MemMax   float64 `json:"memMaxGHz"`
+	Configs  int     `json:"configs"`
+}
+
+// Table1 reports both testbeds' DVFS spaces.
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, 2)
+	for _, dev := range []*device.Device{device.JetsonAGX(), device.JetsonTX2()} {
+		s := dev.Space()
+		rows = append(rows, Table1Row{
+			Device:   dev.Name(),
+			CPUSteps: len(s.CPU), CPUMin: float64(s.CPU[0]), CPUMax: float64(s.CPU[len(s.CPU)-1]),
+			GPUSteps: len(s.GPU), GPUMin: float64(s.GPU[0]), GPUMax: float64(s.GPU[len(s.GPU)-1]),
+			MemSteps: len(s.Mem), MemMin: float64(s.Mem[0]), MemMax: float64(s.Mem[len(s.Mem)-1]),
+			Configs: s.Size(),
+		})
+	}
+	return rows
+}
+
+// Table2Row describes one FL task's specification on one device (Table 2).
+type Table2Row struct {
+	Task        string  `json:"task"`
+	Device      string  `json:"device"`
+	BatchSize   int     `json:"batchSize"`
+	Epochs      int     `json:"epochs"`
+	Minibatches int     `json:"minibatches"`
+	Jobs        int     `json:"jobs"`
+	TMin        float64 `json:"tminSeconds"`
+}
+
+// Table2 reports the task specifications and measured T_min on both devices.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, dev := range []*device.Device{device.JetsonAGX(), device.JetsonTX2()} {
+		tasks, err := fl.Tasks(dev, 2.0, 100)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tasks {
+			tmin, err := fl.TMin(dev, t)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{
+				Task:        t.Name,
+				Device:      dev.Name(),
+				BatchSize:   t.BatchSize,
+				Epochs:      t.Epochs,
+				Minibatches: t.Minibatches,
+				Jobs:        t.Jobs(),
+				TMin:        tmin,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func ratioLabel(r float64) string { return fmt.Sprintf("%.1fx", r) }

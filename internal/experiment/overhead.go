@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+)
+
+// MBO power draw while computing suggestions, per device. The MBO runs on the
+// board's CPU between rounds; the paper measures ≈50–70 J over 6–9 s, i.e.
+// ≈7–8 W on AGX and slightly less on TX2. We charge the observed wall time of
+// our Go MBO computation at these rates.
+var mboPowerWatts = map[string]float64{
+	"jetson-agx": 7.5,
+	"jetson-tx2": 6.5,
+}
+
+// Figure13Row is one (device, task) cell of the MBO-overhead analysis.
+type Figure13Row struct {
+	Device string `json:"device"`
+	Task   string `json:"task"`
+
+	// Per-MBO-round cost (Figure 13a).
+	MBORounds      int           `json:"mboRounds"`
+	MeanMBOLatency time.Duration `json:"meanMboLatency"`
+	MaxMBOLatency  time.Duration `json:"maxMboLatency"`
+	MeanMBOEnergy  float64       `json:"meanMboEnergyJoules"`
+
+	// Whole-task overhead (Figure 13b).
+	TotalMBOEnergy      float64 `json:"totalMboEnergyJoules"`
+	TotalTrainingEnergy float64 `json:"totalTrainingEnergyJoules"`
+	OverheadFrac        float64 `json:"overheadFrac"`
+}
+
+// Figure13 measures the MBO module's latency and energy overhead on both
+// devices across the three tasks. MBO energy is wall time × the device's MBO
+// power draw; training energy is the task's total measured energy.
+func Figure13(ratio float64, rounds int, seed int64, opts core.Options) ([]Figure13Row, error) {
+	var out []Figure13Row
+	for _, dev := range []*device.Device{device.JetsonAGX(), device.JetsonTX2()} {
+		power, ok := mboPowerWatts[dev.Name()]
+		if !ok {
+			return nil, fmt.Errorf("experiment: no MBO power model for %s", dev.Name())
+		}
+		tasks, err := fl.Tasks(dev, ratio, rounds)
+		if err != nil {
+			return nil, err
+		}
+		for i, task := range tasks {
+			run, err := RunTask(RunConfig{
+				Device:      dev,
+				Task:        task,
+				Rounds:      rounds,
+				Controller:  KindBoFL,
+				Seed:        seed + int64(i)*101,
+				CtrlOptions: opts,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := Figure13Row{
+				Device:              dev.Name(),
+				Task:                task.Name,
+				MBORounds:           len(run.MBO),
+				TotalTrainingEnergy: run.TotalEnergy,
+			}
+			var total time.Duration
+			for _, m := range run.MBO {
+				total += m.WallTime
+				if m.WallTime > row.MaxMBOLatency {
+					row.MaxMBOLatency = m.WallTime
+				}
+			}
+			if len(run.MBO) > 0 {
+				row.MeanMBOLatency = total / time.Duration(len(run.MBO))
+			}
+			row.TotalMBOEnergy = total.Seconds() * power
+			if len(run.MBO) > 0 {
+				row.MeanMBOEnergy = row.TotalMBOEnergy / float64(len(run.MBO))
+			}
+			if run.TotalEnergy > 0 {
+				row.OverheadFrac = row.TotalMBOEnergy / run.TotalEnergy
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Rendering helpers: each experiment gets a WriteX function that prints the
+// same rows/series the paper's table or figure reports, in plain text.
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// WriteTable1 prints the testbed DVFS spaces.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "device\tcpu steps\tcpu range (GHz)\tgpu steps\tgpu range (GHz)\tmem steps\tmem range (GHz)\tconfigs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f–%.2f\t%d\t%.2f–%.2f\t%d\t%.2f–%.2f\t%d\n",
+			r.Device, r.CPUSteps, r.CPUMin, r.CPUMax, r.GPUSteps, r.GPUMin, r.GPUMax,
+			r.MemSteps, r.MemMin, r.MemMax, r.Configs)
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 prints the FL task specifications.
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "task\tdevice\tB\tE\tN\tW=E·N\tT_min (s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f\n",
+			r.Task, r.Device, r.BatchSize, r.Epochs, r.Minibatches, r.Jobs, r.TMin)
+	}
+	return tw.Flush()
+}
+
+// WriteTable3 prints the exploration walkthrough.
+func WriteTable3(w io.Writer, data []*Table3Data) error {
+	tw := newTab(w)
+	for _, d := range data {
+		fmt.Fprintf(tw, "%s\n", d.Task)
+		fmt.Fprintln(tw, "round\tphase\t# exp\t# pareto")
+		for _, r := range d.Rows {
+			phase := "2 (MBO)"
+			if r.Phase1 {
+				phase = "1 (random)"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\n", r.Round, phase, r.Explored, r.ParetoCount)
+		}
+		fmt.Fprintf(tw, "total\t\t%d\t%d\n\n", d.TotalExp, d.TotalPareto)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure3 prints the two latency/energy sweeps.
+func WriteFigure3(w io.Writer, d *Figure3Data) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "ViT on %s vs GPU frequency (memory at max)\n", d.Device)
+	fmt.Fprintf(tw, "gpu (GHz)\tlatency@cpu=%.2f (s)\tenergy@cpu=%.2f (J)\tlatency@cpu=%.2f (s)\tenergy@cpu=%.2f (J)\n",
+		d.CPULow, d.CPULow, d.CPUHigh, d.CPUHigh)
+	for i := range d.AtLow {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.2f\t%.3f\t%.2f\n",
+			d.AtLow[i].Freq, d.AtLow[i].Latency, d.AtLow[i].Energy,
+			d.AtHigh[i].Latency, d.AtHigh[i].Energy)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure2 prints the DVFS-leverage summary and the front size.
+func WriteFigure2(w io.Writer, d *Figure2Data) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "%s / %s: %d configurations, %d on the Pareto front\n",
+		d.Device, d.Workload, len(d.Points), len(d.Front))
+	fmt.Fprintf(tw, "speed leverage (slowest/fastest): %.1fx\n", d.SpeedLeverage)
+	fmt.Fprintf(tw, "energy leverage (hungriest/leanest): %.1fx\n", d.EnergyLeverage)
+	return tw.Flush()
+}
+
+// WriteFigure4 prints the per-workload CPU sweeps.
+func WriteFigure4(w io.Writer, d *Figure4Data) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "three workloads on %s vs CPU frequency (GPU/mem at max)\n", d.Device)
+	header := "cpu (GHz)"
+	for _, wl := range d.Order {
+		header += fmt.Sprintf("\t%s lat (s)\t%s J", wl, wl)
+	}
+	fmt.Fprintln(tw, header)
+	n := len(d.Series[d.Order[0]])
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf("%.2f", d.Series[d.Order[0]][i].Freq)
+		for _, wl := range d.Order {
+			p := d.Series[wl][i]
+			line += fmt.Sprintf("\t%.3f\t%.2f", p.Latency, p.Energy)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure5 prints the normalized cross-device comparison.
+func WriteFigure5(w io.Writer, rows []Figure5Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tAGX/TX2 latency\tAGX/TX2 energy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", r.Workload, r.LatencyRatio, r.EnergyRatio)
+	}
+	return tw.Flush()
+}
+
+// WriteEnergyComparison prints the first `limit` rounds of a Figure 9/10
+// panel (0 = all).
+func WriteEnergyComparison(w io.Writer, cmp *EnergyComparison, limit int) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "%s on %s, T_max/T_min = %s (phase1 ≤ r%d, phase2 ≤ r%d)\n",
+		cmp.Task.Name, cmp.Device, ratioLabel(cmp.Ratio), cmp.EndPhase1, cmp.EndPhase2)
+	fmt.Fprintln(tw, "round\tDDL (s)\tBoFL (J)\tPerformant (J)\tOracle (J)\tphase")
+	for i, r := range cmp.Rows {
+		if limit > 0 && i >= limit {
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%v\n",
+			r.Round, r.Deadline, r.BoFL, r.Performant, r.Oracle, r.Phase)
+	}
+	fmt.Fprintf(tw, "total\t\t%.0f\t%.0f\t%.0f\timprovement %.1f%%, regret %.2f%%\n",
+		cmp.BoFLTotal, cmp.PerformantTotal, cmp.OracleTotal,
+		cmp.Improvement*100, cmp.Regret*100)
+	return tw.Flush()
+}
+
+// WriteEnergyComparisonCSV emits the per-round series for external plotting.
+func WriteEnergyComparisonCSV(w io.Writer, cmp *EnergyComparison) error {
+	if _, err := fmt.Fprintln(w, "round,deadline_s,bofl_j,performant_j,oracle_j,phase"); err != nil {
+		return err
+	}
+	for _, r := range cmp.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f,%s\n",
+			r.Round, r.Deadline, r.BoFL, r.Performant, r.Oracle, r.Phase); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure11 prints the front-comparison summary (the full point clouds go
+// to CSV via WriteFigure11CSV).
+func WriteFigure11(w io.Writer, data []*Figure11Data) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "task\texplored\tspace\texplored %\tBoFL front\ttrue front\tHV coverage")
+	for _, d := range data {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t%d pts\t%d pts\t%.1f%%\n",
+			d.Task, d.ExploredCount, d.SpaceSize, d.ExploredFrac*100,
+			len(d.BoFLFront), len(d.TrueFront), d.HVCoverage*100)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure11CSV emits the scatter data for external plotting.
+func WriteFigure11CSV(w io.Writer, d *Figure11Data) error {
+	if _, err := fmt.Fprintln(w, "series,energy_j,latency_s"); err != nil {
+		return err
+	}
+	for _, p := range d.Explored {
+		if _, err := fmt.Fprintf(w, "explored,%.6f,%.6f\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.BoFLFront {
+		if _, err := fmt.Fprintf(w, "bofl_front,%.6f,%.6f\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.TrueFront {
+		if _, err := fmt.Fprintf(w, "true_front,%.6f,%.6f\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure12 prints the sensitivity grid.
+func WriteFigure12(w io.Writer, cells []Figure12Cell) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "task\tT_max/T_min\timprovement vs Performant\tregret vs Oracle")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%.2f%%\n", c.Task, c.RatioLabel, c.Improvement*100, c.Regret*100)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure13 prints the MBO overhead analysis.
+func WriteFigure13(w io.Writer, rows []Figure13Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "device\ttask\tMBO rounds\tmean latency\tmax latency\tmean energy (J)\ttotal MBO (J)\ttraining (J)\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.1f\t%.1f\t%.0f\t%.2f%%\n",
+			r.Device, r.Task, r.MBORounds,
+			r.MeanMBOLatency.Round(time.Millisecond), r.MaxMBOLatency.Round(time.Millisecond),
+			r.MeanMBOEnergy, r.TotalMBOEnergy, r.TotalTrainingEnergy, r.OverheadFrac*100)
+	}
+	return tw.Flush()
+}
+
+// WriteThermalStudy prints the throttling-board extension study.
+func WriteThermalStudy(w io.Writer, rows []ThermalRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "controller\ttotal energy (J)\tdeadline misses\treadapts\tfinal temp (°C)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%.1f\n",
+			r.Controller, r.TotalEnergy, r.DeadlineMisses, r.Readapts, r.FinalTempC)
+	}
+	return tw.Flush()
+}
+
+// Sparkline renders a crude one-line chart of a series, for terminal output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated testbeds: the motivation sweeps of §2.2
+// (Figures 3–5), the energy comparisons of Figures 9–10, the Pareto fronts of
+// Figure 11, the walkthrough of Table 3, the deadline-sensitivity study of
+// Figure 12 and the MBO-overhead analysis of Figure 13, plus Tables 1–2.
+//
+// Each experiment has one entry point returning plain data structs; cmd/
+// binaries and bench_test.go render them. DESIGN.md §3 maps experiment ids to
+// these functions.
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+)
+
+// ControllerKind names a pace-control policy under test.
+type ControllerKind string
+
+// The policies compared in the evaluation.
+const (
+	KindBoFL       ControllerKind = "bofl"
+	KindPerformant ControllerKind = "performant"
+	KindOracle     ControllerKind = "oracle"
+	KindRandom     ControllerKind = "random"      // ablation: random instead of Bayesian exploration
+	KindLinearPace ControllerKind = "linearpace"  // ablation: SmartPC-style 1-D linear model
+	KindBoFLParEGO ControllerKind = "bofl-parego" // ablation: scalarization instead of EHVI
+)
+
+// RunConfig describes one task execution.
+type RunConfig struct {
+	Device     *device.Device
+	Task       fl.TaskSpec
+	Rounds     int
+	Controller ControllerKind
+	// Seed drives deadline sampling, measurement noise and the
+	// controller's randomness. Runs with equal seeds see identical
+	// deadline sequences, enabling paired comparisons.
+	Seed int64
+	// CtrlOptions tunes the BoFL controller (BoFL and Random kinds).
+	CtrlOptions core.Options
+	// Noise overrides the measurement-noise model (zero value = default).
+	Noise device.NoiseModel
+	// LoadSnapshot / SaveSnapshot persist the BoFL controller's state
+	// across runs (KindBoFL / KindBoFLParEGO only).
+	LoadSnapshot string
+	SaveSnapshot string
+}
+
+// TaskRun is the result of executing one task under one controller.
+type TaskRun struct {
+	Device     string
+	Task       fl.TaskSpec
+	Controller ControllerKind
+	Deadlines  []float64
+	Reports    []core.RoundReport
+	MBO        []core.MBOReport
+
+	TotalEnergy    float64
+	DeadlineMisses int
+
+	// BoFL is non-nil for KindBoFL runs and exposes the controller for
+	// front / exploration introspection (Figure 11, Table 3).
+	BoFL *core.Controller
+}
+
+// buildController constructs the policy under test.
+func buildController(cfg RunConfig) (core.PaceController, *core.Controller, error) {
+	space := cfg.Device.Space()
+	switch cfg.Controller {
+	case KindBoFL:
+		opts := cfg.CtrlOptions
+		opts.Seed = cfg.Seed
+		c, err := core.New(space, opts)
+		return c, c, err
+	case KindBoFLParEGO:
+		opts := cfg.CtrlOptions
+		opts.Seed = cfg.Seed
+		opts.Acquisition = core.AcqParEGO
+		c, err := core.New(space, opts)
+		return c, c, err
+	case KindPerformant:
+		c, err := core.NewPerformant(space)
+		return c, nil, err
+	case KindOracle:
+		profile, err := device.ProfileAll(cfg.Device, cfg.Task.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := core.NewOracle(profile, space, 1.05)
+		return c, nil, err
+	case KindRandom:
+		opts := cfg.CtrlOptions
+		opts.Seed = cfg.Seed
+		c, err := core.NewRandomExplorer(space, opts, cfg.Seed)
+		return c, nil, err
+	case KindLinearPace:
+		c, err := core.NewLinearPace(space, 1.05)
+		return c, nil, err
+	default:
+		return nil, nil, fmt.Errorf("experiment: unknown controller %q", cfg.Controller)
+	}
+}
+
+// meterExecutor adapts a device meter to core.Executor (measurement-only:
+// the figures measure hardware cost, not model convergence).
+func meterExecutor(meter *device.Meter, w device.Workload, dev *device.Device) core.Executor {
+	return core.ExecutorFunc(func(c device.Config) (core.JobResult, error) {
+		trueLat, err := dev.Latency(w, c)
+		if err != nil {
+			return core.JobResult{}, err
+		}
+		m, err := meter.Measure(w, c, trueLat)
+		if err != nil {
+			return core.JobResult{}, err
+		}
+		return core.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+}
+
+// RunTask executes one task end to end and collects per-round reports.
+func RunTask(cfg RunConfig) (*TaskRun, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("experiment: nil device")
+	}
+	if err := cfg.Task.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = cfg.Task.Rounds
+	}
+	tmin, err := fl.TMin(cfg.Device, cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	deadlines, err := fl.SampleDeadlines(tmin, cfg.Task.DeadlineRatio, cfg.Rounds, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, boflCtrl, err := buildController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LoadSnapshot != "" {
+		if boflCtrl == nil {
+			return nil, fmt.Errorf("experiment: snapshots need a BoFL controller, got %s", cfg.Controller)
+		}
+		f, err := os.Open(cfg.LoadSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		err = boflCtrl.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	noise := cfg.Noise
+	if noise == (device.NoiseModel{}) {
+		noise = device.DefaultNoise()
+	}
+	meter := device.NewMeter(cfg.Device, noise, cfg.Seed+1)
+	exec := meterExecutor(meter, cfg.Task.Workload, cfg.Device)
+
+	run := &TaskRun{
+		Device:     cfg.Device.Name(),
+		Task:       cfg.Task,
+		Controller: cfg.Controller,
+		Deadlines:  deadlines,
+		BoFL:       boflCtrl,
+	}
+	jobs := cfg.Task.Jobs()
+	for r := 0; r < cfg.Rounds; r++ {
+		rep, err := ctrl.RunRound(jobs, deadlines[r], exec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s round %d: %w", cfg.Controller, r+1, err)
+		}
+		run.Reports = append(run.Reports, rep)
+		run.TotalEnergy += rep.Energy
+		if !rep.DeadlineMet {
+			run.DeadlineMisses++
+		}
+		mbo, err := ctrl.BetweenRounds()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s between rounds %d: %w", cfg.Controller, r+1, err)
+		}
+		if mbo.Ran {
+			run.MBO = append(run.MBO, mbo)
+		}
+	}
+	if cfg.SaveSnapshot != "" {
+		if boflCtrl == nil {
+			return nil, fmt.Errorf("experiment: snapshots need a BoFL controller, got %s", cfg.Controller)
+		}
+		f, err := os.Create(cfg.SaveSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		err = boflCtrl.WriteSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return run, nil
+}
+
+// PhaseBoundaries returns the 1-based last round of phase 1 and phase 2 (0 if
+// the phase never appears).
+func (r *TaskRun) PhaseBoundaries() (endPhase1, endPhase2 int) {
+	for _, rep := range r.Reports {
+		switch rep.Phase {
+		case core.PhaseRandomExplore:
+			endPhase1 = rep.Round
+		case core.PhaseParetoConstruct:
+			endPhase2 = rep.Round
+		}
+	}
+	if endPhase2 < endPhase1 {
+		endPhase2 = endPhase1
+	}
+	return endPhase1, endPhase2
+}
+
+// MBOWallTime sums the between-round MBO computation time.
+func (r *TaskRun) MBOWallTime() time.Duration {
+	var total time.Duration
+	for _, m := range r.MBO {
+		total += m.WallTime
+	}
+	return total
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/fl"
+)
+
+// Multi-seed variance study: the paper reports single runs; this harness
+// repeats the headline comparison across independent seeds and reports
+// mean ± sample standard deviation, so the improvement/regret bands in
+// EXPERIMENTS.md can be read with error bars.
+
+// VarianceRow aggregates one task's metrics over several seeds.
+type VarianceRow struct {
+	Task            string  `json:"task"`
+	Seeds           int     `json:"seeds"`
+	ImprovementMean float64 `json:"improvementMean"`
+	ImprovementStd  float64 `json:"improvementStd"`
+	RegretMean      float64 `json:"regretMean"`
+	RegretStd       float64 `json:"regretStd"`
+	TotalMisses     int     `json:"totalMisses"`
+}
+
+// VarianceStudy runs the BoFL/Performant/Oracle comparison `seeds` times per
+// task at the given ratio and aggregates the metrics.
+func VarianceStudy(dev *device.Device, ratio float64, rounds, seeds int, base int64, opts core.Options) ([]VarianceRow, error) {
+	if seeds <= 1 {
+		return nil, fmt.Errorf("experiment: variance study needs ≥ 2 seeds, got %d", seeds)
+	}
+	tasks, err := fl.Tasks(dev, ratio, rounds)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]VarianceRow, 0, len(tasks))
+	for ti, task := range tasks {
+		imps := make([]float64, 0, seeds)
+		regs := make([]float64, 0, seeds)
+		misses := 0
+		for s := 0; s < seeds; s++ {
+			cmp, err := EnergyComparisonFor(dev, task, rounds, base+int64(ti*1000+s*17), opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s seed %d: %w", task.Name, s, err)
+			}
+			imps = append(imps, cmp.Improvement)
+			regs = append(regs, cmp.Regret)
+			misses += cmp.BoFLRun.DeadlineMisses
+		}
+		im, is := meanStd(imps)
+		rm, rs := meanStd(regs)
+		rows = append(rows, VarianceRow{
+			Task:            task.Name,
+			Seeds:           seeds,
+			ImprovementMean: im,
+			ImprovementStd:  is,
+			RegretMean:      rm,
+			RegretStd:       rs,
+			TotalMisses:     misses,
+		})
+	}
+	return rows, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)-1))
+	return mean, std
+}
+
+// WriteVarianceStudy prints the aggregated rows.
+func WriteVarianceStudy(w io.Writer, rows []VarianceRow, ratio float64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "ratio %s, %d seeds per task\n", ratioLabel(ratio), rows[0].Seeds)
+	fmt.Fprintln(tw, "task\timprovement vs Performant\tregret vs Oracle\tBoFL deadline misses")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f%% ± %.1f\t%.2f%% ± %.2f\t%d\n",
+			r.Task, r.ImprovementMean*100, r.ImprovementStd*100,
+			r.RegretMean*100, r.RegretStd*100, r.TotalMisses)
+	}
+	return tw.Flush()
+}

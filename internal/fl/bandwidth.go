@@ -1,0 +1,107 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper assumes servers hand out *training* deadlines, and notes
+// (footnote 3) that a server which only specifies a *reporting* deadline —
+// the time by which the server must have received the gradients — can be
+// supported by a client-side network-bandwidth measurement module that
+// subtracts the expected upload time. This file implements that extension.
+
+// BandwidthEstimator tracks the client's uplink throughput with an
+// exponentially weighted moving average of observed transfers and converts
+// reporting deadlines into training deadlines. It is safe for concurrent use.
+type BandwidthEstimator struct {
+	mu sync.Mutex
+	// alpha is the EWMA weight of a new sample (0 < alpha ≤ 1).
+	alpha float64
+	// bytesPerSecond is the current throughput estimate.
+	bytesPerSecond float64
+	// headroom divides the estimate to absorb throughput variance, so an
+	// optimistic estimate does not translate into a missed report
+	// (e.g. 1.25 budgets 25% extra upload time).
+	headroom float64
+	samples  int
+}
+
+// NewBandwidthEstimator creates an estimator seeded with an initial
+// throughput guess in bytes per second (e.g. 5 Mbps LTE ≈ 625_000 B/s, the
+// paper's §6.5 example).
+func NewBandwidthEstimator(initialBytesPerSecond, alpha, headroom float64) (*BandwidthEstimator, error) {
+	if initialBytesPerSecond <= 0 {
+		return nil, fmt.Errorf("fl: initial bandwidth %v must be positive", initialBytesPerSecond)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("fl: EWMA alpha %v out of (0,1]", alpha)
+	}
+	if headroom < 1 {
+		return nil, fmt.Errorf("fl: headroom %v must be ≥ 1", headroom)
+	}
+	return &BandwidthEstimator{
+		alpha:          alpha,
+		bytesPerSecond: initialBytesPerSecond,
+		headroom:       headroom,
+	}, nil
+}
+
+// ObserveTransfer folds one completed transfer (bytes over seconds) into the
+// estimate.
+func (b *BandwidthEstimator) ObserveTransfer(bytes int64, seconds float64) error {
+	if bytes <= 0 || seconds <= 0 {
+		return fmt.Errorf("fl: transfer observation (%d bytes, %v s) invalid", bytes, seconds)
+	}
+	sample := float64(bytes) / seconds
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bytesPerSecond = b.alpha*sample + (1-b.alpha)*b.bytesPerSecond
+	b.samples++
+	return nil
+}
+
+// Estimate returns the current throughput estimate in bytes per second and
+// the number of observed transfers behind it.
+func (b *BandwidthEstimator) Estimate() (bytesPerSecond float64, samples int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytesPerSecond, b.samples
+}
+
+// UploadTime predicts the time to upload a payload, including headroom.
+func (b *BandwidthEstimator) UploadTime(payloadBytes int64) (float64, error) {
+	if payloadBytes <= 0 {
+		return 0, fmt.Errorf("fl: payload %d bytes invalid", payloadBytes)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return float64(payloadBytes) / b.bytesPerSecond * b.headroom, nil
+}
+
+// TrainingDeadline converts a reporting deadline into the training deadline
+// the BoFL controller consumes: the reporting deadline minus the predicted
+// upload time of the model update. It errors when the upload alone would
+// blow the reporting deadline (the client should then skip the round rather
+// than waste energy on doomed training).
+func (b *BandwidthEstimator) TrainingDeadline(reportingDeadline float64, payloadBytes int64) (float64, error) {
+	if reportingDeadline <= 0 {
+		return 0, fmt.Errorf("fl: reporting deadline %v invalid", reportingDeadline)
+	}
+	up, err := b.UploadTime(payloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	train := reportingDeadline - up
+	if train <= 0 {
+		return 0, fmt.Errorf("fl: upload alone (%.1fs) exceeds the reporting deadline (%.1fs)", up, reportingDeadline)
+	}
+	return train, nil
+}
+
+// ModelPayloadBytes estimates the wire size of a parameter vector: 8 bytes
+// per float64 plus a fixed framing overhead.
+func ModelPayloadBytes(numParams int) int64 {
+	const framing = 4096
+	return int64(numParams)*8 + framing
+}

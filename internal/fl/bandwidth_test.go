@@ -1,0 +1,224 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"bofl/internal/core"
+)
+
+func TestNewBandwidthEstimatorValidation(t *testing.T) {
+	cases := []struct {
+		bw, alpha, headroom float64
+	}{
+		{0, 0.3, 1.2},
+		{-1, 0.3, 1.2},
+		{1000, 0, 1.2},
+		{1000, 1.5, 1.2},
+		{1000, 0.3, 0.9},
+	}
+	for i, c := range cases {
+		if _, err := NewBandwidthEstimator(c.bw, c.alpha, c.headroom); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestBandwidthEWMAConverges(t *testing.T) {
+	b, err := NewBandwidthEstimator(1_000_000, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a steady 500 kB/s link; the estimate must converge to it.
+	for i := 0; i < 50; i++ {
+		if err := b.ObserveTransfer(500_000, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, n := b.Estimate()
+	if n != 50 {
+		t.Errorf("samples = %d", n)
+	}
+	if math.Abs(est-500_000)/500_000 > 0.01 {
+		t.Errorf("estimate %v, want ≈500000", est)
+	}
+}
+
+func TestBandwidthObserveValidation(t *testing.T) {
+	b, err := NewBandwidthEstimator(1000, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ObserveTransfer(0, 1); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	if err := b.ObserveTransfer(100, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestTrainingDeadlineConversion(t *testing.T) {
+	// The paper's §6.5 example: ResNet50 ≈ 51.2 Mb over 5 Mbps LTE ≈ 10.2 s
+	// of upload. 5 Mbps = 625_000 B/s; 51.2 Mb = 6.4 MB.
+	b, err := NewBandwidthEstimator(625_000, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = 6_400_000
+	up, err := b.UploadTime(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up-10.24) > 0.05 {
+		t.Errorf("upload time %v, want ≈10.24 s", up)
+	}
+	train, err := b.TrainingDeadline(60, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(train-(60-up)) > 1e-9 {
+		t.Errorf("training deadline %v, want %v", train, 60-up)
+	}
+	// Upload alone exceeding the reporting deadline must error.
+	if _, err := b.TrainingDeadline(5, payload); err == nil {
+		t.Error("doomed round accepted")
+	}
+	if _, err := b.TrainingDeadline(-1, payload); err == nil {
+		t.Error("negative reporting deadline accepted")
+	}
+	if _, err := b.UploadTime(0); err == nil {
+		t.Error("zero payload accepted")
+	}
+}
+
+func TestHeadroomShortensTrainingBudget(t *testing.T) {
+	tight, err := NewBandwidthEstimator(1_000_000, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := NewBandwidthEstimator(1_000_000, 0.3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tight.TrainingDeadline(30, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := padded.TrainingDeadline(30, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Errorf("headroom should shrink the training budget: %v vs %v", b, a)
+	}
+}
+
+func TestModelPayloadBytes(t *testing.T) {
+	if got := ModelPayloadBytes(0); got <= 0 {
+		t.Errorf("framing-only payload %d", got)
+	}
+	if got := ModelPayloadBytes(1000); got < 8000 {
+		t.Errorf("payload %d too small for 1000 params", got)
+	}
+}
+
+// reportingParticipant is a fake Participant with a fixed energy profile.
+type reportingParticipant struct {
+	id     string
+	energy float64
+}
+
+func (p *reportingParticipant) ID() string                        { return p.id }
+func (p *reportingParticipant) TMinFor(jobs int) (float64, error) { return float64(jobs), nil }
+func (p *reportingParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	return RoundResponse{
+		ClientID:    p.id,
+		Params:      req.Params,
+		NumExamples: 10,
+		Report:      core.RoundReport{Energy: p.energy, DeadlineMet: true},
+	}, nil
+}
+
+func TestEnergyAwareSelectorPrefersEfficientClients(t *testing.T) {
+	sel := NewEnergyAwareSelector(1, 0.0) // no exploration: pure exploitation
+	pool := []Participant{
+		&reportingParticipant{id: "hungry", energy: 100},
+		&reportingParticipant{id: "efficient", energy: 10},
+		&reportingParticipant{id: "medium", energy: 50},
+	}
+	// Build history.
+	for _, p := range pool {
+		resp, err := p.Round(RoundRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.ObserveRound([]RoundResponse{resp})
+	}
+	picked := sel.Select(1, pool, 1)
+	if len(picked) != 1 || picked[0].ID() != "efficient" {
+		t.Errorf("picked %v, want the efficient client", ids(picked))
+	}
+	picked = sel.Select(2, pool, 2)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d", len(picked))
+	}
+	for _, p := range picked {
+		if p.ID() == "hungry" {
+			t.Error("hungry client selected over cheaper peers")
+		}
+	}
+}
+
+func TestEnergyAwareSelectorExploresUnseenClients(t *testing.T) {
+	sel := NewEnergyAwareSelector(2, 0.5)
+	pool := []Participant{
+		&reportingParticipant{id: "known-cheap", energy: 1},
+		&reportingParticipant{id: "known-cheap-2", energy: 2},
+		&reportingParticipant{id: "unseen", energy: 999},
+	}
+	// Only the first two have history.
+	for _, p := range pool[:2] {
+		resp, err := p.Round(RoundRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.ObserveRound([]RoundResponse{resp})
+	}
+	picked := sel.Select(1, pool, 2)
+	found := false
+	for _, p := range picked {
+		if p.ID() == "unseen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exploration quota ignored the unseen client: %v", ids(picked))
+	}
+}
+
+func TestEnergyAwareSelectorHandlesOversizedK(t *testing.T) {
+	sel := NewEnergyAwareSelector(3, 0.25)
+	pool := []Participant{
+		&reportingParticipant{id: "a", energy: 1},
+		&reportingParticipant{id: "b", energy: 2},
+	}
+	picked := sel.Select(1, pool, 10)
+	if len(picked) != 2 {
+		t.Errorf("picked %d of 2", len(picked))
+	}
+	seen := map[string]bool{}
+	for _, p := range picked {
+		if seen[p.ID()] {
+			t.Errorf("duplicate selection %s", p.ID())
+		}
+		seen[p.ID()] = true
+	}
+}
+
+func ids(ps []Participant) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.ID()
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package fl
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckinEndToEnd(t *testing.T) {
+	// A client daemon...
+	client := newTestClient(t, "edge-42", 7)
+	clientSrv := httptest.NewServer(NewClientHandler(client))
+	defer clientSrv.Close()
+
+	// ...checks in with the server-side registry over HTTP.
+	reg := NewRegistry(30 * time.Second)
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+
+	err := CheckIn(regSrv.URL, CheckinRequest{
+		ClientID: "edge-42",
+		BaseURL:  clientSrv.URL,
+		Device:   "jetson-agx",
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry has %d participants", reg.Len())
+	}
+
+	// The registered participant is fully usable.
+	pool := reg.Participants()
+	resp, err := pool[0].Round(RoundRequest{Round: 1, Params: client.Params(), Jobs: 10, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientID != "edge-42" {
+		t.Errorf("round reached %q", resp.ClientID)
+	}
+}
+
+func TestCheckinIDMismatchRejected(t *testing.T) {
+	client := newTestClient(t, "real-id", 8)
+	clientSrv := httptest.NewServer(NewClientHandler(client))
+	defer clientSrv.Close()
+	reg := NewRegistry(30 * time.Second)
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+
+	err := CheckIn(regSrv.URL, CheckinRequest{ClientID: "imposter", BaseURL: clientSrv.URL}, 30*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("id mismatch not rejected: %v", err)
+	}
+	if reg.Len() != 0 {
+		t.Error("mismatching client registered anyway")
+	}
+}
+
+func TestCheckinUnreachableClientRejected(t *testing.T) {
+	reg := NewRegistry(time.Second)
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+	err := CheckIn(regSrv.URL, CheckinRequest{ClientID: "ghost", BaseURL: "http://127.0.0.1:1"}, 5*time.Second)
+	if err == nil {
+		t.Error("unreachable client accepted")
+	}
+}
+
+func TestCheckinValidation(t *testing.T) {
+	reg := NewRegistry(time.Second)
+	if err := reg.CheckIn(CheckinRequest{}); err == nil {
+		t.Error("empty check-in accepted")
+	}
+	if err := CheckIn("http://127.0.0.1:1", CheckinRequest{ClientID: "a", BaseURL: "http://x"}, time.Second); err == nil {
+		t.Error("dead registry accepted")
+	}
+}
+
+func TestCheckinReplaceAndDrop(t *testing.T) {
+	reg := NewRegistry(30 * time.Second)
+	fake := &reportingParticipant{id: "edge-1"}
+	reg.dial = func(baseURL string, timeout time.Duration) (Participant, error) {
+		return fake, nil
+	}
+	if err := reg.CheckIn(CheckinRequest{ClientID: "edge-1", BaseURL: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.CheckIn(CheckinRequest{ClientID: "edge-1", BaseURL: "http://b"}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 1 {
+		t.Errorf("re-registration duplicated the client: %d entries", reg.Len())
+	}
+	reg.Drop("edge-1")
+	if reg.Len() != 0 {
+		t.Error("Drop did not remove the client")
+	}
+}
+
+func TestRegistryFeedsServer(t *testing.T) {
+	reg := NewRegistry(time.Second)
+	reg.dial = func(baseURL string, timeout time.Duration) (Participant, error) {
+		return &reportingParticipant{id: baseURL}, nil
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if err := reg.CheckIn(CheckinRequest{ClientID: u, BaseURL: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer(ServerConfig{InitialParams: []float64{1}, Jobs: 5, DeadlineRatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range reg.Participants() {
+		srv.Register(p)
+	}
+	res, err := srv.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 3 {
+		t.Errorf("round reached %d of 3 registered clients", len(res.Responses))
+	}
+}

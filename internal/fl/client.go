@@ -1,0 +1,168 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/ml"
+	"bofl/internal/simclock"
+)
+
+// Client is one FL participant: a simulated edge device holding a local data
+// shard, a trainable model replica, and a pace controller that decides the
+// DVFS configuration of every training job.
+type Client struct {
+	id         string
+	dev        *device.Device
+	workload   device.Workload
+	meter      *device.Meter
+	clock      *simclock.Sim
+	model      ml.Model
+	batches    [][]ml.Example
+	numExample int
+	controller core.PaceController
+	lr         float64
+
+	cursor      int
+	totalEnergy float64
+}
+
+// ClientConfig bundles a client's construction parameters.
+type ClientConfig struct {
+	ID         string
+	Device     *device.Device
+	Workload   device.Workload
+	Model      ml.Model
+	Data       []ml.Example
+	BatchSize  int
+	LearnRate  float64
+	Controller core.PaceController
+	Noise      device.NoiseModel
+	Seed       int64
+	Clock      *simclock.Sim // optional; a fresh clock is created if nil
+}
+
+// NewClient validates the configuration and builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fl: client needs an id")
+	}
+	if cfg.Device == nil || cfg.Model == nil || cfg.Controller == nil {
+		return nil, fmt.Errorf("fl: client %q missing device, model or controller", cfg.ID)
+	}
+	if len(cfg.Data) == 0 {
+		return nil, fmt.Errorf("fl: client %q has no local data", cfg.ID)
+	}
+	if cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("fl: client %q learning rate %v", cfg.ID, cfg.LearnRate)
+	}
+	batches, err := ml.Batches(cfg.Data, cfg.BatchSize)
+	if err != nil {
+		return nil, fmt.Errorf("fl: client %q: %w", cfg.ID, err)
+	}
+	noise := cfg.Noise
+	if noise == (device.NoiseModel{}) {
+		noise = device.DefaultNoise()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.NewSim(time.Unix(0, 0))
+	}
+	return &Client{
+		id:         cfg.ID,
+		dev:        cfg.Device,
+		workload:   cfg.Workload,
+		meter:      device.NewMeter(cfg.Device, noise, cfg.Seed),
+		clock:      clock,
+		model:      cfg.Model,
+		batches:    batches,
+		numExample: len(cfg.Data),
+		controller: cfg.Controller,
+		lr:         cfg.LearnRate,
+	}, nil
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.id }
+
+// NumExamples returns the local dataset size (FedAvg weighting).
+func (c *Client) NumExamples() int { return c.numExample }
+
+// TotalEnergy returns the cumulative training energy in Joules.
+func (c *Client) TotalEnergy() float64 { return c.totalEnergy }
+
+// Model exposes the local model replica.
+func (c *Client) Model() ml.Model { return c.model }
+
+// TMin reports the client's minimum feasible round time for `jobs` jobs.
+func (c *Client) TMin(jobs int) (float64, error) {
+	lat, err := c.dev.Latency(c.workload, c.dev.Space().Max())
+	if err != nil {
+		return 0, err
+	}
+	return lat * float64(jobs), nil
+}
+
+// SetParams installs global model parameters (model download).
+func (c *Client) SetParams(params []float64) error {
+	p := c.model.Params()
+	if len(params) != len(p) {
+		return fmt.Errorf("fl: client %q: %d params, model has %d", c.id, len(params), len(p))
+	}
+	copy(p, params)
+	return nil
+}
+
+// Params returns a copy of the local model parameters (model upload).
+func (c *Client) Params() []float64 {
+	p := c.model.Params()
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}
+
+// executor adapts one training job to core.Executor: it trains the next
+// minibatch for real, then charges the simulated hardware cost of running it
+// under the requested DVFS configuration and advances the virtual clock.
+func (c *Client) executor() core.Executor {
+	return core.ExecutorFunc(func(cfg device.Config) (core.JobResult, error) {
+		batch := c.batches[c.cursor%len(c.batches)]
+		c.cursor++
+		if _, err := ml.TrainStep(c.model, batch, c.lr); err != nil {
+			return core.JobResult{}, fmt.Errorf("fl: client %q train step: %w", c.id, err)
+		}
+		trueLat, err := c.dev.Latency(c.workload, cfg)
+		if err != nil {
+			return core.JobResult{}, err
+		}
+		m, err := c.meter.Measure(c.workload, cfg, trueLat)
+		if err != nil {
+			return core.JobResult{}, err
+		}
+		c.clock.Advance(time.Duration(m.Latency * float64(time.Second)))
+		return core.JobResult{Latency: m.Latency, Energy: m.Energy}, nil
+	})
+}
+
+// TrainRound runs one FL round of `jobs` minibatch jobs under the round
+// deadline, driven by the client's pace controller.
+func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport, error) {
+	rep, err := c.controller.RunRound(jobs, deadline, c.executor())
+	if err != nil {
+		return core.RoundReport{}, fmt.Errorf("fl: client %q round %d: %w", c.id, round, err)
+	}
+	c.totalEnergy += rep.Energy
+	return rep, nil
+}
+
+// ConfigWindow runs the controller's between-round work (MBO) during the
+// configuration/reporting window, as §4.3 prescribes.
+func (c *Client) ConfigWindow() (core.MBOReport, error) {
+	return c.controller.BetweenRounds()
+}
+
+// Clock exposes the client's virtual clock (for harnesses that account
+// elapsed simulated time).
+func (c *Client) Clock() *simclock.Sim { return c.clock }

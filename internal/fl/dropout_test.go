@@ -1,0 +1,111 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+
+	"bofl/internal/core"
+)
+
+// flakyParticipant fails (or misses deadlines) on a schedule.
+type flakyParticipant struct {
+	id        string
+	failRound map[int]bool // rounds on which Round errors
+	missRound map[int]bool // rounds on which the deadline is missed
+}
+
+func (p *flakyParticipant) ID() string                        { return p.id }
+func (p *flakyParticipant) TMinFor(jobs int) (float64, error) { return float64(jobs), nil }
+
+func (p *flakyParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	if p.failRound[req.Round] {
+		return RoundResponse{}, errors.New("device dropped out")
+	}
+	return RoundResponse{
+		ClientID:    p.id,
+		Params:      req.Params,
+		NumExamples: 10,
+		Report: core.RoundReport{
+			Round:       req.Round,
+			Energy:      1,
+			DeadlineMet: !p.missRound[req.Round],
+		},
+	}, nil
+}
+
+func newDropoutServer(t *testing.T, tolerate bool) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		InitialParams:    []float64{1, 2, 3},
+		Jobs:             10,
+		DeadlineRatio:    2,
+		Seed:             1,
+		TolerateDropouts: tolerate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestDropoutToleranceKeepsSurvivors(t *testing.T) {
+	srv := newDropoutServer(t, true)
+	healthy := &flakyParticipant{id: "healthy"}
+	crasher := &flakyParticipant{id: "crasher", failRound: map[int]bool{1: true}}
+	misser := &flakyParticipant{id: "misser", missRound: map[int]bool{1: true}}
+	srv.Register(healthy)
+	srv.Register(crasher)
+	srv.Register(misser)
+
+	res, err := srv.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 1 || res.Responses[0].ClientID != "healthy" {
+		t.Errorf("responses = %+v, want only healthy", res.Responses)
+	}
+	if len(res.Dropped) != 2 {
+		t.Errorf("dropped = %v, want crasher and misser", res.Dropped)
+	}
+
+	// Next round everyone is healthy again and participates.
+	res, err = srv.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 3 || len(res.Dropped) != 0 {
+		t.Errorf("round 2: %d responses, %d dropped", len(res.Responses), len(res.Dropped))
+	}
+}
+
+func TestDropoutAllFailedIsError(t *testing.T) {
+	srv := newDropoutServer(t, true)
+	srv.Register(&flakyParticipant{id: "a", failRound: map[int]bool{1: true}})
+	srv.Register(&flakyParticipant{id: "b", failRound: map[int]bool{1: true}})
+	if _, err := srv.RunRound(); err == nil {
+		t.Error("round with zero survivors accepted")
+	}
+}
+
+func TestStrictModeAbortsOnFailure(t *testing.T) {
+	srv := newDropoutServer(t, false)
+	srv.Register(&flakyParticipant{id: "a"})
+	srv.Register(&flakyParticipant{id: "b", failRound: map[int]bool{1: true}})
+	if _, err := srv.RunRound(); err == nil {
+		t.Error("strict server tolerated a failure")
+	}
+}
+
+func TestStrictModeKeepsDeadlineMissers(t *testing.T) {
+	// Without tolerance, a miss is reported but not excluded — the legacy
+	// behaviour relied on by the evaluation harness.
+	srv := newDropoutServer(t, false)
+	srv.Register(&flakyParticipant{id: "a", missRound: map[int]bool{1: true}})
+	res, err := srv.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 1 {
+		t.Errorf("responses = %d", len(res.Responses))
+	}
+}

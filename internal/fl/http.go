@@ -1,0 +1,151 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTP transport: a client daemon serves its training endpoint over HTTP and
+// the server drives it through an HTTPParticipant. Wire format is JSON over
+// two endpoints:
+//
+//	GET  /v1/info           → InfoResponse
+//	POST /v1/round          → RoundRequest ⇒ RoundResponse
+//
+// This mirrors the configuration/execution/reporting flow of Figure 1 with a
+// plain stdlib stack.
+
+// InfoResponse advertises a client's identity and pace capabilities.
+type InfoResponse struct {
+	ClientID       string  `json:"clientId"`
+	Device         string  `json:"device"`
+	TMinPerJob     float64 `json:"tminPerJobSeconds"`
+	NumExamples    int     `json:"numExamples"`
+	ParamsChecksum int     `json:"paramsChecksum"`
+}
+
+// ClientHandler exposes a *Client over HTTP.
+type ClientHandler struct {
+	client *Client
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*ClientHandler)(nil)
+
+// NewClientHandler wraps a client.
+func NewClientHandler(c *Client) *ClientHandler {
+	h := &ClientHandler{client: c, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/info", h.handleInfo)
+	h.mux.HandleFunc("POST /v1/round", h.handleRound)
+	return h
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (h *ClientHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *ClientHandler) handleInfo(w http.ResponseWriter, r *http.Request) {
+	perJob, err := h.client.TMin(1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, InfoResponse{
+		ClientID:    h.client.ID(),
+		Device:      h.client.dev.Name(),
+		TMinPerJob:  perJob,
+		NumExamples: h.client.NumExamples(),
+	})
+}
+
+func (h *ClientHandler) handleRound(w http.ResponseWriter, r *http.Request) {
+	var req RoundRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode round request: %v", err), http.StatusBadRequest)
+		return
+	}
+	p := &LocalParticipant{Client: h.client}
+	resp, err := p.Round(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more we can do.
+		return
+	}
+}
+
+// HTTPParticipant drives a remote client daemon.
+type HTTPParticipant struct {
+	baseURL string
+	id      string
+	perJob  float64
+	client  *http.Client
+}
+
+var _ Participant = (*HTTPParticipant)(nil)
+
+// DialParticipant contacts a client daemon and caches its identity.
+func DialParticipant(baseURL string, timeout time.Duration) (*HTTPParticipant, error) {
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(baseURL + "/v1/info")
+	if err != nil {
+		return nil, fmt.Errorf("fl: dial %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fl: dial %s: status %s", baseURL, resp.Status)
+	}
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("fl: dial %s: %w", baseURL, err)
+	}
+	if info.ClientID == "" || info.TMinPerJob <= 0 {
+		return nil, fmt.Errorf("fl: dial %s: malformed info %+v", baseURL, info)
+	}
+	return &HTTPParticipant{baseURL: baseURL, id: info.ClientID, perJob: info.TMinPerJob, client: hc}, nil
+}
+
+// ID returns the remote client's identifier.
+func (p *HTTPParticipant) ID() string { return p.id }
+
+// TMinFor scales the advertised per-job minimum latency.
+func (p *HTTPParticipant) TMinFor(jobs int) (float64, error) {
+	if jobs <= 0 {
+		return 0, fmt.Errorf("fl: job count %d", jobs)
+	}
+	return p.perJob * float64(jobs), nil
+}
+
+// Round posts the round request to the daemon.
+func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return RoundResponse{}, fmt.Errorf("fl: encode round: %w", err)
+	}
+	resp, err := p.client.Post(p.baseURL+"/v1/round", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return RoundResponse{}, fmt.Errorf("fl: round on %s: %w", p.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return RoundResponse{}, fmt.Errorf("fl: round on %s: %s: %s", p.id, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out RoundResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil {
+		return RoundResponse{}, fmt.Errorf("fl: decode round response: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package fl
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// EnergyAwareSelector is an AutoFL-style (§2.1) server-side policy: it
+// prefers participants with the lowest observed energy per round, while
+// reserving an exploration quota for clients with little or no history so
+// new devices still get scheduled. Feed it the per-round reports via
+// ObserveRound.
+type EnergyAwareSelector struct {
+	mu sync.Mutex
+
+	rng *rand.Rand
+	// exploreFrac is the fraction of each round's slots given to
+	// under-observed clients (default 0.25).
+	exploreFrac float64
+	// history holds EWMA energy per client id.
+	history map[string]float64
+	counts  map[string]int
+}
+
+var _ Selector = (*EnergyAwareSelector)(nil)
+
+// NewEnergyAwareSelector builds a seeded selector. exploreFrac in [0,1]
+// controls how many slots go to unproven clients each round.
+func NewEnergyAwareSelector(seed int64, exploreFrac float64) *EnergyAwareSelector {
+	if exploreFrac < 0 {
+		exploreFrac = 0
+	}
+	if exploreFrac > 1 {
+		exploreFrac = 1
+	}
+	return &EnergyAwareSelector{
+		rng:         rand.New(rand.NewSource(seed)),
+		exploreFrac: exploreFrac,
+		history:     make(map[string]float64),
+		counts:      make(map[string]int),
+	}
+}
+
+// ObserveRound folds a round's energy reports into the history.
+func (s *EnergyAwareSelector) ObserveRound(responses []RoundResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const alpha = 0.3
+	for _, r := range responses {
+		if prev, ok := s.history[r.ClientID]; ok {
+			s.history[r.ClientID] = alpha*r.Report.Energy + (1-alpha)*prev
+		} else {
+			s.history[r.ClientID] = r.Report.Energy
+		}
+		s.counts[r.ClientID]++
+	}
+}
+
+// Select picks k participants: the exploration quota goes to the
+// least-observed clients (ties broken randomly), the rest to the clients with
+// the lowest EWMA energy.
+func (s *EnergyAwareSelector) Select(round int, pool []Participant, k int) []Participant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 || k > len(pool) {
+		k = len(pool)
+	}
+	shuffled := make([]Participant, len(pool))
+	copy(shuffled, pool)
+	s.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	explore := int(float64(k) * s.exploreFrac)
+	if explore > k {
+		explore = k
+	}
+
+	// Exploration slots: fewest observations first.
+	byCount := make([]Participant, len(shuffled))
+	copy(byCount, shuffled)
+	sort.SliceStable(byCount, func(i, j int) bool {
+		return s.counts[byCount[i].ID()] < s.counts[byCount[j].ID()]
+	})
+	selected := make([]Participant, 0, k)
+	taken := make(map[string]bool, k)
+	for _, p := range byCount[:explore] {
+		selected = append(selected, p)
+		taken[p.ID()] = true
+	}
+
+	// Exploitation slots: lowest observed energy first; unobserved clients
+	// rank last here (they compete through the exploration quota).
+	byEnergy := make([]Participant, 0, len(shuffled))
+	for _, p := range shuffled {
+		if !taken[p.ID()] {
+			byEnergy = append(byEnergy, p)
+		}
+	}
+	sort.SliceStable(byEnergy, func(i, j int) bool {
+		ei, iok := s.history[byEnergy[i].ID()]
+		ej, jok := s.history[byEnergy[j].ID()]
+		if iok != jok {
+			return iok // observed clients first
+		}
+		return ei < ej
+	})
+	for _, p := range byEnergy {
+		if len(selected) == k {
+			break
+		}
+		selected = append(selected, p)
+	}
+	return selected
+}

@@ -1,0 +1,313 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"bofl/internal/core"
+)
+
+// RoundRequest is the server → client message starting one training round
+// (step 2 of Figure 1: model and training parameters are sent to selected
+// devices).
+type RoundRequest struct {
+	Round    int       `json:"round"`
+	Params   []float64 `json:"params"`
+	Jobs     int       `json:"jobs"`
+	Deadline float64   `json:"deadlineSeconds"`
+}
+
+// RoundResponse is the client → server report (step 3 of Figure 1).
+type RoundResponse struct {
+	ClientID    string           `json:"clientId"`
+	Params      []float64        `json:"params"`
+	NumExamples int              `json:"numExamples"`
+	Report      core.RoundReport `json:"report"`
+}
+
+// Participant abstracts a reachable FL client — in-process or across HTTP.
+type Participant interface {
+	// ID returns the client identifier.
+	ID() string
+	// TMinFor reports the client's minimum feasible round time for the
+	// given job count (used for deadline assignment).
+	TMinFor(jobs int) (float64, error)
+	// Round executes one training round and returns updated parameters.
+	Round(req RoundRequest) (RoundResponse, error)
+}
+
+// LocalParticipant adapts an in-process *Client to the Participant interface.
+type LocalParticipant struct {
+	Client *Client
+}
+
+var _ Participant = (*LocalParticipant)(nil)
+
+// ID returns the wrapped client's id.
+func (p *LocalParticipant) ID() string { return p.Client.ID() }
+
+// TMinFor delegates to the client.
+func (p *LocalParticipant) TMinFor(jobs int) (float64, error) { return p.Client.TMin(jobs) }
+
+// Round installs the global parameters, trains, runs the configuration
+// window, and returns the updated parameters.
+func (p *LocalParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	if err := p.Client.SetParams(req.Params); err != nil {
+		return RoundResponse{}, err
+	}
+	rep, err := p.Client.TrainRound(req.Round, req.Jobs, req.Deadline)
+	if err != nil {
+		return RoundResponse{}, err
+	}
+	if _, err := p.Client.ConfigWindow(); err != nil {
+		return RoundResponse{}, err
+	}
+	return RoundResponse{
+		ClientID:    p.Client.ID(),
+		Params:      p.Client.Params(),
+		NumExamples: p.Client.NumExamples(),
+		Report:      rep,
+	}, nil
+}
+
+// Selector chooses the round's participants from the registered pool.
+type Selector interface {
+	Select(round int, pool []Participant, k int) []Participant
+}
+
+// RandomSelector samples k participants uniformly without replacement — the
+// vanilla FL design (§2.1); deterministic per seed.
+type RandomSelector struct {
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+var _ Selector = (*RandomSelector)(nil)
+
+// NewRandomSelector builds a seeded selector.
+func NewRandomSelector(seed int64) *RandomSelector {
+	return &RandomSelector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Select samples min(k, len(pool)) distinct participants.
+func (s *RandomSelector) Select(round int, pool []Participant, k int) []Participant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := s.rng.Perm(len(pool))[:k]
+	out := make([]Participant, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// AllSelector selects every registered participant each round (the paper's
+// single-device evaluation corresponds to this with one client).
+type AllSelector struct{}
+
+var _ Selector = AllSelector{}
+
+// Select returns the whole pool.
+func (AllSelector) Select(round int, pool []Participant, k int) []Participant { return pool }
+
+// ServerConfig configures an FL server.
+type ServerConfig struct {
+	// InitialParams seed the global model.
+	InitialParams []float64
+	// Jobs is W, the per-round job count each participant must complete.
+	Jobs int
+	// DeadlineRatio is T_max/T_min for the per-round deadline draw.
+	DeadlineRatio float64
+	// Selector picks participants; defaults to AllSelector.
+	Selector Selector
+	// ParticipantsPerRound is passed to the selector (ignored by
+	// AllSelector).
+	ParticipantsPerRound int
+	// Seed drives deadline sampling.
+	Seed int64
+	// TolerateDropouts implements Figure 1's "drop out or miss deadline"
+	// path: failed or deadline-missing participants are excluded from the
+	// round's aggregation instead of aborting it. A round still fails when
+	// every selected participant drops.
+	TolerateDropouts bool
+}
+
+// Server orchestrates federated rounds: selection, deadline assignment,
+// dispatch, and FedAvg aggregation.
+type Server struct {
+	cfg    ServerConfig
+	global []float64
+	pool   []Participant
+	rng    *rand.Rand
+	round  int
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.InitialParams) == 0 {
+		return nil, errors.New("fl: server needs initial parameters")
+	}
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("fl: server job count %d", cfg.Jobs)
+	}
+	if cfg.DeadlineRatio < 1 {
+		return nil, fmt.Errorf("fl: deadline ratio %v must be ≥ 1", cfg.DeadlineRatio)
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = AllSelector{}
+	}
+	global := make([]float64, len(cfg.InitialParams))
+	copy(global, cfg.InitialParams)
+	return &Server{
+		cfg:    cfg,
+		global: global,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Register adds a participant to the pool.
+func (s *Server) Register(p Participant) {
+	s.pool = append(s.pool, p)
+}
+
+// GlobalParams returns a copy of the current global model parameters.
+func (s *Server) GlobalParams() []float64 {
+	out := make([]float64, len(s.global))
+	copy(out, s.global)
+	return out
+}
+
+// RoundResult summarizes one orchestrated round.
+type RoundResult struct {
+	Round     int                `json:"round"`
+	Deadline  float64            `json:"deadlineSeconds"`
+	Responses []RoundResponse    `json:"responses"`
+	Reports   []core.RoundReport `json:"-"`
+	// Dropped lists the ids of selected participants that failed or missed
+	// the deadline this round (populated when TolerateDropouts is set).
+	Dropped []string `json:"dropped,omitempty"`
+}
+
+// RunRound executes one full FL round: select participants, assign a
+// deadline (uniform in [T_min, ratio·T_min] of the slowest selected client,
+// §6.1), dispatch training in parallel, and FedAvg-aggregate the updates
+// weighted by local dataset size.
+func (s *Server) RunRound() (RoundResult, error) {
+	if len(s.pool) == 0 {
+		return RoundResult{}, errors.New("fl: no registered participants")
+	}
+	s.round++
+	selected := s.cfg.Selector.Select(s.round, s.pool, s.cfg.ParticipantsPerRound)
+	if len(selected) == 0 {
+		return RoundResult{}, fmt.Errorf("fl: selector chose no participants in round %d", s.round)
+	}
+
+	// Deadline: the slowest selected client's T_min scaled by a uniform
+	// draw from [1, ratio].
+	tmin := 0.0
+	for _, p := range selected {
+		t, err := p.TMinFor(s.cfg.Jobs)
+		if err != nil {
+			return RoundResult{}, fmt.Errorf("fl: tmin of %s: %w", p.ID(), err)
+		}
+		if t > tmin {
+			tmin = t
+		}
+	}
+	lo := deadlineFloor
+	if s.cfg.DeadlineRatio < lo {
+		lo = s.cfg.DeadlineRatio
+	}
+	deadline := tmin * (lo + s.rng.Float64()*(s.cfg.DeadlineRatio-lo))
+
+	req := RoundRequest{Round: s.round, Params: s.GlobalParams(), Jobs: s.cfg.Jobs, Deadline: deadline}
+	responses := make([]RoundResponse, len(selected))
+	errs := make([]error, len(selected))
+	var wg sync.WaitGroup
+	for i, p := range selected {
+		wg.Add(1)
+		go func(i int, p Participant) {
+			defer wg.Done()
+			responses[i], errs[i] = p.Round(req)
+		}(i, p)
+	}
+	wg.Wait()
+
+	result := RoundResult{Round: s.round, Deadline: deadline}
+	if s.cfg.TolerateDropouts {
+		// Figure 1's dropout path: keep the survivors, record the rest.
+		for i, err := range errs {
+			switch {
+			case err != nil:
+				result.Dropped = append(result.Dropped, selected[i].ID())
+			case !responses[i].Report.DeadlineMet:
+				result.Dropped = append(result.Dropped, responses[i].ClientID)
+			default:
+				result.Responses = append(result.Responses, responses[i])
+			}
+		}
+		if len(result.Responses) == 0 {
+			return RoundResult{}, fmt.Errorf("fl: round %d: every participant dropped", s.round)
+		}
+	} else {
+		for i, err := range errs {
+			if err != nil {
+				return RoundResult{}, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), err)
+			}
+		}
+		result.Responses = responses
+	}
+
+	if err := s.aggregate(result.Responses); err != nil {
+		return RoundResult{}, err
+	}
+	for _, r := range result.Responses {
+		result.Reports = append(result.Reports, r.Report)
+	}
+	return result, nil
+}
+
+// aggregate applies FedAvg: the global model becomes the dataset-size
+// weighted average of the participants' parameters.
+func (s *Server) aggregate(responses []RoundResponse) error {
+	totalWeight := 0.0
+	for _, r := range responses {
+		if len(r.Params) != len(s.global) {
+			return fmt.Errorf("fl: client %s returned %d params, want %d", r.ClientID, len(r.Params), len(s.global))
+		}
+		if r.NumExamples <= 0 {
+			return fmt.Errorf("fl: client %s reports %d examples", r.ClientID, r.NumExamples)
+		}
+		totalWeight += float64(r.NumExamples)
+	}
+	next := make([]float64, len(s.global))
+	for _, r := range responses {
+		w := float64(r.NumExamples) / totalWeight
+		for i, v := range r.Params {
+			next[i] += w * v
+		}
+	}
+	s.global = next
+	return nil
+}
+
+// Run executes `rounds` rounds and returns all results.
+func (s *Server) Run(rounds int) ([]RoundResult, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("fl: round count %d", rounds)
+	}
+	out := make([]RoundResult, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		res, err := s.RunRound()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+// Package fl is the federated-learning substrate BoFL plugs into: task
+// specifications (Table 2 of the paper), deadline assignment, clients that
+// train real models (package ml) while charging simulated hardware costs
+// (package device), a FedAvg server with client selection, and both
+// in-memory and HTTP transports.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bofl/internal/device"
+)
+
+// TaskSpec describes one federated learning task from a client's perspective:
+// the tuple (B, E, T, N) of §3.1.
+type TaskSpec struct {
+	// Name is the paper's task label, e.g. "CIFAR10-ViT".
+	Name string `json:"name"`
+	// Workload selects the device-simulator cost model.
+	Workload device.Workload `json:"workload"`
+	// BatchSize is B, the SGD minibatch size.
+	BatchSize int `json:"batchSize"`
+	// Epochs is E, passes over the local data per round.
+	Epochs int `json:"epochs"`
+	// Minibatches is N, the number of minibatches of local data.
+	Minibatches int `json:"minibatches"`
+	// Rounds is |T|, the number of FL rounds.
+	Rounds int `json:"rounds"`
+	// DeadlineRatio is T_max/T_min, the deadline sampling range.
+	DeadlineRatio float64 `json:"deadlineRatio"`
+}
+
+// Jobs returns W = E·N, the number of minibatch jobs per round.
+func (t TaskSpec) Jobs() int { return t.Epochs * t.Minibatches }
+
+// Validate checks the spec.
+func (t TaskSpec) Validate() error {
+	if t.BatchSize <= 0 || t.Epochs <= 0 || t.Minibatches <= 0 || t.Rounds <= 0 {
+		return fmt.Errorf("fl: task %q has non-positive parameters", t.Name)
+	}
+	if t.DeadlineRatio < 1 {
+		return fmt.Errorf("fl: task %q deadline ratio %v must be ≥ 1", t.Name, t.DeadlineRatio)
+	}
+	return nil
+}
+
+// Tasks returns the paper's three FL tasks configured for the given device
+// (Table 2: N differs between AGX and TX2 because the boards hold different
+// amounts of local data). ratio sets T_max/T_min; rounds is |T| (the paper
+// uses 100).
+func Tasks(dev *device.Device, ratio float64, rounds int) ([]TaskSpec, error) {
+	var n map[device.Workload]int
+	switch dev.Name() {
+	case "jetson-agx":
+		n = map[device.Workload]int{device.ViT: 40, device.ResNet50: 90, device.LSTM: 40}
+	case "jetson-tx2":
+		n = map[device.Workload]int{device.ViT: 15, device.ResNet50: 30, device.LSTM: 20}
+	default:
+		return nil, fmt.Errorf("fl: no Table-2 specification for device %q", dev.Name())
+	}
+	specs := []TaskSpec{
+		{Name: "CIFAR10-ViT", Workload: device.ViT, BatchSize: 32, Epochs: 5},
+		{Name: "ImageNet-ResNet50", Workload: device.ResNet50, BatchSize: 8, Epochs: 2},
+		{Name: "IMDB-LSTM", Workload: device.LSTM, BatchSize: 8, Epochs: 4},
+	}
+	for i := range specs {
+		specs[i].Minibatches = n[specs[i].Workload]
+		specs[i].Rounds = rounds
+		specs[i].DeadlineRatio = ratio
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// TMin computes the task's minimum feasible round time on a device:
+// T(x_max)·W, the quantity Table 2 reports as measured on the testbeds.
+func TMin(dev *device.Device, t TaskSpec) (float64, error) {
+	lat, err := dev.Latency(t.Workload, dev.Space().Max())
+	if err != nil {
+		return 0, err
+	}
+	return lat * float64(t.Jobs()), nil
+}
+
+// deadlineFloor keeps sampled deadlines slightly above T_min. The paper
+// samples uniformly from [T_min, T_max], but T_min is itself a noisy
+// measurement and per-job execution jitter makes a deadline of exactly T_min
+// unmeetable about half the time even at x_max; a 2% floor absorbs the jitter
+// without materially changing the distribution (see EXPERIMENTS.md).
+const deadlineFloor = 1.02
+
+// SampleDeadlines draws `rounds` deadlines uniformly from
+// [1.02·tmin, ratio·tmin] — the paper's §6.1 protocol with a small jitter
+// floor. Deterministic per seed.
+func SampleDeadlines(tmin, ratio float64, rounds int, seed int64) ([]float64, error) {
+	if tmin <= 0 {
+		return nil, fmt.Errorf("fl: non-positive T_min %v", tmin)
+	}
+	if ratio < 1 {
+		return nil, fmt.Errorf("fl: deadline ratio %v must be ≥ 1", ratio)
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("fl: non-positive round count %d", rounds)
+	}
+	lo := deadlineFloor
+	if ratio < lo {
+		lo = ratio
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, rounds)
+	for i := range out {
+		out[i] = tmin * (lo + rng.Float64()*(ratio-lo))
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regressor is a fitted Gaussian-process regression model with zero prior
+// mean (observations are standardized internally, matching the paper's
+// m(x)=0 prior). It is immutable after construction.
+type Regressor struct {
+	kernel Kernel
+	noise  float64 // observation noise std-dev (in standardized units)
+
+	xs   [][]float64
+	mean float64 // standardization offset of raw targets
+	std  float64 // standardization scale of raw targets
+
+	chol  *Matrix   // Cholesky factor of K + σₙ²I
+	alpha []float64 // (K + σₙ²I)⁻¹ · y (standardized)
+	ys    []float64 // standardized targets
+}
+
+// ErrNoData is returned when fitting with zero observations.
+var ErrNoData = errors.New("gp: no training observations")
+
+// Fit conditions a zero-mean GP with the given kernel and noise standard
+// deviation on observations (xs, ys). Targets are standardized internally so
+// the zero-mean prior is reasonable regardless of the objective's scale.
+func Fit(kernel Kernel, noise float64, xs [][]float64, ys []float64) (*Regressor, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", len(xs), len(ys))
+	}
+	for i, x := range xs {
+		if len(x) != kernel.Dim() {
+			return nil, fmt.Errorf("gp: input %d has dim %d, kernel expects %d", i, len(x), kernel.Dim())
+		}
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("gp: negative noise %v", noise)
+	}
+
+	mean, std := standardizeParams(ys)
+	sy := make([]float64, len(ys))
+	for i, y := range ys {
+		sy[i] = (y - mean) / std
+	}
+
+	cxs := make([][]float64, len(xs))
+	for i, x := range xs {
+		cx := make([]float64, len(x))
+		copy(cx, x)
+		cxs[i] = cx
+	}
+
+	// Jitter the diagonal progressively if the Gram matrix is numerically
+	// singular (e.g. duplicated inputs with tiny noise).
+	gram := GramMatrix(kernel, cxs, noise)
+	var chol *Matrix
+	var err error
+	jitter := 1e-10
+	for attempt := 0; attempt < 8; attempt++ {
+		chol, err = Cholesky(gram)
+		if err == nil {
+			break
+		}
+		for i := 0; i < gram.Rows; i++ {
+			gram.Set(i, i, gram.At(i, i)+jitter)
+		}
+		jitter *= 10
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gp: gram matrix factorization: %w", err)
+	}
+
+	return &Regressor{
+		kernel: kernel,
+		noise:  noise,
+		xs:     cxs,
+		mean:   mean,
+		std:    std,
+		chol:   chol,
+		alpha:  CholeskySolve(chol, sy),
+		ys:     sy,
+	}, nil
+}
+
+func standardizeParams(ys []float64) (mean, std float64) {
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	for _, y := range ys {
+		d := y - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(ys)))
+	if std < 1e-12 {
+		std = 1 // constant targets: keep scale neutral
+	}
+	return mean, std
+}
+
+// N returns the number of training observations.
+func (r *Regressor) N() int { return len(r.xs) }
+
+// Predict returns the posterior mean and standard deviation of the latent
+// function at x, in the original (unstandardized) units of the targets.
+func (r *Regressor) Predict(x []float64) (mu, sigma float64) {
+	n := len(r.xs)
+	kstar := make([]float64, n)
+	for i, xi := range r.xs {
+		kstar[i] = r.kernel.Eval(x, xi)
+	}
+	muStd := Dot(kstar, r.alpha)
+	v := SolveLower(r.chol, kstar)
+	varStd := r.kernel.Eval(x, x) - Dot(v, v)
+	if varStd < 0 {
+		varStd = 0
+	}
+	return muStd*r.std + r.mean, math.Sqrt(varStd) * r.std
+}
+
+// PredictBatch evaluates Predict on each row of xs.
+func (r *Regressor) PredictBatch(xs [][]float64) (mus, sigmas []float64) {
+	mus = make([]float64, len(xs))
+	sigmas = make([]float64, len(xs))
+	for i, x := range xs {
+		mus[i], sigmas[i] = r.Predict(x)
+	}
+	return mus, sigmas
+}
+
+// LogMarginalLikelihood returns the log marginal likelihood of the
+// standardized training targets under the fitted prior:
+//
+//	log p(y|X) = −½ yᵀα − Σ log L_ii − n/2·log 2π
+func (r *Regressor) LogMarginalLikelihood() float64 {
+	n := float64(len(r.ys))
+	return -0.5*Dot(r.ys, r.alpha) - 0.5*LogDetFromCholesky(r.chol) - 0.5*n*math.Log(2*math.Pi)
+}
+
+// Condition returns a new regressor with one extra observation appended. It
+// refits from scratch, which is O(n³) but n stays small (tens of points) in
+// BoFL's exploration phases. Used by the Kriging-believer batch strategy to
+// fantasize observations.
+func (r *Regressor) Condition(x []float64, y float64) (*Regressor, error) {
+	xs := make([][]float64, 0, len(r.xs)+1)
+	ys := make([]float64, 0, len(r.xs)+1)
+	for i, xi := range r.xs {
+		xs = append(xs, xi)
+		ys = append(ys, r.ys[i]*r.std+r.mean)
+	}
+	xs = append(xs, x)
+	ys = append(ys, y)
+	return Fit(r.kernel, r.noise, xs, ys)
+}

@@ -1,0 +1,138 @@
+// Package gp implements Gaussian-process regression from scratch: dense
+// linear algebra (Cholesky factorization and triangular solves), stationary
+// kernels (Matérn-5/2 and squared-exponential with ARD lengthscales),
+// posterior inference, and marginal-likelihood hyperparameter fitting.
+//
+// This is the surrogate-model layer of BoFL's multi-objective Bayesian
+// optimizer. The paper (§4.3) models the two objectives T(·) and E(·) as two
+// independent GPs with zero prior mean and Matérn-5/2 kernels; package mobo
+// builds the EHVI acquisition on top of the posteriors produced here.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("gp: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ. A must be
+// square and symmetric positive definite; only the lower triangle of A is
+// read. The result has zeros above the diagonal.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("gp: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ·x = b for lower-triangular L (so Lᵀ is upper
+// triangular) by backward substitution.
+func SolveUpperT(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromCholesky returns log|A| = 2·Σ log L_ii given A's Cholesky factor.
+func LogDetFromCholesky(l *Matrix) float64 {
+	sum := 0.0
+	for i := 0; i < l.Rows; i++ {
+		sum += math.Log(l.At(i, i))
+	}
+	return 2 * sum
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MulVec computes m·v.
+func MulVec(m *Matrix, v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}

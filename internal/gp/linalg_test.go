@@ -1,0 +1,173 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive definite matrix A = BᵀB + εI.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			a.Set(i, j, s)
+		}
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-8 {
+					t.Fatalf("trial %d: (L·Lᵀ)[%d,%d] = %v, want %v", trial, i, j, s, a.At(i, j))
+				}
+			}
+		}
+		// Upper triangle must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L[%d,%d] = %v, want 0", i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3 and -1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(n, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, x)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholeskySolve(l, b)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestSolveLowerAndUpperT(t *testing.T) {
+	l := NewMatrix(2, 2)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 1)
+	l.Set(1, 1, 3)
+	// L·x = [2, 7] → x = [1, 2]
+	x := SolveLower(l, []float64{2, 7})
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("SolveLower = %v, want [1 2]", x)
+	}
+	// Lᵀ·x = [4, 3] → x[1] = 1, x[0] = (4-1)/2 = 1.5
+	y := SolveUpperT(l, []float64{4, 3})
+	if math.Abs(y[0]-1.5) > 1e-12 || math.Abs(y[1]-1) > 1e-12 {
+		t.Errorf("SolveUpperT = %v, want [1.5 1]", y)
+	}
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	// diag(4, 9) has det 36.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 9)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromCholesky(l); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Errorf("logdet = %v, want %v", got, math.Log(36))
+	}
+}
+
+func TestDotAndMulVec(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(m, []float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestMatrixCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestGramMatrixIsPSD(t *testing.T) {
+	// Property: the Gram matrix of any kernel on any point set must be
+	// factorizable after noise regularization.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		k, err := NewMatern52(1.0, []float64{0.3, 0.5, 0.7})
+		if err != nil {
+			return false
+		}
+		gram := GramMatrix(k, xs, 0.01)
+		_, err = Cholesky(gram)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

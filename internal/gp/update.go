@@ -1,0 +1,67 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConditionFast returns a regressor conditioned on one extra observation in
+// O(n²) by extending the Cholesky factor with one row, instead of the O(n³)
+// refit that Condition performs. The original target standardization is kept
+// (the new point is standardized with the existing mean/std), which is the
+// right trade-off for Kriging-believer fantasies: they are transient
+// hypotheses discarded after a batch is selected, so re-standardizing for
+// them is wasted work.
+func (r *Regressor) ConditionFast(x []float64, y float64) (*Regressor, error) {
+	if len(x) != r.kernel.Dim() {
+		return nil, fmt.Errorf("gp: point has dim %d, kernel expects %d", len(x), r.kernel.Dim())
+	}
+	n := len(r.xs)
+
+	// Covariance of the new point against the training set and itself.
+	kvec := make([]float64, n)
+	for i, xi := range r.xs {
+		kvec[i] = r.kernel.Eval(x, xi)
+	}
+	kxx := r.kernel.Eval(x, x) + r.noise*r.noise
+
+	// Extend L: the new row is [lᵀ, d] with L·l = k and d² = kxx − lᵀl.
+	l := SolveLower(r.chol, kvec)
+	d2 := kxx - Dot(l, l)
+	if d2 < 1e-12 {
+		d2 = 1e-12 // duplicate point: clamp like the refit path's jitter
+	}
+	d := math.Sqrt(d2)
+
+	chol := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			chol.Set(i, j, r.chol.At(i, j))
+		}
+	}
+	for j := 0; j < n; j++ {
+		chol.Set(n, j, l[j])
+	}
+	chol.Set(n, n, d)
+
+	// Extended dataset in standardized units.
+	xs := make([][]float64, n+1)
+	copy(xs, r.xs)
+	cx := make([]float64, len(x))
+	copy(cx, x)
+	xs[n] = cx
+	ys := make([]float64, n+1)
+	copy(ys, r.ys)
+	ys[n] = (y - r.mean) / r.std
+
+	return &Regressor{
+		kernel: r.kernel,
+		noise:  r.noise,
+		xs:     xs,
+		mean:   r.mean,
+		std:    r.std,
+		chol:   chol,
+		alpha:  CholeskySolve(chol, ys),
+		ys:     ys,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConditionFastMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	k := mustMatern(t, 1, []float64{0.4, 0.6})
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(3*x[0])+x[1])
+	}
+	base, err := Fit(k, 0.05, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newX := []float64{0.33, 0.77}
+	newY := 1.5
+
+	fast, err := base.ConditionFast(newX, newY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := base.Condition(newX, newY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.N() != 21 || slow.N() != 21 {
+		t.Fatalf("N = %d / %d", fast.N(), slow.N())
+	}
+	// Predictions agree up to the (slightly different) standardization
+	// constants the refit recomputes.
+	for trial := 0; trial < 30; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		mf, sf := fast.Predict(q)
+		ms, ss := slow.Predict(q)
+		if math.Abs(mf-ms) > 0.02*(1+math.Abs(ms)) {
+			t.Errorf("mean at %v: fast %v vs refit %v", q, mf, ms)
+		}
+		if math.Abs(sf-ss) > 0.02*(1+ss) {
+			t.Errorf("std at %v: fast %v vs refit %v", q, sf, ss)
+		}
+	}
+}
+
+func TestConditionFastInterpolatesNewPoint(t *testing.T) {
+	k := mustMatern(t, 1, []float64{0.3})
+	base, err := Fit(k, 1e-5, [][]float64{{0.1}, {0.9}}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := base.ConditionFast([]float64{0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := cond.Predict([]float64{0.5})
+	if math.Abs(mu-5) > 0.05 {
+		t.Errorf("posterior at conditioned point = %v, want ≈5", mu)
+	}
+	if sigma > 0.1 {
+		t.Errorf("posterior std at conditioned point = %v, want ≈0", sigma)
+	}
+	// The receiver must be untouched.
+	if base.N() != 2 {
+		t.Error("ConditionFast mutated the receiver")
+	}
+}
+
+func TestConditionFastDuplicatePoint(t *testing.T) {
+	k := mustMatern(t, 1, []float64{0.3})
+	base, err := Fit(k, 1e-6, [][]float64{{0.5}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conditioning on the exact same input must not produce NaNs.
+	cond, err := base.ConditionFast([]float64{0.5}, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := cond.Predict([]float64{0.5})
+	if math.IsNaN(mu) || math.IsNaN(sigma) {
+		t.Errorf("duplicate conditioning produced NaN: %v, %v", mu, sigma)
+	}
+}
+
+func TestConditionFastValidation(t *testing.T) {
+	k := mustMatern(t, 1, []float64{0.3})
+	base, err := Fit(k, 0.01, [][]float64{{0.5}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.ConditionFast([]float64{1, 2}, 1); err == nil {
+		t.Error("wrong-dim point accepted")
+	}
+}
+
+func BenchmarkConditionRefit(b *testing.B) {
+	benchCondition(b, func(r *Regressor, x []float64, y float64) error {
+		_, err := r.Condition(x, y)
+		return err
+	})
+}
+
+func BenchmarkConditionFast(b *testing.B) {
+	benchCondition(b, func(r *Regressor, x []float64, y float64) error {
+		_, err := r.ConditionFast(x, y)
+		return err
+	})
+}
+
+func benchCondition(b *testing.B, f func(*Regressor, []float64, float64) error) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	k, err := NewMatern52(1, []float64{0.3, 0.3, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		ys = append(ys, rng.NormFloat64())
+	}
+	base, err := Fit(k, 0.05, xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(base, x, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// SolveDPValue computes the exact optimal energy by label-setting dynamic
+// programming: state w holds the Pareto front of achievable (total time,
+// total energy) pairs after assigning w jobs. Labels exceeding the budget are
+// discarded. This is an independent algorithm used to cross-check the
+// branch-and-bound solver; it only returns the optimal value, not the
+// assignment.
+func SolveDPValue(opts []Option, jobs int, budget float64) (float64, error) {
+	if err := validate(opts, jobs, budget); err != nil {
+		return 0, err
+	}
+	if jobs == 0 {
+		return 0, nil
+	}
+
+	type label struct{ time, energy float64 }
+	frontier := []label{{0, 0}}
+	for w := 0; w < jobs; w++ {
+		next := make([]label, 0, len(frontier)*len(opts))
+		for _, l := range frontier {
+			for _, o := range opts {
+				t := l.time + o.Time
+				if t > budget+1e-9 {
+					continue
+				}
+				next = append(next, label{t, l.energy + o.Energy})
+			}
+		}
+		if len(next) == 0 {
+			return 0, ErrInfeasible
+		}
+		// Prune to the Pareto front over (time, energy).
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].time != next[j].time {
+				return next[i].time < next[j].time
+			}
+			return next[i].energy < next[j].energy
+		})
+		pruned := next[:0]
+		bestE := math.Inf(1)
+		for _, l := range next {
+			if l.energy < bestE-1e-12 {
+				pruned = append(pruned, l)
+				bestE = l.energy
+			}
+		}
+		frontier = pruned
+	}
+	best := math.Inf(1)
+	for _, l := range frontier {
+		if l.energy < best {
+			best = l.energy
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, ErrInfeasible
+	}
+	return best, nil
+}

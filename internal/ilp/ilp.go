@@ -1,0 +1,427 @@
+// Package ilp solves BoFL's exploitation problem (Eqn. 1 of the paper): given
+// a set of candidate DVFS configurations with known per-job latency and
+// energy, assign one configuration to each of W remaining jobs so that total
+// energy is minimized and total latency stays within the round's deadline
+// budget. Because job order does not matter, the decision variables are the
+// integer counts n_k of jobs run under configuration k:
+//
+//	min  Σ n_k·E_k   s.t.  Σ n_k = W,  Σ n_k·T_k ≤ B,  n_k ∈ ℤ≥0
+//
+// The primary solver is branch-and-bound (the algorithm the paper uses via
+// Gurobi) with a closed-form LP-relaxation bound derived from the lower
+// convex hull of the (T, E) points. An independent exact dynamic-programming
+// solver is provided for cross-checking in tests.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Option is one candidate configuration's per-job cost.
+type Option struct {
+	Time   float64 // seconds per job under this configuration
+	Energy float64 // Joules per job under this configuration
+}
+
+// Assignment is a solution: Counts[k] jobs run under options[k].
+type Assignment struct {
+	Counts      []int
+	TotalTime   float64
+	TotalEnergy float64
+}
+
+// ErrInfeasible indicates that even the fastest configuration cannot finish
+// the remaining jobs within the budget.
+var ErrInfeasible = errors.New("ilp: no assignment meets the time budget")
+
+func validate(opts []Option, jobs int, budget float64) error {
+	if len(opts) == 0 {
+		return errors.New("ilp: no configuration options")
+	}
+	if jobs < 0 {
+		return fmt.Errorf("ilp: negative job count %d", jobs)
+	}
+	for i, o := range opts {
+		if o.Time <= 0 || o.Energy <= 0 || math.IsNaN(o.Time) || math.IsNaN(o.Energy) {
+			return fmt.Errorf("ilp: option %d has non-positive cost (%v, %v)", i, o.Time, o.Energy)
+		}
+	}
+	if math.IsNaN(budget) {
+		return errors.New("ilp: NaN budget")
+	}
+	return nil
+}
+
+// hull is the non-increasing lower convex envelope of (Time, Energy) points:
+// hull[i] are vertices with strictly increasing Time and strictly decreasing
+// Energy. Evaluating the envelope at an average per-job time τ gives the LP
+// relaxation's optimal per-job energy.
+type hull struct {
+	pts []Option // envelope vertices, ascending Time
+}
+
+func buildHull(opts []Option) hull {
+	sorted := make([]Option, len(opts))
+	copy(sorted, opts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Energy < sorted[j].Energy
+	})
+	// Keep only points below the running minimum energy: anything with
+	// higher energy and higher time is dominated and can never appear on
+	// the non-increasing envelope.
+	staircase := sorted[:0:0]
+	bestE := math.Inf(1)
+	for _, p := range sorted {
+		if p.Energy < bestE {
+			staircase = append(staircase, p)
+			bestE = p.Energy
+		}
+	}
+	// Andrew monotone-chain lower hull over the staircase.
+	var h []Option
+	for _, p := range staircase {
+		for len(h) >= 2 {
+			a, b := h[len(h)-2], h[len(h)-1]
+			// Drop b if it lies on or above segment a→p (cross ≤ 0
+			// means the turn a→b→p is not convex from below).
+			cross := (b.Time-a.Time)*(p.Energy-a.Energy) - (b.Energy-a.Energy)*(p.Time-a.Time)
+			if cross <= 0 {
+				h = h[:len(h)-1]
+			} else {
+				break
+			}
+		}
+		h = append(h, p)
+	}
+	return hull{pts: h}
+}
+
+// minTime returns the smallest per-job time on the envelope.
+func (h hull) minTime() float64 { return h.pts[0].Time }
+
+// value evaluates the envelope at average per-job time tau: the minimum
+// achievable per-job energy for a fractional mix with mean time ≤ tau.
+// Returns +Inf when tau is below the fastest option's time (infeasible).
+func (h hull) value(tau float64) float64 {
+	if tau < h.pts[0].Time {
+		return math.Inf(1)
+	}
+	last := h.pts[len(h.pts)-1]
+	if tau >= last.Time {
+		return last.Energy
+	}
+	// Binary search for the segment containing tau.
+	lo, hi := 0, len(h.pts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if h.pts[mid].Time <= tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := h.pts[lo], h.pts[hi]
+	frac := (tau - a.Time) / (b.Time - a.Time)
+	return a.Energy + frac*(b.Energy-a.Energy)
+}
+
+// LPLowerBound returns the LP-relaxation optimum of the assignment problem:
+// jobs × envelope(budget/jobs). Returns ErrInfeasible when no fractional mix
+// fits the budget, and 0 for zero jobs.
+func LPLowerBound(opts []Option, jobs int, budget float64) (float64, error) {
+	if err := validate(opts, jobs, budget); err != nil {
+		return 0, err
+	}
+	if jobs == 0 {
+		return 0, nil
+	}
+	h := buildHull(opts)
+	v := h.value(budget / float64(jobs))
+	if math.IsInf(v, 1) {
+		return 0, ErrInfeasible
+	}
+	return v * float64(jobs), nil
+}
+
+// Solve finds an exact integer-optimal assignment by branch-and-bound. Each
+// node fixes the count of one configuration; the LP envelope over the
+// remaining configurations provides the lower bound. Values are explored
+// around the LP-suggested count first, so the incumbent converges quickly
+// and pruning is effective; typical BoFL instances (≤ 30 Pareto options,
+// ≤ 400 jobs) solve in well under a millisecond.
+func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
+	if err := validate(opts, jobs, budget); err != nil {
+		return Assignment{}, err
+	}
+	if jobs == 0 {
+		return Assignment{Counts: make([]int, len(opts))}, nil
+	}
+
+	// Integer optima may use off-hull points, so we cannot restrict to
+	// envelope vertices — but dominated options (some other option no
+	// slower and no hungrier) can always be replaced, so drop those.
+	work := make([]indexedOption, 0, len(opts))
+	for i, o := range opts {
+		dominated := false
+		for j, p := range opts {
+			if j == i {
+				continue
+			}
+			if p.Time <= o.Time && p.Energy <= o.Energy && (p.Time < o.Time || p.Energy < o.Energy || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			work = append(work, indexedOption{Option: o, orig: i})
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].Time < work[j].Time })
+
+	if float64(jobs)*work[0].Time > budget+1e-9 {
+		return Assignment{}, ErrInfeasible
+	}
+
+	n := len(work)
+	// Suffix hulls: hullAt[i] covers work[i:].
+	hullAt := make([]hull, n)
+	for i := 0; i < n; i++ {
+		sub := make([]Option, 0, n-i)
+		for _, w := range work[i:] {
+			sub = append(sub, w.Option)
+		}
+		hullAt[i] = buildHull(sub)
+	}
+
+	bestEnergy := math.Inf(1)
+	bestCounts := make([]int, n)
+	counts := make([]int, n)
+	const eps = 1e-9
+
+	// Seed the incumbent with the best two-configuration blend. The LP
+	// optimum mixes at most two options, so this is near-optimal and makes
+	// the branch-and-bound pruning effective from the first node.
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			// jobs = ca + cb, time = ca·Ta + cb·Tb ≤ budget. With
+			// Ta ≤ Tb (work sorted by time), feasibility needs as
+			// many fast jobs as the budget shortfall demands.
+			ca := 0
+			if work[b].Time > work[a].Time {
+				need := (float64(jobs)*work[b].Time - budget) / (work[b].Time - work[a].Time)
+				ca = int(math.Ceil(need - 1e-9))
+			} else if float64(jobs)*work[b].Time > budget+1e-9 {
+				continue
+			}
+			if ca < 0 {
+				ca = 0
+			}
+			if ca > jobs {
+				continue
+			}
+			cb := jobs - ca
+			tt := float64(ca)*work[a].Time + float64(cb)*work[b].Time
+			if tt > budget+1e-9 {
+				continue
+			}
+			te := float64(ca)*work[a].Energy + float64(cb)*work[b].Energy
+			if te < bestEnergy {
+				bestEnergy = te
+				for k := range bestCounts {
+					bestCounts[k] = 0
+				}
+				bestCounts[a] += ca
+				bestCounts[b] += cb
+			}
+		}
+	}
+
+	// childBound is the LP relaxation of the subtree where counts for
+	// configs < i are fixed (accEnergy), counts[i] = c, and configs > i
+	// fill the remainder fractionally. Returns +Inf when infeasible.
+	childBound := func(i, c, remJobs int, remBudget, accEnergy float64) float64 {
+		e := accEnergy + float64(c)*work[i].Energy
+		left := remJobs - c
+		if left == 0 {
+			return e
+		}
+		b := remBudget - float64(c)*work[i].Time
+		if i+1 >= n {
+			return math.Inf(1)
+		}
+		h := hullAt[i+1]
+		if float64(left)*h.minTime() > b+1e-9 {
+			return math.Inf(1)
+		}
+		return e + h.value(b/float64(left))*float64(left)
+	}
+
+	var dfs func(i, remJobs int, remBudget, accEnergy float64)
+	dfs = func(i, remJobs int, remBudget, accEnergy float64) {
+		if remJobs == 0 {
+			if accEnergy < bestEnergy {
+				bestEnergy = accEnergy
+				copy(bestCounts, counts)
+			}
+			return
+		}
+		if i == n {
+			return
+		}
+		if i == n-1 {
+			// Last configuration must absorb all remaining jobs.
+			if float64(remJobs)*work[i].Time <= remBudget+1e-9 {
+				counts[i] = remJobs
+				total := accEnergy + float64(remJobs)*work[i].Energy
+				if total < bestEnergy {
+					bestEnergy = total
+					copy(bestCounts, counts)
+				}
+				counts[i] = 0
+			}
+			return
+		}
+
+		maxByBudget := remJobs
+		if byBudget := int(math.Floor((remBudget + 1e-9) / work[i].Time)); byBudget < maxByBudget {
+			maxByBudget = byBudget
+		}
+		if maxByBudget < 0 {
+			return
+		}
+		// The LP value with counts[i] pinned to c is convex in c
+		// (parametric-LP convexity). Locate the integer minimizer by
+		// ternary search, then expand outward: once a direction's bound
+		// crosses the incumbent, everything further out is at least as
+		// bad and the whole direction is pruned.
+		bound := func(c int) float64 {
+			return childBound(i, c, remJobs, remBudget, accEnergy)
+		}
+		lo, hi := 0, maxByBudget
+		for hi-lo > 2 {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			b1 := bound(m1)
+			// Infeasibility (+Inf) occupies a lower interval of c —
+			// work[i] is the fastest remaining option, so more jobs
+			// on it never hurt feasibility. An infeasible left probe
+			// therefore always moves the bracket up.
+			if math.IsInf(b1, 1) {
+				lo = m1
+			} else if b1 <= bound(m2) {
+				hi = m2
+			} else {
+				lo = m1
+			}
+		}
+		cMin := lo
+		for c := lo + 1; c <= hi; c++ {
+			if bound(c) < bound(cMin) {
+				cMin = c
+			}
+		}
+		visit := func(c int) bool {
+			if bound(c) >= bestEnergy-eps {
+				return false
+			}
+			counts[i] = c
+			dfs(i+1, remJobs-c, remBudget-float64(c)*work[i].Time, accEnergy+float64(c)*work[i].Energy)
+			counts[i] = 0
+			return true
+		}
+		for c := cMin; c <= maxByBudget; c++ {
+			if !visit(c) {
+				break
+			}
+		}
+		for c := cMin - 1; c >= 0; c-- {
+			if !visit(c) {
+				break
+			}
+		}
+	}
+	dfs(0, jobs, budget, 0)
+
+	if math.IsInf(bestEnergy, 1) {
+		return Assignment{}, ErrInfeasible
+	}
+	out := Assignment{Counts: make([]int, len(opts))}
+	for k, w := range work {
+		out.Counts[w.orig] += bestCounts[k]
+	}
+	for k, c := range out.Counts {
+		out.TotalTime += float64(c) * opts[k].Time
+		out.TotalEnergy += float64(c) * opts[k].Energy
+	}
+	return out, nil
+}
+
+// indexedOption pairs an Option with its position in the caller's slice.
+type indexedOption struct {
+	Option
+	orig int
+}
+
+// lpGuess estimates how many of the remaining jobs the LP relaxation would
+// run under work[i], assuming the rest run at the cheapest-energy remaining
+// configuration.
+func lpGuess(work []indexedOption, i, remJobs int, remBudget float64) int {
+	// Cheapest-energy config among the suffix (the slow mixer).
+	slow := work[i].Option
+	for _, w := range work[i+1:] {
+		if w.Energy < slow.Energy {
+			slow = w.Option
+		}
+	}
+	if slow == work[i].Option {
+		return remJobs
+	}
+	// Solve n_fast·T_fast + (W−n_fast)·T_slow = B.
+	denom := work[i].Time - slow.Time
+	if denom == 0 {
+		return 0
+	}
+	nf := (remBudget - float64(remJobs)*slow.Time) / denom
+	guess := int(math.Round(nf))
+	if guess < 0 {
+		guess = 0
+	}
+	if guess > remJobs {
+		guess = remJobs
+	}
+	return guess
+}
+
+// valueOrder yields 0..max ordered by distance from guess.
+func valueOrder(guess, max int) []int {
+	if guess < 0 {
+		guess = 0
+	}
+	if guess > max {
+		guess = max
+	}
+	out := make([]int, 0, max+1)
+	out = append(out, guess)
+	for d := 1; ; d++ {
+		lo, hi := guess-d, guess+d
+		any := false
+		if hi <= max {
+			out = append(out, hi)
+			any = true
+		}
+		if lo >= 0 {
+			out = append(out, lo)
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if _, err := Solve(nil, 1, 1); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := Solve([]Option{{1, 1}}, -1, 1); err == nil {
+		t.Error("negative jobs accepted")
+	}
+	if _, err := Solve([]Option{{0, 1}}, 1, 1); err == nil {
+		t.Error("zero time accepted")
+	}
+	if _, err := Solve([]Option{{1, -1}}, 1, 1); err == nil {
+		t.Error("negative energy accepted")
+	}
+	if _, err := Solve([]Option{{1, 1}}, 1, math.NaN()); err == nil {
+		t.Error("NaN budget accepted")
+	}
+}
+
+func TestSolveZeroJobs(t *testing.T) {
+	a, err := Solve([]Option{{1, 1}, {2, 0.5}}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy != 0 || a.TotalTime != 0 {
+		t.Errorf("zero jobs: got %+v", a)
+	}
+	if len(a.Counts) != 2 || a.Counts[0] != 0 || a.Counts[1] != 0 {
+		t.Errorf("zero jobs counts = %v", a.Counts)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	_, err := Solve([]Option{{2, 1}}, 5, 9) // needs 10s
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveSingleOption(t *testing.T) {
+	a, err := Solve([]Option{{2, 3}}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 4 || a.TotalEnergy != 12 || a.TotalTime != 8 {
+		t.Errorf("got %+v", a)
+	}
+}
+
+func TestSolvePrefersEfficientWhenSlackAllows(t *testing.T) {
+	// Fast-but-hungry vs slow-but-efficient: with a generous budget all
+	// jobs should use the efficient config.
+	opts := []Option{{Time: 1, Energy: 5}, {Time: 2, Energy: 1}}
+	a, err := Solve(opts, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[1] != 10 {
+		t.Errorf("want all jobs on efficient config, got %v", a.Counts)
+	}
+}
+
+func TestSolveMixesUnderTightBudget(t *testing.T) {
+	// Budget forces a blend: 10 jobs, budget 15 → n_fast + 2·n_slow ≤ 15,
+	// n_fast + n_slow = 10 → n_slow ≤ 5. Optimal: 5 fast + 5 slow.
+	opts := []Option{{Time: 1, Energy: 5}, {Time: 2, Energy: 1}}
+	a, err := Solve(opts, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 5 || a.Counts[1] != 5 {
+		t.Errorf("counts = %v, want [5 5]", a.Counts)
+	}
+	if a.TotalTime > 15 {
+		t.Errorf("budget violated: %v", a.TotalTime)
+	}
+	if math.Abs(a.TotalEnergy-30) > 1e-9 {
+		t.Errorf("energy = %v, want 30", a.TotalEnergy)
+	}
+}
+
+func TestSolveIgnoresDominatedOptions(t *testing.T) {
+	opts := []Option{
+		{Time: 1, Energy: 5},
+		{Time: 1.5, Energy: 6}, // dominated by option 0
+		{Time: 2, Energy: 1},
+	}
+	a, err := Solve(opts, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[1] != 0 {
+		t.Errorf("dominated option used: %v", a.Counts)
+	}
+}
+
+func bruteForce(opts []Option, jobs int, budget float64) float64 {
+	best := math.Inf(1)
+	counts := make([]int, len(opts))
+	var rec func(i, rem int)
+	rec = func(i, rem int) {
+		if i == len(opts)-1 {
+			counts[i] = rem
+			var tt, te float64
+			for k, c := range counts {
+				tt += float64(c) * opts[k].Time
+				te += float64(c) * opts[k].Energy
+			}
+			if tt <= budget+1e-9 && te < best {
+				best = te
+			}
+			return
+		}
+		for c := 0; c <= rem; c++ {
+			counts[i] = c
+			rec(i+1, rem-c)
+		}
+	}
+	rec(0, jobs)
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(4)
+		opts := make([]Option, m)
+		for i := range opts {
+			opts[i] = Option{
+				Time:   0.2 + rng.Float64()*2,
+				Energy: 0.2 + rng.Float64()*2,
+			}
+		}
+		jobs := 1 + rng.Intn(12)
+		budget := float64(jobs) * (0.2 + rng.Float64()*2.2)
+		want := bruteForce(opts, jobs, budget)
+
+		got, err := Solve(opts, jobs, budget)
+		if math.IsInf(want, 1) {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: brute force infeasible, Solve returned %+v, %v", trial, got, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v (opts=%v jobs=%d budget=%v)", trial, err, opts, jobs, budget)
+		}
+		if math.Abs(got.TotalEnergy-want) > 1e-6 {
+			t.Fatalf("trial %d: Solve=%v brute=%v (opts=%v jobs=%d budget=%v)",
+				trial, got.TotalEnergy, want, opts, jobs, budget)
+		}
+		// Assignment internal consistency.
+		sum := 0
+		var tt, te float64
+		for k, c := range got.Counts {
+			if c < 0 {
+				t.Fatalf("negative count %v", got.Counts)
+			}
+			sum += c
+			tt += float64(c) * opts[k].Time
+			te += float64(c) * opts[k].Energy
+		}
+		if sum != jobs {
+			t.Fatalf("counts sum %d != jobs %d", sum, jobs)
+		}
+		if math.Abs(tt-got.TotalTime) > 1e-9 || math.Abs(te-got.TotalEnergy) > 1e-9 {
+			t.Fatalf("totals inconsistent: %+v", got)
+		}
+		if tt > budget+1e-9 {
+			t.Fatalf("budget violated: %v > %v", tt, budget)
+		}
+	}
+}
+
+func TestSolveMatchesDPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		opts := make([]Option, m)
+		for i := range opts {
+			opts[i] = Option{
+				Time:   0.1 + rng.Float64()*3,
+				Energy: 0.1 + rng.Float64()*3,
+			}
+		}
+		jobs := 1 + rng.Intn(40)
+		budget := float64(jobs) * (0.1 + rng.Float64()*3.2)
+
+		bb, errBB := Solve(opts, jobs, budget)
+		dp, errDP := SolveDPValue(opts, jobs, budget)
+		if errBB != nil || errDP != nil {
+			return errors.Is(errBB, ErrInfeasible) == errors.Is(errDP, ErrInfeasible)
+		}
+		return math.Abs(bb.TotalEnergy-dp) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRealisticScaleIsFast(t *testing.T) {
+	// BoFL-scale instance: ~25 Pareto options, 200 jobs.
+	rng := rand.New(rand.NewSource(77))
+	const m = 25
+	opts := make([]Option, m)
+	for i := range opts {
+		// Pareto-shaped: increasing time, decreasing energy with noise.
+		tm := 0.18 + 0.3*float64(i)/m
+		opts[i] = Option{Time: tm, Energy: 5.2 - 3.5*float64(i)/m + 0.1*rng.Float64()}
+	}
+	start := time.Now()
+	a, err := Solve(opts, 200, 0.28*200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Solve took %v, want well under a second", elapsed)
+	}
+	if a.TotalTime > 0.28*200+1e-9 {
+		t.Errorf("budget violated: %v", a.TotalTime)
+	}
+	// Cross-check against the exact DP at a smaller job count — the DP's
+	// label frontier grows too large at 200 jobs to keep this test quick.
+	small, err := Solve(opts, 60, 0.28*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := SolveDPValue(opts, 60, 0.28*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(small.TotalEnergy-dp) > 1e-6 {
+		t.Errorf("B&B %v != DP %v", small.TotalEnergy, dp)
+	}
+}
+
+func TestLPLowerBound(t *testing.T) {
+	opts := []Option{{Time: 1, Energy: 5}, {Time: 2, Energy: 1}}
+	// τ = 1.5 → halfway along the hull segment: energy 3 per job.
+	lb, err := LPLowerBound(opts, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-30) > 1e-9 {
+		t.Errorf("LP bound = %v, want 30", lb)
+	}
+	// Generous budget → all jobs at min energy.
+	lb, err = LPLowerBound(opts, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-10) > 1e-9 {
+		t.Errorf("LP bound = %v, want 10", lb)
+	}
+	if _, err := LPLowerBound(opts, 10, 5); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	lb, err = LPLowerBound(opts, 0, 5)
+	if err != nil || lb != 0 {
+		t.Errorf("zero jobs: %v, %v", lb, err)
+	}
+}
+
+func TestLPBoundNeverExceedsIntegerOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(5)
+		opts := make([]Option, m)
+		for i := range opts {
+			opts[i] = Option{Time: 0.1 + rng.Float64(), Energy: 0.1 + rng.Float64()}
+		}
+		jobs := 1 + rng.Intn(20)
+		budget := float64(jobs) * (0.1 + rng.Float64()*1.2)
+		lb, errLB := LPLowerBound(opts, jobs, budget)
+		sol, errS := Solve(opts, jobs, budget)
+		if errLB != nil || errS != nil {
+			// LP infeasible implies ILP infeasible.
+			if errors.Is(errLB, ErrInfeasible) && !errors.Is(errS, ErrInfeasible) {
+				return false
+			}
+			return true
+		}
+		return lb <= sol.TotalEnergy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildHullStaircase(t *testing.T) {
+	h := buildHull([]Option{
+		{Time: 1, Energy: 10},
+		{Time: 2, Energy: 4},
+		{Time: 3, Energy: 3.5}, // above segment (2,4)-(4,1): hull drops it
+		{Time: 4, Energy: 1},
+		{Time: 5, Energy: 2}, // slower and hungrier than (4,1): dropped
+	})
+	if len(h.pts) != 3 {
+		t.Fatalf("hull = %+v, want 3 vertices", h.pts)
+	}
+	if h.pts[0] != (Option{1, 10}) || h.pts[1] != (Option{2, 4}) || h.pts[2] != (Option{4, 1}) {
+		t.Errorf("hull = %+v", h.pts)
+	}
+	if h.value(0.5) != math.Inf(1) {
+		t.Error("value below min time should be +Inf")
+	}
+	if got := h.value(3); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("value(3) = %v, want 2.5", got)
+	}
+	if got := h.value(100); got != 1 {
+		t.Errorf("value(100) = %v, want 1", got)
+	}
+}

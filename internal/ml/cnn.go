@@ -1,0 +1,250 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CNN is a small convolutional classifier for square single-channel images:
+//
+//	conv 3×3 (filters, stride 1, valid padding) → ReLU →
+//	global average pool per filter → logits = W·pool + b
+//
+// It is the convolutional stand-in for the paper's vision workloads
+// (ResNet50-class models); gradients are hand-derived and verified against
+// finite differences in tests. Examples carry the image row-major in
+// Features (length side×side).
+type CNN struct {
+	side, filters, out int
+	params             []float64 // K (filters×3×3) | bK (filters) | W (out×filters) | b (out)
+}
+
+var _ Model = (*CNN)(nil)
+
+// NewCNN builds a CNN for side×side inputs.
+func NewCNN(side, filters, out int, seed int64) (*CNN, error) {
+	if side < 3 {
+		return nil, fmt.Errorf("ml: cnn side %d must be ≥ 3", side)
+	}
+	if filters <= 0 || out <= 1 {
+		return nil, fmt.Errorf("ml: cnn dims (filters=%d, out=%d) invalid", filters, out)
+	}
+	n := filters*9 + filters + out*filters + out
+	m := &CNN{side: side, filters: filters, out: out, params: make([]float64, n)}
+	rng := rand.New(rand.NewSource(seed))
+	initUniform(m.params[:filters*9], math.Sqrt(2.0/9), rng)
+	start := filters*9 + filters
+	initUniform(m.params[start:start+out*filters], math.Sqrt(2.0/float64(filters+out)), rng)
+	return m, nil
+}
+
+// NumParams returns the parameter count.
+func (m *CNN) NumParams() int { return len(m.params) }
+
+// Params returns the flat parameter vector (aliased).
+func (m *CNN) Params() []float64 { return m.params }
+
+func (m *CNN) slices(v []float64) (kernels, kb, w, b []float64) {
+	f := m.filters
+	kernels = v[:f*9]
+	kb = v[f*9 : f*9+f]
+	w = v[f*9+f : f*9+f+m.out*f]
+	b = v[f*9+f+m.out*f:]
+	return kernels, kb, w, b
+}
+
+func (m *CNN) check(batch []Example) error {
+	if len(batch) == 0 {
+		return ErrEmptyBatch
+	}
+	want := m.side * m.side
+	for i, ex := range batch {
+		if len(ex.Features) != want {
+			return fmt.Errorf("ml: example %d has %d features, want %d (%d×%d image)", i, len(ex.Features), want, m.side, m.side)
+		}
+		if ex.Label < 0 || ex.Label >= m.out {
+			return fmt.Errorf("ml: example %d label %d out of range", i, ex.Label)
+		}
+	}
+	return nil
+}
+
+// convTrace keeps forward activations for backprop.
+type convTrace struct {
+	pre  []float64 // pre-activation feature maps, filters×oh×ow
+	pool []float64 // per-filter pooled activations
+}
+
+func (m *CNN) forward(x []float64, tr *convTrace, logits []float64) {
+	kernels, kb, w, b := m.slices(m.params)
+	oh := m.side - 2
+	n := oh * oh
+	if tr.pre == nil {
+		tr.pre = make([]float64, m.filters*n)
+		tr.pool = make([]float64, m.filters)
+	}
+	for f := 0; f < m.filters; f++ {
+		k := kernels[f*9 : (f+1)*9]
+		sum := 0.0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < oh; ox++ {
+				s := kb[f]
+				for ky := 0; ky < 3; ky++ {
+					row := (oy+ky)*m.side + ox
+					s += k[ky*3]*x[row] + k[ky*3+1]*x[row+1] + k[ky*3+2]*x[row+2]
+				}
+				tr.pre[f*n+oy*oh+ox] = s
+				if s > 0 { // ReLU before pooling
+					sum += s
+				}
+			}
+		}
+		tr.pool[f] = sum / float64(n)
+	}
+	for o := 0; o < m.out; o++ {
+		s := b[o]
+		row := w[o*m.filters : (o+1)*m.filters]
+		for f, p := range tr.pool {
+			s += row[f] * p
+		}
+		logits[o] = s
+	}
+}
+
+// Loss returns the batch's mean cross-entropy.
+func (m *CNN) Loss(batch []Example) (float64, error) {
+	if err := m.check(batch); err != nil {
+		return 0, err
+	}
+	var tr convTrace
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	total := 0.0
+	for _, ex := range batch {
+		m.forward(ex.Features, &tr, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+	}
+	return total / float64(len(batch)), nil
+}
+
+// Gradients returns the mean gradient over the batch.
+func (m *CNN) Gradients(batch []Example) ([]float64, float64, error) {
+	if err := m.check(batch); err != nil {
+		return nil, 0, err
+	}
+	grads := make([]float64, len(m.params))
+	gK, gKb, gW, gB := m.slices(grads)
+	_, _, w, _ := m.slices(m.params)
+
+	var tr convTrace
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	dpool := make([]float64, m.filters)
+	oh := m.side - 2
+	n := oh * oh
+	total := 0.0
+	for _, ex := range batch {
+		m.forward(ex.Features, &tr, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+
+		for f := range dpool {
+			dpool[f] = 0
+		}
+		for o := 0; o < m.out; o++ {
+			row := w[o*m.filters : (o+1)*m.filters]
+			grow := gW[o*m.filters : (o+1)*m.filters]
+			for f, p := range tr.pool {
+				grow[f] += dl[o] * p
+				dpool[f] += dl[o] * row[f]
+			}
+			gB[o] += dl[o]
+		}
+		inv := 1 / float64(n)
+		x := ex.Features
+		for f := 0; f < m.filters; f++ {
+			gk := gK[f*9 : (f+1)*9]
+			d := dpool[f] * inv
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < oh; ox++ {
+					if tr.pre[f*n+oy*oh+ox] <= 0 {
+						continue // ReLU gate
+					}
+					for ky := 0; ky < 3; ky++ {
+						row := (oy+ky)*m.side + ox
+						gk[ky*3] += d * x[row]
+						gk[ky*3+1] += d * x[row+1]
+						gk[ky*3+2] += d * x[row+2]
+					}
+					gKb[f] += d
+				}
+			}
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for i := range grads {
+		grads[i] *= inv
+	}
+	return grads, total * inv, nil
+}
+
+// Predict returns the argmax class.
+func (m *CNN) Predict(ex Example) (int, error) {
+	if err := m.check([]Example{ex}); err != nil {
+		return 0, err
+	}
+	var tr convTrace
+	logits := make([]float64, m.out)
+	m.forward(ex.Features, &tr, logits)
+	best := 0
+	for o, v := range logits {
+		if v > logits[best] {
+			best = o
+		}
+	}
+	return best, nil
+}
+
+// ImagePatterns generates a synthetic image-classification dataset: each
+// class is a distinct spatial pattern (oriented bar) plus pixel noise on a
+// side×side canvas — enough structure that a convolution genuinely helps over
+// a linear model.
+func ImagePatterns(n, side, classes int, noise float64, seed int64) ([]Example, error) {
+	if n <= 0 || side < 5 || classes <= 1 || classes > 4 {
+		return nil, fmt.Errorf("ml: ImagePatterns(n=%d, side=%d, classes=%d) invalid (classes ≤ 4)", n, side, classes)
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("ml: negative noise %v", noise)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, n)
+	for i := range out {
+		label := rng.Intn(classes)
+		img := make([]float64, side*side)
+		for p := range img {
+			img[p] = rng.NormFloat64() * noise
+		}
+		// Draw the class pattern at a random offset.
+		off := rng.Intn(side - 4)
+		switch label {
+		case 0: // horizontal bar
+			for x := 0; x < side; x++ {
+				img[(off+2)*side+x] += 1
+			}
+		case 1: // vertical bar
+			for y := 0; y < side; y++ {
+				img[y*side+off+2] += 1
+			}
+		case 2: // diagonal
+			for d := 0; d < side; d++ {
+				img[d*side+d] += 1
+			}
+		case 3: // anti-diagonal
+			for d := 0; d < side; d++ {
+				img[d*side+(side-1-d)] += 1
+			}
+		}
+		out[i] = Example{Features: img, Label: label}
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Blobs generates a synthetic classification dataset of n examples: `classes`
+// Gaussian clusters in `dim` dimensions with the given intra-cluster spread.
+// It stands in for CIFAR10 / cropped-ImageNet image features — the point is
+// to give FedAvg a real learnable signal, not to model pixels.
+func Blobs(n, dim, classes int, spread float64, seed int64) ([]Example, error) {
+	if n <= 0 || dim <= 0 || classes <= 1 {
+		return nil, fmt.Errorf("ml: blobs(n=%d, dim=%d, classes=%d) invalid", n, dim, classes)
+	}
+	if spread <= 0 {
+		return nil, fmt.Errorf("ml: non-positive spread %v", spread)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.NormFloat64() * 2
+		}
+	}
+	out := make([]Example, n)
+	for i := range out {
+		c := rng.Intn(classes)
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = centers[c][d] + rng.NormFloat64()*spread
+		}
+		out[i] = Example{Features: x, Label: c}
+	}
+	return out, nil
+}
+
+// Sentiment generates a synthetic binary text-classification dataset shaped
+// like IMDB reviews: sequences of token ids where class 0 draws preferentially
+// from the lower half of the vocabulary and class 1 from the upper half, with
+// `mix` controlling how noisy the signal is (0 = fully separable).
+func Sentiment(n, vocab, seqLen int, mix float64, seed int64) ([]Example, error) {
+	if n <= 0 || vocab < 4 || seqLen <= 0 {
+		return nil, fmt.Errorf("ml: sentiment(n=%d, vocab=%d, seqLen=%d) invalid", n, vocab, seqLen)
+	}
+	if mix < 0 || mix >= 1 {
+		return nil, fmt.Errorf("ml: mix %v must be in [0,1)", mix)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	half := vocab / 2
+	out := make([]Example, n)
+	for i := range out {
+		label := rng.Intn(2)
+		seq := make([]int, seqLen)
+		for t := range seq {
+			fromOwn := rng.Float64() >= mix
+			side := label
+			if !fromOwn {
+				side = 1 - label
+			}
+			if side == 0 {
+				seq[t] = rng.Intn(half)
+			} else {
+				seq[t] = half + rng.Intn(vocab-half)
+			}
+		}
+		out[i] = Example{Seq: seq, Label: label}
+	}
+	return out, nil
+}
+
+// Partition splits examples into `parts` disjoint shards, round-robin, for
+// distributing data across FL clients. Shard p receives examples p, p+parts,
+// p+2·parts, …
+func Partition(examples []Example, parts int) ([][]Example, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("ml: partition into %d parts", parts)
+	}
+	out := make([][]Example, parts)
+	for i, ex := range examples {
+		p := i % parts
+		out[p] = append(out[p], ex)
+	}
+	return out, nil
+}
+
+// PartitionNonIID splits a labelled dataset into `parts` shards with
+// Dirichlet(α) label skew — the standard way to emulate the heterogeneous
+// client data federated learning must cope with (the paper's server forms
+// different groups per round precisely because client data is non-IID).
+// Small α (e.g. 0.1) gives near-single-label clients; large α approaches IID.
+// Every shard is guaranteed at least one example.
+func PartitionNonIID(examples []Example, parts, classes int, alpha float64, seed int64) ([][]Example, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("ml: partition into %d parts", parts)
+	}
+	if classes <= 0 {
+		return nil, fmt.Errorf("ml: %d classes", classes)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("ml: dirichlet alpha %v must be positive", alpha)
+	}
+	if len(examples) < parts {
+		return nil, fmt.Errorf("ml: %d examples cannot fill %d shards", len(examples), parts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Per-class Dirichlet weights over shards.
+	byClass := make([][]int, classes)
+	for i, ex := range examples {
+		if ex.Label < 0 || ex.Label >= classes {
+			return nil, fmt.Errorf("ml: example %d label %d out of range", i, ex.Label)
+		}
+		byClass[ex.Label] = append(byClass[ex.Label], i)
+	}
+	out := make([][]Example, parts)
+	for _, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		weights := dirichlet(rng, parts, alpha)
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+		// Convert weights into cumulative cut points over this class.
+		start := 0
+		acc := 0.0
+		for p := 0; p < parts; p++ {
+			acc += weights[p]
+			end := int(acc*float64(len(idxs)) + 0.5)
+			if p == parts-1 {
+				end = len(idxs)
+			}
+			for _, i := range idxs[start:min(end, len(idxs))] {
+				out[p] = append(out[p], examples[i])
+			}
+			start = min(end, len(idxs))
+		}
+	}
+	// Backfill empty shards from the largest one so every client trains.
+	for p := range out {
+		if len(out[p]) > 0 {
+			continue
+		}
+		largest := 0
+		for q := range out {
+			if len(out[q]) > len(out[largest]) {
+				largest = q
+			}
+		}
+		if len(out[largest]) < 2 {
+			return nil, fmt.Errorf("ml: cannot backfill shard %d", p)
+		}
+		n := len(out[largest])
+		out[p] = append(out[p], out[largest][n-1])
+		out[largest] = out[largest][:n-1]
+	}
+	return out, nil
+}
+
+// dirichlet draws a Dirichlet(α,…,α) sample via normalized Gamma variates
+// (Marsaglia–Tsang for α < 1 via boosting).
+func dirichlet(rng *rand.Rand, n int, alpha float64) []float64 {
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		return gammaSample(rng, shape+1) * math.Pow(rng.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Batches groups examples into minibatches of the given size; the final batch
+// may be smaller.
+func Batches(examples []Example, size int) ([][]Example, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("ml: batch size %d", size)
+	}
+	var out [][]Example
+	for start := 0; start < len(examples); start += size {
+		end := start + size
+		if end > len(examples) {
+			end = len(examples)
+		}
+		out = append(out, examples[start:end])
+	}
+	return out, nil
+}

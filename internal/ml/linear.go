@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Linear is a multinomial logistic-regression classifier: logits = W·x + b.
+// It stands in for small convolutional baselines in quick experiments.
+type Linear struct {
+	in, out int
+	params  []float64 // layout: W (out×in) then b (out)
+}
+
+var _ Model = (*Linear)(nil)
+
+// NewLinear builds a logistic-regression model with small random weights.
+func NewLinear(in, out int, seed int64) (*Linear, error) {
+	if in <= 0 || out <= 1 {
+		return nil, fmt.Errorf("ml: linear dims (%d in, %d out) invalid", in, out)
+	}
+	m := &Linear{in: in, out: out, params: make([]float64, out*in+out)}
+	initUniform(m.params[:out*in], 0.1, rand.New(rand.NewSource(seed)))
+	return m, nil
+}
+
+// NumParams returns the parameter count.
+func (m *Linear) NumParams() int { return len(m.params) }
+
+// Params returns the flat parameter vector (aliased).
+func (m *Linear) Params() []float64 { return m.params }
+
+func (m *Linear) logits(x []float64, out []float64) {
+	w := m.params[:m.out*m.in]
+	b := m.params[m.out*m.in:]
+	for o := 0; o < m.out; o++ {
+		s := b[o]
+		row := w[o*m.in : (o+1)*m.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+}
+
+func (m *Linear) check(batch []Example) error {
+	if len(batch) == 0 {
+		return ErrEmptyBatch
+	}
+	for i, ex := range batch {
+		if len(ex.Features) != m.in {
+			return fmt.Errorf("ml: example %d has %d features, want %d", i, len(ex.Features), m.in)
+		}
+		if ex.Label < 0 || ex.Label >= m.out {
+			return fmt.Errorf("ml: example %d label %d out of range", i, ex.Label)
+		}
+	}
+	return nil
+}
+
+// Loss returns the batch's mean cross-entropy.
+func (m *Linear) Loss(batch []Example) (float64, error) {
+	if err := m.check(batch); err != nil {
+		return 0, err
+	}
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	total := 0.0
+	for _, ex := range batch {
+		m.logits(ex.Features, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+	}
+	return total / float64(len(batch)), nil
+}
+
+// Gradients returns the mean gradient over the batch.
+func (m *Linear) Gradients(batch []Example) ([]float64, float64, error) {
+	if err := m.check(batch); err != nil {
+		return nil, 0, err
+	}
+	grads := make([]float64, len(m.params))
+	gw := grads[:m.out*m.in]
+	gb := grads[m.out*m.in:]
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	total := 0.0
+	for _, ex := range batch {
+		m.logits(ex.Features, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+		for o := 0; o < m.out; o++ {
+			row := gw[o*m.in : (o+1)*m.in]
+			for i, xi := range ex.Features {
+				row[i] += dl[o] * xi
+			}
+			gb[o] += dl[o]
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for i := range grads {
+		grads[i] *= inv
+	}
+	return grads, total * inv, nil
+}
+
+// Predict returns the class with the largest logit.
+func (m *Linear) Predict(ex Example) (int, error) {
+	if err := m.check([]Example{ex}); err != nil {
+		return 0, err
+	}
+	logits := make([]float64, m.out)
+	m.logits(ex.Features, logits)
+	best := 0
+	for o, v := range logits {
+		if v > logits[best] {
+			best = o
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,122 @@
+// Package ml is a small from-scratch machine-learning substrate: models with
+// hand-coded analytic gradients (logistic regression, a one-hidden-layer MLP
+// and an LSTM sequence classifier), minibatch SGD and synthetic datasets
+// shaped like the paper's three workloads.
+//
+// The FL layer trains these models for real — gradients are exact (verified
+// against finite differences in tests) and FedAvg genuinely converges. What
+// is simulated is only the hardware cost of executing a minibatch, which
+// package device provides. This mirrors the role PyTorch plays in the
+// paper's implementation (module 1 in Figure 8).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Example is one training sample. Feature models read Features; sequence
+// models read Seq (token ids). Label is the class index.
+type Example struct {
+	Features []float64
+	Seq      []int
+	Label    int
+}
+
+// Model is a trainable classifier with a flat parameter vector.
+type Model interface {
+	// NumParams returns the length of the parameter vector.
+	NumParams() int
+	// Params returns the model's parameters as a mutable flat slice
+	// (aliasing internal state — callers own synchronization).
+	Params() []float64
+	// Loss returns the mean cross-entropy of the batch.
+	Loss(batch []Example) (float64, error)
+	// Gradients returns the mean gradient of the loss over the batch,
+	// flattened to align with Params, plus the batch loss.
+	Gradients(batch []Example) ([]float64, float64, error)
+	// Predict returns the most likely class of one example.
+	Predict(ex Example) (int, error)
+}
+
+// ErrEmptyBatch is returned when Loss or Gradients receives no examples.
+var ErrEmptyBatch = errors.New("ml: empty batch")
+
+// SGD applies one vanilla stochastic-gradient step: p ← p − lr·g.
+func SGD(m Model, grads []float64, lr float64) error {
+	p := m.Params()
+	if len(grads) != len(p) {
+		return fmt.Errorf("ml: gradient length %d != param length %d", len(grads), len(p))
+	}
+	if lr <= 0 {
+		return fmt.Errorf("ml: non-positive learning rate %v", lr)
+	}
+	for i := range p {
+		p[i] -= lr * grads[i]
+	}
+	return nil
+}
+
+// TrainStep runs one minibatch SGD step and returns the batch loss.
+func TrainStep(m Model, batch []Example, lr float64) (float64, error) {
+	grads, loss, err := m.Gradients(batch)
+	if err != nil {
+		return 0, err
+	}
+	if err := SGD(m, grads, lr); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// Accuracy evaluates m on the examples.
+func Accuracy(m Model, examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, ErrEmptyBatch
+	}
+	correct := 0
+	for _, ex := range examples {
+		pred, err := m.Predict(ex)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// softmaxCrossEntropy computes softmax probabilities of logits and the
+// cross-entropy against label; dlogits receives ∂loss/∂logits.
+func softmaxCrossEntropy(logits []float64, label int, dlogits []float64) float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		dlogits[i] = e
+		sum += e
+	}
+	for i := range dlogits {
+		dlogits[i] /= sum
+	}
+	loss := -math.Log(math.Max(dlogits[label], 1e-15))
+	dlogits[label] -= 1
+	return loss
+}
+
+// initUniform fills w with small uniform values in [−s, s].
+func initUniform(w []float64, s float64, rng *rand.Rand) {
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * s
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

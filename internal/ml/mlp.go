@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a one-hidden-layer perceptron with tanh activation:
+//
+//	h = tanh(W1·x + b1), logits = W2·h + b2
+//
+// It stands in for the paper's vision models (ViT / ResNet50) in the FL
+// substrate — the convergence dynamics of FedAvg are exercised for real while
+// the hardware cost of a minibatch comes from the device simulator.
+type MLP struct {
+	in, hidden, out int
+	params          []float64 // W1 (h×in) | b1 (h) | W2 (out×h) | b2 (out)
+}
+
+var _ Model = (*MLP)(nil)
+
+// NewMLP builds an MLP with Xavier-ish random weights.
+func NewMLP(in, hidden, out int, seed int64) (*MLP, error) {
+	if in <= 0 || hidden <= 0 || out <= 1 {
+		return nil, fmt.Errorf("ml: mlp dims (%d, %d, %d) invalid", in, hidden, out)
+	}
+	n := hidden*in + hidden + out*hidden + out
+	m := &MLP{in: in, hidden: hidden, out: out, params: make([]float64, n)}
+	rng := rand.New(rand.NewSource(seed))
+	initUniform(m.params[:hidden*in], math.Sqrt(2.0/float64(in+hidden)), rng)
+	start := hidden*in + hidden
+	initUniform(m.params[start:start+out*hidden], math.Sqrt(2.0/float64(hidden+out)), rng)
+	return m, nil
+}
+
+// NumParams returns the parameter count.
+func (m *MLP) NumParams() int { return len(m.params) }
+
+// Params returns the flat parameter vector (aliased).
+func (m *MLP) Params() []float64 { return m.params }
+
+func (m *MLP) slices(v []float64) (w1, b1, w2, b2 []float64) {
+	h, in, out := m.hidden, m.in, m.out
+	w1 = v[:h*in]
+	b1 = v[h*in : h*in+h]
+	w2 = v[h*in+h : h*in+h+out*h]
+	b2 = v[h*in+h+out*h:]
+	return w1, b1, w2, b2
+}
+
+func (m *MLP) check(batch []Example) error {
+	if len(batch) == 0 {
+		return ErrEmptyBatch
+	}
+	for i, ex := range batch {
+		if len(ex.Features) != m.in {
+			return fmt.Errorf("ml: example %d has %d features, want %d", i, len(ex.Features), m.in)
+		}
+		if ex.Label < 0 || ex.Label >= m.out {
+			return fmt.Errorf("ml: example %d label %d out of range", i, ex.Label)
+		}
+	}
+	return nil
+}
+
+// forward computes hidden activations and logits for one example.
+func (m *MLP) forward(x []float64, hidden, logits []float64) {
+	w1, b1, w2, b2 := m.slices(m.params)
+	for h := 0; h < m.hidden; h++ {
+		s := b1[h]
+		row := w1[h*m.in : (h+1)*m.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		hidden[h] = math.Tanh(s)
+	}
+	for o := 0; o < m.out; o++ {
+		s := b2[o]
+		row := w2[o*m.hidden : (o+1)*m.hidden]
+		for h, hv := range hidden {
+			s += row[h] * hv
+		}
+		logits[o] = s
+	}
+}
+
+// Loss returns the batch's mean cross-entropy.
+func (m *MLP) Loss(batch []Example) (float64, error) {
+	if err := m.check(batch); err != nil {
+		return 0, err
+	}
+	hidden := make([]float64, m.hidden)
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	total := 0.0
+	for _, ex := range batch {
+		m.forward(ex.Features, hidden, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+	}
+	return total / float64(len(batch)), nil
+}
+
+// Gradients returns the mean gradient over the batch via backpropagation.
+func (m *MLP) Gradients(batch []Example) ([]float64, float64, error) {
+	if err := m.check(batch); err != nil {
+		return nil, 0, err
+	}
+	grads := make([]float64, len(m.params))
+	gw1, gb1, gw2, gb2 := m.slices(grads)
+	_, _, w2, _ := m.slices(m.params)
+
+	hidden := make([]float64, m.hidden)
+	logits := make([]float64, m.out)
+	dl := make([]float64, m.out)
+	dh := make([]float64, m.hidden)
+	total := 0.0
+	for _, ex := range batch {
+		m.forward(ex.Features, hidden, logits)
+		total += softmaxCrossEntropy(logits, ex.Label, dl)
+
+		for h := range dh {
+			dh[h] = 0
+		}
+		for o := 0; o < m.out; o++ {
+			row := w2[o*m.hidden : (o+1)*m.hidden]
+			grow := gw2[o*m.hidden : (o+1)*m.hidden]
+			for h, hv := range hidden {
+				grow[h] += dl[o] * hv
+				dh[h] += dl[o] * row[h]
+			}
+			gb2[o] += dl[o]
+		}
+		for h := 0; h < m.hidden; h++ {
+			// d tanh = 1 − tanh².
+			dpre := dh[h] * (1 - hidden[h]*hidden[h])
+			grow := gw1[h*m.in : (h+1)*m.in]
+			for i, xi := range ex.Features {
+				grow[i] += dpre * xi
+			}
+			gb1[h] += dpre
+		}
+	}
+	inv := 1 / float64(len(batch))
+	for i := range grads {
+		grads[i] *= inv
+	}
+	return grads, total * inv, nil
+}
+
+// Predict returns the argmax class.
+func (m *MLP) Predict(ex Example) (int, error) {
+	if err := m.check([]Example{ex}); err != nil {
+		return 0, err
+	}
+	hidden := make([]float64, m.hidden)
+	logits := make([]float64, m.out)
+	m.forward(ex.Features, hidden, logits)
+	best := 0
+	for o, v := range logits {
+		if v > logits[best] {
+			best = o
+		}
+	}
+	return best, nil
+}

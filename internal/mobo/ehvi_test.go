@@ -1,0 +1,266 @@
+package mobo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bofl/internal/pareto"
+)
+
+func TestNormCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{10, 1},
+		{-10, 0},
+	}
+	for _, tt := range tests {
+		if got := normCDF(tt.in); math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("normCDF(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPsiDegenerate(t *testing.T) {
+	// sigma = 0 → max(c-mu, 0).
+	if got := psi(3, 1, 0); got != 2 {
+		t.Errorf("psi(3,1,0) = %v, want 2", got)
+	}
+	if got := psi(1, 3, 0); got != 0 {
+		t.Errorf("psi(1,3,0) = %v, want 0", got)
+	}
+}
+
+func TestPsiIsExpectedShortfall(t *testing.T) {
+	// psi(c; mu, sigma) = E[(c - Z)+] — verify by Monte Carlo.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		mu := rng.NormFloat64()
+		sigma := 0.2 + rng.Float64()
+		c := mu + (rng.Float64()*4 - 2)
+		var sum float64
+		const n = 400000
+		for i := 0; i < n; i++ {
+			z := mu + sigma*rng.NormFloat64()
+			if z < c {
+				sum += c - z
+			}
+		}
+		mc := sum / n
+		got := psi(c, mu, sigma)
+		if math.Abs(got-mc) > 0.01 {
+			t.Errorf("psi(%v,%v,%v) = %v, monte carlo %v", c, mu, sigma, got, mc)
+		}
+	}
+}
+
+func TestEHVIEmptyFront(t *testing.T) {
+	// With no front, EHVI is E[(rX - Zx)+] * E[(rY - Zy)+].
+	g := Gaussian2{MuX: 1, SigmaX: 0.5, MuY: 2, SigmaY: 0.25}
+	ref := pareto.Point{X: 3, Y: 4}
+	want := psi(3, 1, 0.5) * psi(4, 2, 0.25)
+	if got := EHVI(g, nil, ref); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EHVI = %v, want %v", got, want)
+	}
+}
+
+func TestEHVIDeterministicPoint(t *testing.T) {
+	// With sigma → 0 the EHVI equals the deterministic HVI at the mean.
+	front := []pareto.Point{{X: 1, Y: 3}, {X: 2, Y: 2}, {X: 3, Y: 1}}
+	ref := pareto.Point{X: 4, Y: 4}
+	cases := []pareto.Point{
+		{X: 0.5, Y: 0.5}, // dominates everything in its corner
+		{X: 2.5, Y: 2.5}, // dominated → zero
+		{X: 1.5, Y: 2.5}, // partial improvement
+		{X: 5, Y: 5},     // outside box → zero
+	}
+	for _, c := range cases {
+		g := Gaussian2{MuX: c.X, SigmaX: 0, MuY: c.Y, SigmaY: 0}
+		want := pareto.Improvement([]pareto.Point{c}, front, ref)
+		got := EHVI(g, front, ref)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("EHVI at deterministic %v = %v, want HVI %v", c, got, want)
+		}
+	}
+}
+
+func TestEHVIMatchesQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(6)
+		front := make([]pareto.Point, n)
+		for i := range front {
+			front[i] = pareto.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
+		}
+		ref := pareto.Point{X: 3 + rng.Float64()*2, Y: 3 + rng.Float64()*2}
+		g := Gaussian2{
+			MuX:    rng.Float64() * 4,
+			SigmaX: 0.05 + rng.Float64(),
+			MuY:    rng.Float64() * 4,
+			SigmaY: 0.05 + rng.Float64(),
+		}
+		analytic := EHVI(g, front, ref)
+		quad := EHVIQuadrature(g, front, ref)
+		// The 16-point tensor quadrature is only ~5%-accurate because
+		// the HVI integrand is piecewise linear with kinks; the analytic
+		// form is the precise one (validated against Monte Carlo in
+		// TestEHVIMonteCarloCrossCheck).
+		tol := 5e-3 + 0.06*math.Abs(analytic)
+		if math.Abs(analytic-quad) > tol {
+			t.Errorf("trial %d: analytic %v vs quadrature %v (front=%v ref=%v g=%+v)",
+				trial, analytic, quad, front, ref, g)
+		}
+	}
+}
+
+func TestEHVIMonteCarloCrossCheck(t *testing.T) {
+	// Direct Monte Carlo over the predictive distribution.
+	front := []pareto.Point{{X: 1, Y: 2}, {X: 2, Y: 1}}
+	ref := pareto.Point{X: 3, Y: 3}
+	g := Gaussian2{MuX: 1.2, SigmaX: 0.6, MuY: 1.2, SigmaY: 0.6}
+	rng := rand.New(rand.NewSource(4))
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		z := pareto.Point{
+			X: g.MuX + g.SigmaX*rng.NormFloat64(),
+			Y: g.MuY + g.SigmaY*rng.NormFloat64(),
+		}
+		sum += pareto.Improvement([]pareto.Point{z}, front, ref)
+	}
+	mc := sum / n
+	got := EHVI(g, front, ref)
+	if math.Abs(got-mc) > 0.01 {
+		t.Errorf("EHVI = %v, monte carlo %v", got, mc)
+	}
+}
+
+func TestEHVINonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		front := make([]pareto.Point, rng.Intn(5))
+		for i := range front {
+			front[i] = pareto.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		g := Gaussian2{
+			MuX:    rng.Float64() * 2,
+			SigmaX: rng.Float64(),
+			MuY:    rng.Float64() * 2,
+			SigmaY: rng.Float64(),
+		}
+		return EHVI(g, front, pareto.Point{X: 1, Y: 1}) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEHVIDominatedMeanStillPositiveWithUncertainty(t *testing.T) {
+	// A candidate whose mean is dominated but with large uncertainty must
+	// retain positive acquisition value — this is what makes BO explore.
+	front := []pareto.Point{{X: 1, Y: 1}}
+	ref := pareto.Point{X: 3, Y: 3}
+	certain := EHVI(Gaussian2{MuX: 2, SigmaX: 0.001, MuY: 2, SigmaY: 0.001}, front, ref)
+	uncertain := EHVI(Gaussian2{MuX: 2, SigmaX: 1, MuY: 2, SigmaY: 1}, front, ref)
+	if certain > 1e-6 {
+		t.Errorf("certain dominated point has EHVI %v, want ≈0", certain)
+	}
+	if uncertain < 1e-3 {
+		t.Errorf("uncertain dominated point has EHVI %v, want clearly positive", uncertain)
+	}
+}
+
+func TestHaltonPointRanges(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		p, err := HaltonPoint(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, v := range p {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("halton point %d dim %d = %v outside (0,1)", i, d, v)
+			}
+		}
+	}
+}
+
+func TestHaltonPointErrors(t *testing.T) {
+	if _, err := HaltonPoint(0, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := HaltonPoint(0, 99); err == nil {
+		t.Error("dim 99 accepted")
+	}
+	if _, err := HaltonPoint(-1, 2); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestHaltonUniformity(t *testing.T) {
+	// Quasi-random points must cover all octants of the unit cube with
+	// roughly equal counts.
+	counts := make(map[int]int)
+	const n = 800
+	for i := 0; i < n; i++ {
+		p, err := HaltonPoint(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := 0
+		for _, v := range p {
+			key = key*2 + int(v*2)
+		}
+		counts[key]++
+	}
+	for oct := 0; oct < 8; oct++ {
+		c := counts[oct]
+		if c < n/8-25 || c > n/8+25 {
+			t.Errorf("octant %d has %d points, want ≈%d", oct, c, n/8)
+		}
+	}
+}
+
+func TestHaltonIndicesDistinctAndInRange(t *testing.T) {
+	dims := []int{25, 14, 6} // Jetson AGX DVFS grid
+	idx, err := HaltonIndices(21, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 21 {
+		t.Fatalf("got %d indices, want 21", len(idx))
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if i < 0 || i >= 25*14*6 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestHaltonIndicesClampsCount(t *testing.T) {
+	idx, err := HaltonIndices(100, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Errorf("got %d indices from a 4-cell grid, want 4", len(idx))
+	}
+}
+
+func TestHaltonIndicesValidation(t *testing.T) {
+	if _, err := HaltonIndices(1, nil); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := HaltonIndices(1, []int{0}); err == nil {
+		t.Error("zero dim accepted")
+	}
+}

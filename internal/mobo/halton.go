@@ -1,0 +1,85 @@
+// Package mobo implements multi-objective Bayesian optimization for the
+// two-objective (energy, latency) minimization problem at the heart of BoFL:
+// Halton quasi-random initial designs, the exact analytic 2-D expected
+// hypervolume improvement (EHVI) acquisition function with a Gauss–Hermite
+// quadrature cross-check, sequential-greedy (Kriging-believer) batch
+// selection, and an Optimizer driver that ties them to Gaussian-process
+// surrogates from package gp.
+package mobo
+
+import "fmt"
+
+// primes used as Halton bases for up to 8 dimensions.
+var haltonBases = []int{2, 3, 5, 7, 11, 13, 17, 19}
+
+// HaltonPoint returns the i-th point (i ≥ 0) of the dim-dimensional Halton
+// sequence in the unit cube. Halton sequences are quasi-random: they fill the
+// cube far more uniformly than pseudo-random samples, which is why BoFL uses
+// one for its safe random exploration starting points (§4.2).
+func HaltonPoint(i, dim int) ([]float64, error) {
+	if dim <= 0 || dim > len(haltonBases) {
+		return nil, fmt.Errorf("mobo: halton dimension %d out of range [1, %d]", dim, len(haltonBases))
+	}
+	if i < 0 {
+		return nil, fmt.Errorf("mobo: halton index %d must be non-negative", i)
+	}
+	p := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		p[d] = radicalInverse(i+1, haltonBases[d]) // skip the origin at i=0
+	}
+	return p, nil
+}
+
+// radicalInverse computes the radical inverse of n in the given base.
+func radicalInverse(n, base int) float64 {
+	inv := 0.0
+	f := 1.0 / float64(base)
+	for n > 0 {
+		inv += f * float64(n%base)
+		n /= base
+		f /= float64(base)
+	}
+	return inv
+}
+
+// HaltonIndices draws count distinct indices from a discrete grid with the
+// given per-dimension sizes by snapping Halton points to grid cells. The
+// result is a slice of flat indices (row-major over dims) with no duplicates,
+// uniformly spread over the grid. If count exceeds the number of distinct
+// cells reachable, fewer indices are returned.
+func HaltonIndices(count int, dims []int) ([]int, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mobo: empty grid dimensions")
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mobo: grid dimension %d must be positive", d)
+		}
+		total *= d
+	}
+	if count > total {
+		count = total
+	}
+	seen := make(map[int]bool, count)
+	out := make([]int, 0, count)
+	for i := 0; len(out) < count && i < 100*total+1000; i++ {
+		p, err := HaltonPoint(i, len(dims))
+		if err != nil {
+			return nil, err
+		}
+		flat := 0
+		for d, size := range dims {
+			cell := int(p[d] * float64(size))
+			if cell >= size {
+				cell = size - 1
+			}
+			flat = flat*size + cell
+		}
+		if !seen[flat] {
+			seen[flat] = true
+			out = append(out, flat)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package mobo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bofl/internal/gp"
+	"bofl/internal/pareto"
+)
+
+// Observation is one evaluated configuration: a normalized input point plus
+// the two measured objectives (both minimized).
+type Observation struct {
+	// X is the candidate's normalized coordinates in [0,1]^d.
+	X []float64
+	// Index is the candidate's index in the optimizer's candidate set.
+	Index int
+	// Energy is the first objective (energy per minibatch, Joule).
+	Energy float64
+	// Latency is the second objective (latency per minibatch, seconds).
+	Latency float64
+}
+
+// Options configures an Optimizer.
+type Options struct {
+	// Seed drives GP hyperparameter restarts. Deterministic per seed.
+	Seed int64
+	// Restarts / Iters are passed through to gp.FitHyper; zero values use
+	// that package's defaults (kept small here because the MBO runs
+	// between FL rounds and must finish in bounded time).
+	Restarts int
+	Iters    int
+	// UseRBF switches the surrogate kernel (ablation).
+	UseRBF bool
+}
+
+// Optimizer is a multi-objective Bayesian optimizer over a fixed, finite
+// candidate set. It maintains observations, fits one GP surrogate per
+// objective and suggests new candidates by maximizing EHVI, batching with the
+// sequential-greedy Kriging-believer rule (§4.3 of the paper).
+type Optimizer struct {
+	candidates [][]float64
+	dim        int
+	opts       Options
+
+	observed map[int]bool
+	obs      []Observation
+
+	modelE *gp.Regressor
+	modelT *gp.Regressor
+}
+
+// ErrNoObservations indicates that Fit or SuggestBatch was called before any
+// observation was recorded.
+var ErrNoObservations = errors.New("mobo: no observations recorded")
+
+// NewOptimizer constructs an optimizer over the given candidate set. Each
+// candidate must be a d-dimensional point, conventionally normalized to
+// [0,1]^d. The slice is retained by the optimizer and must not be mutated.
+func NewOptimizer(candidates [][]float64, opts Options) (*Optimizer, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("mobo: empty candidate set")
+	}
+	dim := len(candidates[0])
+	if dim == 0 {
+		return nil, errors.New("mobo: zero-dimensional candidates")
+	}
+	for i, c := range candidates {
+		if len(c) != dim {
+			return nil, fmt.Errorf("mobo: candidate %d has dim %d, want %d", i, len(c), dim)
+		}
+	}
+	return &Optimizer{
+		candidates: candidates,
+		dim:        dim,
+		opts:       opts,
+		observed:   make(map[int]bool),
+	}, nil
+}
+
+// Observe records evaluated configurations. Re-observing an index updates the
+// dataset with the additional measurement (the GP's noise model averages
+// repeated observations naturally). Invalidates any fitted surrogates.
+func (o *Optimizer) Observe(obs ...Observation) error {
+	for _, ob := range obs {
+		if ob.Index < 0 || ob.Index >= len(o.candidates) {
+			return fmt.Errorf("mobo: observation index %d out of range [0,%d)", ob.Index, len(o.candidates))
+		}
+		x := ob.X
+		if x == nil {
+			x = o.candidates[ob.Index]
+		}
+		if len(x) != o.dim {
+			return fmt.Errorf("mobo: observation point has dim %d, want %d", len(x), o.dim)
+		}
+		o.obs = append(o.obs, Observation{X: x, Index: ob.Index, Energy: ob.Energy, Latency: ob.Latency})
+		o.observed[ob.Index] = true
+	}
+	o.modelE, o.modelT = nil, nil
+	return nil
+}
+
+// Observations returns a copy of all recorded observations.
+func (o *Optimizer) Observations() []Observation {
+	out := make([]Observation, len(o.obs))
+	copy(out, o.obs)
+	return out
+}
+
+// NumObserved returns the number of distinct candidate indices observed.
+func (o *Optimizer) NumObserved() int { return len(o.observed) }
+
+// Front returns the Pareto front of the observed (energy, latency) points.
+func (o *Optimizer) Front() []pareto.Point {
+	pts := make([]pareto.Point, len(o.obs))
+	for i, ob := range o.obs {
+		pts[i] = pareto.Point{X: ob.Energy, Y: ob.Latency}
+	}
+	return pareto.Front(pts)
+}
+
+// Reference returns the paper's hypervolume reference point: the
+// component-wise worst observed performance.
+func (o *Optimizer) Reference() (pareto.Point, error) {
+	pts := make([]pareto.Point, len(o.obs))
+	for i, ob := range o.obs {
+		pts[i] = pareto.Point{X: ob.Energy, Y: ob.Latency}
+	}
+	return pareto.ReferenceFrom(pts)
+}
+
+// Hypervolume returns the hypervolume of the current observed front with
+// respect to the current reference point.
+func (o *Optimizer) Hypervolume() (float64, error) {
+	ref, err := o.Reference()
+	if err != nil {
+		return 0, err
+	}
+	return pareto.Hypervolume(o.Front(), ref), nil
+}
+
+// Fit (re)fits the two GP surrogates on the recorded observations. It is
+// called implicitly by SuggestBatch when models are stale; exposed so
+// callers can schedule the expensive part explicitly (BoFL runs it in the
+// configuration/reporting window between training rounds).
+func (o *Optimizer) Fit() error {
+	if len(o.obs) == 0 {
+		return ErrNoObservations
+	}
+	xs := make([][]float64, len(o.obs))
+	es := make([]float64, len(o.obs))
+	ts := make([]float64, len(o.obs))
+	for i, ob := range o.obs {
+		xs[i] = ob.X
+		// Model log-objectives: both energy and latency are positive
+		// with multiplicative structure; logs stabilize the GP fit.
+		es[i] = math.Log(math.Max(ob.Energy, 1e-12))
+		ts[i] = math.Log(math.Max(ob.Latency, 1e-12))
+	}
+	hyper := gp.HyperOptions{
+		Dim:      o.dim,
+		Restarts: o.opts.Restarts,
+		Iters:    o.opts.Iters,
+		Seed:     o.opts.Seed,
+		UseRBF:   o.opts.UseRBF,
+	}
+	modelE, err := gp.FitHyper(xs, es, hyper)
+	if err != nil {
+		return fmt.Errorf("mobo: fit energy surrogate: %w", err)
+	}
+	hyper.Seed = o.opts.Seed + 1
+	modelT, err := gp.FitHyper(xs, ts, hyper)
+	if err != nil {
+		return fmt.Errorf("mobo: fit latency surrogate: %w", err)
+	}
+	o.modelE, o.modelT = modelE, modelT
+	return nil
+}
+
+// predict returns the predictive distribution over the raw (non-log)
+// objectives at x using the lognormal moments implied by the log-space GPs.
+func predictRaw(modelE, modelT *gp.Regressor, x []float64) Gaussian2 {
+	muE, sE := modelE.Predict(x)
+	muT, sT := modelT.Predict(x)
+	// Moment-match the lognormal back to a Gaussian in raw space.
+	mE := math.Exp(muE + sE*sE/2)
+	vE := (math.Exp(sE*sE) - 1) * math.Exp(2*muE+sE*sE)
+	mT := math.Exp(muT + sT*sT/2)
+	vT := (math.Exp(sT*sT) - 1) * math.Exp(2*muT+sT*sT)
+	return Gaussian2{MuX: mE, SigmaX: math.Sqrt(vE), MuY: mT, SigmaY: math.Sqrt(vT)}
+}
+
+// Suggestion is one candidate proposed by the optimizer.
+type Suggestion struct {
+	Index int       // index into the candidate set
+	X     []float64 // normalized coordinates
+	EHVI  float64   // acquisition value at selection time
+}
+
+// SuggestBatch proposes up to k unobserved candidates using sequential-greedy
+// EHVI maximization with Kriging-believer fantasies: after each pick the
+// surrogates are conditioned on the predicted mean at the picked point, so
+// later picks spread out instead of clustering (§4.3, batch selection
+// strategy). Fewer than k suggestions are returned when the unobserved pool
+// or the acquisition signal is exhausted.
+func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if len(o.obs) == 0 {
+		return nil, ErrNoObservations
+	}
+	if o.modelE == nil || o.modelT == nil {
+		if err := o.Fit(); err != nil {
+			return nil, err
+		}
+	}
+	ref, err := o.Reference()
+	if err != nil {
+		return nil, err
+	}
+
+	modelE, modelT := o.modelE, o.modelT
+	front := o.Front()
+	taken := make(map[int]bool, k)
+	out := make([]Suggestion, 0, k)
+
+	for pick := 0; pick < k; pick++ {
+		bestIdx, bestVal := -1, 0.0
+		var bestG Gaussian2
+		for i := range o.candidates {
+			if o.observed[i] || taken[i] {
+				continue
+			}
+			g := predictRaw(modelE, modelT, o.candidates[i])
+			v := EHVI(g, front, ref)
+			if bestIdx == -1 || v > bestVal {
+				bestIdx, bestVal, bestG = i, v, g
+			}
+		}
+		if bestIdx == -1 {
+			break // pool exhausted
+		}
+		out = append(out, Suggestion{Index: bestIdx, X: o.candidates[bestIdx], EHVI: bestVal})
+		taken[bestIdx] = true
+
+		if pick+1 == k {
+			break
+		}
+		// Kriging believer: fantasize the predicted mean observation
+		// and update both the surrogates and the working front. The
+		// O(n²) rank-one Cholesky extension keeps batch selection cheap.
+		x := o.candidates[bestIdx]
+		muE, _ := modelE.Predict(x)
+		muT, _ := modelT.Predict(x)
+		condE, errE := modelE.ConditionFast(x, muE)
+		condT, errT := modelT.ConditionFast(x, muT)
+		if errE == nil && errT == nil {
+			modelE, modelT = condE, condT
+		}
+		front = pareto.Front(append(front, pareto.Point{X: bestG.MuX, Y: bestG.MuY}))
+	}
+	return out, nil
+}
+
+// PosteriorAt exposes the raw-space predictive distribution at a candidate
+// index, mainly for diagnostics and tests.
+func (o *Optimizer) PosteriorAt(index int) (Gaussian2, error) {
+	if index < 0 || index >= len(o.candidates) {
+		return Gaussian2{}, fmt.Errorf("mobo: index %d out of range", index)
+	}
+	if o.modelE == nil || o.modelT == nil {
+		if err := o.Fit(); err != nil {
+			return Gaussian2{}, err
+		}
+	}
+	return predictRaw(o.modelE, o.modelT, o.candidates[index]), nil
+}

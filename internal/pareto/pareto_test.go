@@ -1,0 +1,281 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want bool
+	}{
+		{"strictly better both", Point{1, 1}, Point{2, 2}, true},
+		{"better in x equal y", Point{1, 2}, Point{2, 2}, true},
+		{"better in y equal x", Point{2, 1}, Point{2, 2}, true},
+		{"equal", Point{2, 2}, Point{2, 2}, false},
+		{"worse in x", Point{3, 1}, Point{2, 2}, false},
+		{"worse in y", Point{1, 3}, Point{2, 2}, false},
+		{"worse both", Point{3, 3}, Point{2, 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dominates(tt.q); got != tt.want {
+				t.Errorf("Dominates(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDominanceIsStrictPartialOrder(t *testing.T) {
+	// Irreflexivity and asymmetry checked by exhaustive random pairs.
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{ax, ay}
+		q := Point{bx, by}
+		if p.Dominates(p) {
+			return false
+		}
+		if p.Dominates(q) && q.Dominates(p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := []Point{{3, 1}, {1, 3}, {2, 2}, {3, 3}, {2.5, 2.5}}
+	front := Front(pts)
+	want := []Point{{1, 3}, {2, 2}, {3, 1}}
+	if len(front) != len(want) {
+		t.Fatalf("Front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Errorf("front[%d] = %v, want %v", i, front[i], want[i])
+		}
+	}
+}
+
+func TestFrontDropsDuplicates(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {2, 0.5}, {2, 0.5}}
+	front := Front(pts)
+	if len(front) != 2 {
+		t.Fatalf("Front kept duplicates: %v", front)
+	}
+}
+
+func TestFrontEmpty(t *testing.T) {
+	if got := Front(nil); got != nil {
+		t.Errorf("Front(nil) = %v, want nil", got)
+	}
+}
+
+// bruteForceFront is an O(n²) reference implementation.
+func bruteForceFront(pts []Point) map[Point]bool {
+	out := make(map[Point]bool)
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func TestFrontMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			// Small discrete grid to provoke ties and duplicates.
+			pts[i] = Point{float64(rng.Intn(6)), float64(rng.Intn(6))}
+		}
+		got := Front(pts)
+		want := bruteForceFront(pts)
+		for _, p := range got {
+			if !want[p] {
+				t.Fatalf("trial %d: Front returned dominated point %v (pts=%v)", trial, p, pts)
+			}
+		}
+		// Every non-dominated objective vector must appear exactly once.
+		seen := make(map[Point]int)
+		for _, p := range got {
+			seen[p]++
+		}
+		for p := range want {
+			if seen[p] != 1 {
+				t.Fatalf("trial %d: point %v appears %d times in front (pts=%v)", trial, p, seen[p], pts)
+			}
+		}
+	}
+}
+
+func TestFrontIndices(t *testing.T) {
+	pts := []Point{{3, 3}, {1, 2}, {2, 1}, {1, 2}}
+	idx := FrontIndices(pts)
+	if len(idx) != 2 {
+		t.Fatalf("FrontIndices = %v, want 2 entries", idx)
+	}
+	if idx[0] != 1 || idx[1] != 2 {
+		t.Errorf("FrontIndices = %v, want [1 2]", idx)
+	}
+}
+
+func TestFrontIndicesPointsAreNonDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		idx := FrontIndices(pts)
+		for _, i := range idx {
+			if IsDominated(pts[i], pts) {
+				t.Fatalf("index %d points to dominated point %v", i, pts[i])
+			}
+		}
+	}
+}
+
+func TestHypervolumeKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []Point
+		ref  Point
+		want float64
+	}{
+		{"single point", []Point{{1, 1}}, Point{3, 3}, 4},
+		{"two staircase points", []Point{{1, 2}, {2, 1}}, Point{3, 3}, 3},
+		{"dominated point ignored", []Point{{1, 1}, {2, 2}}, Point{3, 3}, 4},
+		{"point outside ref", []Point{{4, 4}}, Point{3, 3}, 0},
+		{"point on ref boundary", []Point{{3, 1}}, Point{3, 3}, 0},
+		{"empty", nil, Point{3, 3}, 0},
+		{"three points", []Point{{0, 2}, {1, 1}, {2, 0}}, Point{3, 3}, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Hypervolume(tt.pts, tt.ref)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Hypervolume = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// monteCarloHV estimates the hypervolume by sampling the reference box
+// [0, ref.X] × [0, ref.Y] uniformly (points are assumed non-negative).
+func monteCarloHV(pts []Point, ref Point, n int, rng *rand.Rand) float64 {
+	hits := 0
+	for i := 0; i < n; i++ {
+		z := Point{rng.Float64() * ref.X, rng.Float64() * ref.Y}
+		for _, p := range pts {
+			if p.WeaklyDominates(z) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(n) * ref.X * ref.Y
+}
+
+func TestHypervolumeMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ref := Point{1, 1}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(15)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		exact := Hypervolume(pts, ref)
+		approx := monteCarloHV(pts, ref, 200000, rng)
+		if math.Abs(exact-approx) > 0.01 {
+			t.Errorf("trial %d: exact %v vs monte carlo %v", trial, exact, approx)
+		}
+	}
+}
+
+func TestHypervolumeMonotoneInPoints(t *testing.T) {
+	// Adding a point never decreases the hypervolume.
+	rng := rand.New(rand.NewSource(3))
+	ref := Point{10, 10}
+	pts := []Point{}
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{rng.Float64() * 12, rng.Float64() * 12})
+		hv := Hypervolume(pts, ref)
+		if hv < prev-1e-12 {
+			t.Fatalf("hypervolume decreased from %v to %v after adding %v", prev, hv, pts[len(pts)-1])
+		}
+		prev = hv
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	front := []Point{{1, 2}, {2, 1}}
+	ref := Point{3, 3}
+	// A dominated candidate adds nothing.
+	if got := Improvement([]Point{{2.5, 2.5}}, front, ref); got != 0 {
+		t.Errorf("Improvement of dominated point = %v, want 0", got)
+	}
+	// The ideal corner captures the whole remaining volume: total box is
+	// 9, current HV is 3, so improvement is 6.
+	if got := Improvement([]Point{{0, 0}}, front, ref); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Improvement of ideal point = %v, want 6", got)
+	}
+}
+
+func TestImprovementNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		front := make([]Point, 1+rng.Intn(8))
+		for i := range front {
+			front[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		q := Point{rng.Float64(), rng.Float64()}
+		return Improvement([]Point{q}, front, Point{1, 1}) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReferenceFrom(t *testing.T) {
+	ref, err := ReferenceFrom([]Point{{1, 5}, {4, 2}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != (Point{4, 5}) {
+		t.Errorf("ReferenceFrom = %v, want {4 5}", ref)
+	}
+	if _, err := ReferenceFrom(nil); err == nil {
+		t.Error("ReferenceFrom(nil) should error")
+	}
+}
+
+func TestIsDominated(t *testing.T) {
+	set := []Point{{1, 1}}
+	if !IsDominated(Point{2, 2}, set) {
+		t.Error("expected {2,2} dominated by {1,1}")
+	}
+	if IsDominated(Point{0.5, 2}, set) {
+		t.Error("{0.5,2} should not be dominated by {1,1}")
+	}
+	if IsDominated(Point{1, 1}, set) {
+		t.Error("a point does not dominate itself")
+	}
+}

@@ -1,0 +1,158 @@
+// Package power reads board power, emulating the INA3221 three-channel power
+// monitor the paper uses on the Jetson testbeds (§5.2). On a real board the
+// sensor exposes per-rail voltage/current readings through sysfs hwmon files;
+// here a Sensor reads the same file layout from any root directory, and a
+// SimRail can be pointed at the device simulator to keep the files in sync
+// with the simulated workload.
+//
+// The package also provides Accumulator, the energy bookkeeping BoFL's
+// performance observer uses to integrate power over job executions.
+package power
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Rail identifies one INA3221 input channel.
+type Rail int
+
+// The three rails the Jetson boards expose.
+const (
+	RailGPU Rail = iota + 1
+	RailCPU
+	RailSOC
+)
+
+// String returns the rail's hwmon label.
+func (r Rail) String() string {
+	switch r {
+	case RailGPU:
+		return "GPU"
+	case RailCPU:
+		return "CPU"
+	case RailSOC:
+		return "SOC"
+	default:
+		return fmt.Sprintf("Rail(%d)", int(r))
+	}
+}
+
+var rails = []Rail{RailGPU, RailCPU, RailSOC}
+
+// Sensor reads instantaneous rail power from an INA3221-style sysfs tree:
+// <root>/in_power<channel>_input files holding milliwatts, matching the
+// kernel's ina3221 hwmon driver layout.
+type Sensor struct {
+	root string
+}
+
+// NewSensor opens a sensor rooted at the given directory.
+func NewSensor(root string) (*Sensor, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, fmt.Errorf("power: sensor root: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("power: sensor root %q is not a directory", root)
+	}
+	return &Sensor{root: root}, nil
+}
+
+func railFile(root string, r Rail) string {
+	return filepath.Join(root, fmt.Sprintf("in_power%d_input", int(r)))
+}
+
+// ReadRail returns one rail's instantaneous power in Watts.
+func (s *Sensor) ReadRail(r Rail) (float64, error) {
+	raw, err := os.ReadFile(railFile(s.root, r))
+	if err != nil {
+		return 0, fmt.Errorf("power: %w", err)
+	}
+	mw, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("power: parse rail %s: %w", r, err)
+	}
+	if mw < 0 {
+		return 0, fmt.Errorf("power: rail %s reports negative power %v mW", r, mw)
+	}
+	return mw / 1000, nil
+}
+
+// ReadTotal returns the summed power of all three rails in Watts.
+func (s *Sensor) ReadTotal() (float64, error) {
+	total := 0.0
+	for _, r := range rails {
+		w, err := s.ReadRail(r)
+		if err != nil {
+			return 0, err
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// EmulateSensorTree creates an INA3221-style file tree under root with all
+// rails at 0 W and returns the root (convenience for tests and demos).
+func EmulateSensorTree(root string) (string, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", fmt.Errorf("power: emulate tree: %w", err)
+	}
+	for _, r := range rails {
+		if err := os.WriteFile(railFile(root, r), []byte("0\n"), 0o644); err != nil {
+			return "", fmt.Errorf("power: emulate tree: %w", err)
+		}
+	}
+	return root, nil
+}
+
+// WriteRail updates one rail's file with a power value in Watts (what a
+// simulated board driver does between jobs).
+func WriteRail(root string, r Rail, watts float64) error {
+	if watts < 0 {
+		return fmt.Errorf("power: negative rail power %v", watts)
+	}
+	val := strconv.FormatInt(int64(watts*1000+0.5), 10)
+	if err := os.WriteFile(railFile(root, r), []byte(val+"\n"), 0o644); err != nil {
+		return fmt.Errorf("power: write rail %s: %w", r, err)
+	}
+	return nil
+}
+
+// Accumulator integrates energy over a sequence of job executions. It is safe
+// for concurrent use.
+type Accumulator struct {
+	mu     sync.Mutex
+	joules float64
+	jobs   int
+}
+
+// Add records one job's energy in Joules.
+func (a *Accumulator) Add(joules float64) error {
+	if joules < 0 {
+		return fmt.Errorf("power: negative job energy %v", joules)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.joules += joules
+	a.jobs++
+	return nil
+}
+
+// Total returns the integrated energy in Joules and the number of jobs.
+func (a *Accumulator) Total() (joules float64, jobs int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.joules, a.jobs
+}
+
+// Reset zeroes the accumulator.
+func (a *Accumulator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.joules, a.jobs = 0, 0
+}

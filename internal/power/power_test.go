@@ -1,0 +1,136 @@
+package power
+
+import (
+	"math"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestSensorRoundTrip(t *testing.T) {
+	root, err := EmulateSensorTree(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSensor(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRail(root, RailGPU, 11.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRail(root, RailCPU, 4.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRail(root, RailSOC, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := s.ReadRail(RailGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gpu-11.5) > 1e-3 {
+		t.Errorf("gpu rail = %v, want 11.5", gpu)
+	}
+	total, err := s.ReadTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-17.75) > 1e-2 {
+		t.Errorf("total = %v, want 17.75", total)
+	}
+}
+
+func TestSensorErrors(t *testing.T) {
+	if _, err := NewSensor("/nonexistent-power-root"); err == nil {
+		t.Error("missing root accepted")
+	}
+	root, err := EmulateSensorTree(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSensor(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(railFile(root, RailCPU), []byte("not-a-number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadRail(RailCPU); err == nil {
+		t.Error("corrupt rail file accepted")
+	}
+	if _, err := s.ReadTotal(); err == nil {
+		t.Error("ReadTotal should propagate rail errors")
+	}
+	if err := os.WriteFile(railFile(root, RailCPU), []byte("-5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadRail(RailCPU); err == nil {
+		t.Error("negative rail power accepted")
+	}
+}
+
+func TestWriteRailRejectsNegative(t *testing.T) {
+	root, err := EmulateSensorTree(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRail(root, RailGPU, -1); err == nil {
+		t.Error("negative watts accepted")
+	}
+}
+
+func TestRailString(t *testing.T) {
+	if RailGPU.String() != "GPU" || RailCPU.String() != "CPU" || RailSOC.String() != "SOC" {
+		t.Error("rail labels wrong")
+	}
+	if Rail(42).String() != "Rail(42)" {
+		t.Errorf("unknown rail label = %q", Rail(42).String())
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if err := a.Add(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(2.5); err != nil {
+		t.Fatal(err)
+	}
+	j, n := a.Total()
+	if j != 4 || n != 2 {
+		t.Errorf("Total = (%v, %d), want (4, 2)", j, n)
+	}
+	if err := a.Add(-1); err == nil {
+		t.Error("negative energy accepted")
+	}
+	a.Reset()
+	if j, n := a.Total(); j != 0 || n != 0 {
+		t.Errorf("after Reset: (%v, %d)", j, n)
+	}
+}
+
+func TestAccumulatorConcurrent(t *testing.T) {
+	var a Accumulator
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := a.Add(0.001); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	j, n := a.Total()
+	if n != 8000 {
+		t.Errorf("jobs = %d, want 8000", n)
+	}
+	if math.Abs(j-8) > 1e-9 {
+		t.Errorf("joules = %v, want 8", j)
+	}
+}

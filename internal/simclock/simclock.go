@@ -1,0 +1,67 @@
+// Package simclock provides a virtual clock so that multi-hour federated
+// learning experiments run deterministically in milliseconds of real time.
+//
+// The BoFL controller only ever reasons about durations and deadlines, so all
+// time-dependent code in this repository is written against the Clock
+// interface. Production deployments use Real; experiments and tests use Sim.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks (really or virtually) for d.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is a virtual clock. Sleep advances the clock instantly; Advance can be
+// used by harnesses that account time out-of-band (e.g. a device simulator
+// reporting a job duration). Sim is safe for concurrent use.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a virtual clock starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current virtual instant.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep advances the virtual clock by d without blocking.
+func (s *Sim) Sleep(d time.Duration) { s.Advance(d) }
+
+// Advance moves the virtual clock forward by d. Negative durations are
+// ignored so that the clock is monotone.
+func (s *Sim) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = s.now.Add(d)
+}

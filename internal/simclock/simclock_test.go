@@ -1,0 +1,64 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimAdvanceAndSleep(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewSim(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Errorf("after Advance: %v", got)
+	}
+	c.Sleep(2 * time.Second)
+	if got := c.Now().Sub(start); got != 5*time.Second {
+		t.Errorf("after Sleep: %v", got)
+	}
+}
+
+func TestSimIgnoresNegativeAdvance(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got := c.Now().Sub(time.Unix(0, 0)); got != time.Second {
+		t.Errorf("negative advance moved the clock: %v", got)
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now().Sub(time.Unix(0, 0)); got != 8*time.Second {
+		t.Errorf("concurrent advances lost time: %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("Real.Now is in the past")
+	}
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Error("Real.Sleep returned too early")
+	}
+}
