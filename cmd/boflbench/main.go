@@ -6,6 +6,7 @@
 //	boflbench -exp all                 # everything (several minutes)
 //	boflbench -exp table1,fig5        # a subset
 //	boflbench -exp fig9 -rounds 40    # fewer rounds for a quick look
+//	boflbench -exp fig12 -parallel 8  # fan the ratio × task grid over 8 workers
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig9 fig10 fig11
 // fig12 fig13, plus the beyond-the-paper extensions ext-variance (multi-seed
@@ -24,6 +25,7 @@ import (
 	"bofl/internal/device"
 	"bofl/internal/experiment"
 	"bofl/internal/fl"
+	"bofl/internal/parallel"
 )
 
 // writeCSV creates path (and parent dirs) and streams fn into it.
@@ -57,10 +59,12 @@ func run(args []string, out io.Writer) error {
 		seed   = fs.Int64("seed", 1, "base random seed")
 		tau    = fs.Float64("tau", 5, "reference measurement duration τ (seconds)")
 		csvDir = fs.String("csv-dir", "", "also write figure scatter/series data as CSV into this directory")
+		par    = fs.Int("parallel", 0, "worker pool width for the acquisition scans and the tasks × ratios × seeds experiment fan-out (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetWorkers(*par)
 	opts := core.Options{Tau: *tau}
 
 	want := map[string]bool{}

@@ -6,6 +6,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/parallel"
 )
 
 // EnergyRow is one round of the per-round energy comparison (Figures 9–10).
@@ -43,22 +44,29 @@ type EnergyComparison struct {
 // shared deadline sequence and pairs the per-round energies (Figures 9–10
 // plot the first 40 rounds of exactly this data).
 func EnergyComparisonFor(dev *device.Device, task fl.TaskSpec, rounds int, seed int64, opts core.Options) (*EnergyComparison, error) {
-	runs := make(map[ControllerKind]*TaskRun, 3)
-	for _, kind := range []ControllerKind{KindBoFL, KindPerformant, KindOracle} {
+	// The three controllers share the seed (hence the deadline sequence)
+	// but are otherwise independent runs; execute them side by side.
+	kinds := []ControllerKind{KindBoFL, KindPerformant, KindOracle}
+	runs := make([]*TaskRun, len(kinds))
+	err := parallel.ForErr(len(kinds), func(i int) error {
 		run, err := RunTask(RunConfig{
 			Device:      dev,
 			Task:        task,
 			Rounds:      rounds,
-			Controller:  kind,
+			Controller:  kinds[i],
 			Seed:        seed,
 			CtrlOptions: opts,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		runs[kind] = run
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	bofl, perf, oracle := runs[KindBoFL], runs[KindPerformant], runs[KindOracle]
+	bofl, perf, oracle := runs[0], runs[1], runs[2]
 	if bofl.DeadlineMisses > 0 || oracle.DeadlineMisses > 0 {
 		return nil, fmt.Errorf("experiment: deadline misses (bofl %d, oracle %d)", bofl.DeadlineMisses, oracle.DeadlineMisses)
 	}
@@ -96,13 +104,20 @@ func Figure9(ratio float64, rounds int, seed int64, opts core.Options) ([]*Energ
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*EnergyComparison, 0, len(tasks))
-	for i, task := range tasks {
-		cmp, err := EnergyComparisonFor(dev, task, rounds, seed+int64(i)*101, opts)
+	// Per-task runs are independent (each gets its own seed-derived
+	// deadline and noise streams); fan them across the worker pool and
+	// keep the output in task order.
+	out := make([]*EnergyComparison, len(tasks))
+	err = parallel.ForErr(len(tasks), func(i int) error {
+		cmp, err := EnergyComparisonFor(dev, tasks[i], rounds, seed+int64(i)*101, opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", task.Name, err)
+			return fmt.Errorf("experiment: %s: %w", tasks[i].Name, err)
 		}
-		out = append(out, cmp)
+		out[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -123,25 +138,42 @@ func Figure12(ratios []float64, rounds int, seed int64, opts core.Options) ([]Fi
 		ratios = []float64{2.0, 2.5, 3.0, 3.5, 4.0}
 	}
 	dev := device.JetsonAGX()
-	var cells []Figure12Cell
+	// Flatten the ratio × task grid into one independent job per cell, then
+	// fan the whole grid across the worker pool; the flat index keeps the
+	// output in sweep order.
+	type gridJob struct {
+		ri, ti int
+		ratio  float64
+		task   fl.TaskSpec
+	}
+	var jobs []gridJob
 	for ri, ratio := range ratios {
 		tasks, err := fl.Tasks(dev, ratio, rounds)
 		if err != nil {
 			return nil, err
 		}
 		for ti, task := range tasks {
-			cmp, err := EnergyComparisonFor(dev, task, rounds, seed+int64(ri*31+ti*7), opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s @%.1fx: %w", task.Name, ratio, err)
-			}
-			cells = append(cells, Figure12Cell{
-				Task:        task.Name,
-				Ratio:       ratio,
-				RatioLabel:  ratioLabel(ratio),
-				Improvement: cmp.Improvement,
-				Regret:      cmp.Regret,
-			})
+			jobs = append(jobs, gridJob{ri: ri, ti: ti, ratio: ratio, task: task})
 		}
+	}
+	cells := make([]Figure12Cell, len(jobs))
+	err := parallel.ForErr(len(jobs), func(i int) error {
+		j := jobs[i]
+		cmp, err := EnergyComparisonFor(dev, j.task, rounds, seed+int64(j.ri*31+j.ti*7), opts)
+		if err != nil {
+			return fmt.Errorf("experiment: %s @%.1fx: %w", j.task.Name, j.ratio, err)
+		}
+		cells[i] = Figure12Cell{
+			Task:        j.task.Name,
+			Ratio:       j.ratio,
+			RatioLabel:  ratioLabel(j.ratio),
+			Improvement: cmp.Improvement,
+			Regret:      cmp.Regret,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

@@ -9,6 +9,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/parallel"
 )
 
 // Multi-seed variance study: the paper reports single runs; this harness
@@ -37,16 +38,29 @@ func VarianceStudy(dev *device.Device, ratio float64, rounds, seeds int, base in
 	if err != nil {
 		return nil, err
 	}
+	// Fan the full task × seed grid across the worker pool: every repeat
+	// is an independent run, and results land in per-(task, seed) slots so
+	// the aggregation below is deterministic.
+	cmps := make([]*EnergyComparison, len(tasks)*seeds)
+	err = parallel.ForErr(len(cmps), func(i int) error {
+		ti, s := i/seeds, i%seeds
+		cmp, err := EnergyComparisonFor(dev, tasks[ti], rounds, base+int64(ti*1000+s*17), opts)
+		if err != nil {
+			return fmt.Errorf("experiment: %s seed %d: %w", tasks[ti].Name, s, err)
+		}
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]VarianceRow, 0, len(tasks))
 	for ti, task := range tasks {
 		imps := make([]float64, 0, seeds)
 		regs := make([]float64, 0, seeds)
 		misses := 0
 		for s := 0; s < seeds; s++ {
-			cmp, err := EnergyComparisonFor(dev, task, rounds, base+int64(ti*1000+s*17), opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s seed %d: %w", task.Name, s, err)
-			}
+			cmp := cmps[ti*seeds+s]
 			imps = append(imps, cmp.Improvement)
 			regs = append(regs, cmp.Regret)
 			misses += cmp.BoFLRun.DeadlineMisses

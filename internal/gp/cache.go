@@ -1,0 +1,136 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"bofl/internal/parallel"
+)
+
+// KStarCache precomputes, for a fixed candidate set, everything a posterior
+// query needs against a regressor's training set: the cross-covariance
+// vector k*, the forward-substitution solve v = L⁻¹k*, its squared norm and
+// the prior variance k(x,x). Building it costs one full scan's worth of
+// work (O(C·n·d) kernel evaluations plus O(C·n²) triangular solves);
+// afterwards each posterior query is one O(n) dot product.
+//
+// Because a Kriging-believer ConditionFast update extends the Cholesky
+// factor without touching its first n rows, Extend carries the cache
+// through a fantasy in O(n) per candidate — one kernel evaluation, one dot
+// product against the new factor row and a rank-one update of ‖v‖² —
+// instead of re-solving the O(n²) triangular system. mobo.SuggestBatch
+// builds one cache per surrogate per Fit and extends it per fantasy.
+//
+// Determinism: the cached quantities are computed by exactly the code path
+// Predict uses, so a base cache reproduces Regressor.Predict bit-for-bit.
+// Extended caches accumulate ‖v‖² incrementally, which regroups the
+// floating-point sum; the result agrees with a fresh ConditionFast
+// regressor's Predict to machine precision (the gp equivalence test pins
+// 1e-9) and is identical between serial and parallel runs, which is the
+// contract the determinism suite enforces.
+type KStarCache struct {
+	r          *Regressor
+	candidates [][]float64
+	kstars     [][]float64 // kstars[i] is k(candidates[i], ·) vs r's training set
+	vs         [][]float64 // vs[i] = L⁻¹·kstars[i]
+	dotvv      []float64   // dotvv[i] = ‖vs[i]‖²
+	kxx        []float64   // kxx[i] = k(candidates[i], candidates[i])
+}
+
+// NewKStarCache builds the cross-covariance cache for the given candidates
+// against r's training set. The candidate slice is retained and must not be
+// mutated. The kernel sweep and triangular solves fan out across the shared
+// worker pool.
+func (r *Regressor) NewKStarCache(candidates [][]float64) *KStarCache {
+	n := len(r.xs)
+	c := &KStarCache{
+		r:          r,
+		candidates: candidates,
+		kstars:     make([][]float64, len(candidates)),
+		vs:         make([][]float64, len(candidates)),
+		dotvv:      make([]float64, len(candidates)),
+		kxx:        make([]float64, len(candidates)),
+	}
+	parallel.ForChunk(len(candidates), func(lo, hi int) {
+		// One backing array per chunk and per field: the rows are
+		// read-only after construction, so sharing them is safe and cuts
+		// allocator traffic.
+		kbuf := make([]float64, (hi-lo)*n)
+		vbuf := make([]float64, (hi-lo)*n)
+		for i := lo; i < hi; i++ {
+			x := candidates[i]
+			ks := kbuf[(i-lo)*n : (i-lo+1)*n]
+			for j, xj := range r.xs {
+				ks[j] = r.kernel.Eval(x, xj)
+			}
+			v := SolveLowerInto(r.chol, ks, vbuf[(i-lo)*n:(i-lo+1)*n])
+			c.kstars[i] = ks
+			c.vs[i] = v
+			c.dotvv[i] = Dot(v, v)
+			c.kxx[i] = r.kernel.Eval(x, x)
+		}
+	})
+	return c
+}
+
+// N returns the training-set size the cached vectors cover.
+func (c *KStarCache) N() int { return len(c.r.xs) }
+
+// Len returns the number of cached candidates.
+func (c *KStarCache) Len() int { return len(c.candidates) }
+
+// Predict returns the posterior mean and standard deviation at candidate i
+// using the cached solves: one O(n) dot product, no allocation. Safe for
+// concurrent use.
+func (c *KStarCache) Predict(i int) (mu, sigma float64) {
+	r := c.r
+	muStd := Dot(c.kstars[i], r.alpha)
+	varStd := c.kxx[i] - c.dotvv[i]
+	if varStd < 0 {
+		varStd = 0
+	}
+	return muStd*r.std + r.mean, math.Sqrt(varStd) * r.std
+}
+
+// Extend returns a cache valid for cond, which must be the regressor
+// produced by c's regressor via ConditionFast(x, y). The extended Cholesky
+// factor shares its first n rows with the original, so each candidate's
+// solve grows by a single forward-substitution step:
+//
+//	v'ₙ = (k(candidate, x) − l·v) / d
+//
+// where [lᵀ, d] is the factor's new row. The receiver stays valid for the
+// original regressor (fantasies are transient; the base cache is reused
+// across SuggestBatch calls).
+func (c *KStarCache) Extend(cond *Regressor, x []float64) (*KStarCache, error) {
+	n := len(c.r.xs)
+	if len(cond.xs) != n+1 {
+		return nil, fmt.Errorf("gp: extend expects a one-point conditioning, got %d → %d training points", n, len(cond.xs))
+	}
+	lrow := cond.chol.Data[n*cond.chol.Cols : n*cond.chol.Cols+n]
+	d := cond.chol.At(n, n)
+	out := &KStarCache{
+		r:          cond,
+		candidates: c.candidates,
+		kstars:     make([][]float64, len(c.candidates)),
+		vs:         make([][]float64, len(c.candidates)),
+		dotvv:      make([]float64, len(c.candidates)),
+		kxx:        c.kxx, // prior variances don't depend on the training set
+	}
+	parallel.ForChunk(len(c.candidates), func(lo, hi int) {
+		kbuf := make([]float64, (hi-lo)*(n+1))
+		vbuf := make([]float64, (hi-lo)*(n+1))
+		for i := lo; i < hi; i++ {
+			ks := kbuf[(i-lo)*(n+1) : (i-lo+1)*(n+1)]
+			copy(ks, c.kstars[i])
+			ks[n] = cond.kernel.Eval(c.candidates[i], x)
+			v := vbuf[(i-lo)*(n+1) : (i-lo+1)*(n+1)]
+			copy(v, c.vs[i])
+			v[n] = (ks[n] - Dot(lrow, c.vs[i])) / d
+			out.kstars[i] = ks
+			out.vs[i] = v
+			out.dotvv[i] = c.dotvv[i] + v[n]*v[n]
+		}
+	})
+	return out, nil
+}

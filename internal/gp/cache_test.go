@@ -1,0 +1,128 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func trainedRegressor(t *testing.T, n, d int, seed int64) (*Regressor, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = math.Sin(3*x[0]) + 0.5*x[d-1] + 0.05*rng.NormFloat64()
+	}
+	ls := make([]float64, d)
+	for i := range ls {
+		ls[i] = 0.4
+	}
+	k, err := NewMatern52(1.2, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fit(k, 0.05, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rng
+}
+
+func randomCandidates(rng *rand.Rand, c, d int) [][]float64 {
+	out := make([][]float64, c)
+	for i := range out {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func TestKStarCacheMatchesPredict(t *testing.T) {
+	r, rng := trainedRegressor(t, 25, 3, 1)
+	cands := randomCandidates(rng, 200, 3)
+	cache := r.NewKStarCache(cands)
+	for i, x := range cands {
+		wantMu, wantSig := r.Predict(x)
+		gotMu, gotSig := cache.Predict(i)
+		if gotMu != wantMu || gotSig != wantSig {
+			t.Fatalf("candidate %d: cached (%v, %v) != fresh (%v, %v)", i, gotMu, gotSig, wantMu, wantSig)
+		}
+	}
+}
+
+// TestKStarCacheExtendMatchesConditionFast is the satellite equivalence test:
+// after a chain of Kriging-believer fantasies, predictions through the
+// extended cache must match fresh ConditionFast regressor predictions to
+// 1e-9 (they are in fact bit-identical by construction).
+func TestKStarCacheExtendMatchesConditionFast(t *testing.T) {
+	r, rng := trainedRegressor(t, 20, 3, 2)
+	cands := randomCandidates(rng, 150, 3)
+	cache := r.NewKStarCache(cands)
+
+	cur := r
+	for step := 0; step < 5; step++ {
+		// Fantasize an observation at one of the candidates, as the
+		// Kriging-believer batch rule does.
+		fx := cands[17+step*11]
+		fy, _ := cur.Predict(fx)
+		cond, err := cur.ConditionFast(fx, fy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := cache.Extend(cond, fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range cands {
+			wantMu, wantSig := cond.Predict(x)
+			gotMu, gotSig := ext.Predict(i)
+			if math.Abs(gotMu-wantMu) > 1e-9 || math.Abs(gotSig-wantSig) > 1e-9 {
+				t.Fatalf("step %d candidate %d: cached (%v, %v) vs fresh (%v, %v)", step, i, gotMu, gotSig, wantMu, wantSig)
+			}
+		}
+		cur, cache = cond, ext
+	}
+}
+
+func TestKStarCacheExtendRejectsWrongRegressor(t *testing.T) {
+	r, rng := trainedRegressor(t, 15, 2, 3)
+	cands := randomCandidates(rng, 10, 2)
+	cache := r.NewKStarCache(cands)
+	if _, err := cache.Extend(r, cands[0]); err == nil {
+		t.Fatal("Extend accepted a regressor with an unchanged training set")
+	}
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	r, rng := trainedRegressor(t, 30, 3, 4)
+	scratch := make([]float64, 2*r.N())
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		wantMu, wantSig := r.Predict(x)
+		gotMu, gotSig := r.PredictInto(x, scratch[:r.N()], scratch[r.N():])
+		if gotMu != wantMu || gotSig != wantSig {
+			t.Fatalf("PredictInto (%v, %v) != Predict (%v, %v)", gotMu, gotSig, wantMu, wantSig)
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	r, rng := trainedRegressor(t, 30, 3, 5)
+	xs := randomCandidates(rng, 40, 3)
+	mus, sigs := r.PredictBatch(xs)
+	for i, x := range xs {
+		mu, sig := r.Predict(x)
+		if mus[i] != mu || sigs[i] != sig {
+			t.Fatalf("batch[%d] (%v, %v) != scalar (%v, %v)", i, mus[i], sigs[i], mu, sig)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"bofl/internal/parallel"
 )
 
 // HyperOptions controls marginal-likelihood hyperparameter fitting.
@@ -85,9 +87,12 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 		return r, r.LogMarginalLikelihood()
 	}
 
-	var best *Regressor
-	bestLL := math.Inf(-1)
-	for restart := 0; restart < restarts; restart++ {
+	// Starting points are drawn serially up front (restart 0 keeps the
+	// deterministic default start), so the restarts become independent and
+	// can fan out across the worker pool while consuming the exact RNG
+	// stream the serial loop did.
+	starts := make([][]float64, restarts)
+	for restart := range starts {
 		p := make([]float64, nparams)
 		if restart == 0 {
 			// Sensible default start: unit variance, medium
@@ -102,6 +107,17 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 				p[i] = lower[i] + rng.Float64()*(upper[i]-lower[i])
 			}
 		}
+		starts[restart] = p
+	}
+
+	// Each restart runs its coordinate descent independently; the reduction
+	// below is serial with lowest-restart-index tie-breaking on equal log
+	// marginal likelihood, so parallel and serial searches select the same
+	// model.
+	models := make([]*Regressor, restarts)
+	lls := make([]float64, restarts)
+	parallel.For(restarts, func(restart int) {
+		p := starts[restart]
 		r, ll := eval(p)
 		// Coordinate descent with shrinking step size.
 		step := 1.0
@@ -131,8 +147,14 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 				}
 			}
 		}
-		if ll > bestLL && r != nil {
-			best, bestLL = r, ll
+		models[restart], lls[restart] = r, ll
+	})
+
+	var best *Regressor
+	bestLL := math.Inf(-1)
+	for restart, r := range models {
+		if r != nil && lls[restart] > bestLL {
+			best, bestLL = r, lls[restart]
 		}
 	}
 	if best == nil {

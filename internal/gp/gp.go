@@ -112,25 +112,39 @@ func (r *Regressor) N() int { return len(r.xs) }
 // function at x, in the original (unstandardized) units of the targets.
 func (r *Regressor) Predict(x []float64) (mu, sigma float64) {
 	n := len(r.xs)
-	kstar := make([]float64, n)
+	scratch := make([]float64, 2*n)
+	return r.PredictInto(x, scratch[:n], scratch[n:])
+}
+
+// PredictInto is Predict with caller-provided scratch buffers (each of
+// len ≥ N()), for hot loops that evaluate many points without per-point
+// garbage (PredictBatch, and ad-hoc scans that bypass KStarCache). kstar
+// and v are overwritten and must not alias each other.
+func (r *Regressor) PredictInto(x []float64, kstar, v []float64) (mu, sigma float64) {
+	n := len(r.xs)
+	kstar = kstar[:n]
 	for i, xi := range r.xs {
 		kstar[i] = r.kernel.Eval(x, xi)
 	}
 	muStd := Dot(kstar, r.alpha)
-	v := SolveLower(r.chol, kstar)
-	varStd := r.kernel.Eval(x, x) - Dot(v, v)
+	vv := SolveLowerInto(r.chol, kstar, v)
+	varStd := r.kernel.Eval(x, x) - Dot(vv, vv)
 	if varStd < 0 {
 		varStd = 0
 	}
 	return muStd*r.std + r.mean, math.Sqrt(varStd) * r.std
 }
 
-// PredictBatch evaluates Predict on each row of xs.
+// PredictBatch evaluates Predict on each row of xs, reusing one scratch
+// allocation across the whole batch.
 func (r *Regressor) PredictBatch(xs [][]float64) (mus, sigmas []float64) {
 	mus = make([]float64, len(xs))
 	sigmas = make([]float64, len(xs))
+	n := len(r.xs)
+	scratch := make([]float64, 2*n)
+	kstar, v := scratch[:n], scratch[n:]
 	for i, x := range xs {
-		mus[i], sigmas[i] = r.Predict(x)
+		mus[i], sigmas[i] = r.PredictInto(x, kstar, v)
 	}
 	return mus, sigmas
 }

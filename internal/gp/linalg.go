@@ -73,12 +73,20 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 
 // SolveLower solves L·x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) []float64 {
+	return SolveLowerInto(l, b, make([]float64, l.Rows))
+}
+
+// SolveLowerInto solves L·x = b into the caller-provided x (len ≥ L.Rows),
+// returning x[:L.Rows]. b and x may alias the same slice. The allocation-free
+// variant used by the acquisition scan workers.
+func SolveLowerInto(l *Matrix, b, x []float64) []float64 {
 	n := l.Rows
-	x := make([]float64, n)
+	x = x[:n]
 	for i := 0; i < n; i++ {
 		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * x[k]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, lik := range row {
+			sum -= lik * x[k]
 		}
 		x[i] = sum / l.At(i, i)
 	}

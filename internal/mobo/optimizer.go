@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"bofl/internal/gp"
+	"bofl/internal/parallel"
 	"bofl/internal/pareto"
 )
 
@@ -49,6 +50,12 @@ type Optimizer struct {
 
 	modelE *gp.Regressor
 	modelT *gp.Regressor
+
+	// Per-candidate cross-covariance caches against the fitted surrogates,
+	// built lazily on the first SuggestBatch after a Fit and reused across
+	// calls (Kriging-believer fantasies extend transient copies).
+	cacheE *gp.KStarCache
+	cacheT *gp.KStarCache
 }
 
 // ErrNoObservations indicates that Fit or SuggestBatch was called before any
@@ -98,6 +105,7 @@ func (o *Optimizer) Observe(obs ...Observation) error {
 		o.observed[ob.Index] = true
 	}
 	o.modelE, o.modelT = nil, nil
+	o.cacheE, o.cacheT = nil, nil
 	return nil
 }
 
@@ -165,16 +173,34 @@ func (o *Optimizer) Fit() error {
 		Seed:     o.opts.Seed,
 		UseRBF:   o.opts.UseRBF,
 	}
-	modelE, err := gp.FitHyper(xs, es, hyper)
+	hyperT := hyper
+	hyperT.Seed = o.opts.Seed + 1
+	// The two surrogates are independent; fit them side by side on the
+	// worker pool (each fit additionally fans out its own restarts).
+	var modelE, modelT *gp.Regressor
+	err := parallel.Run(
+		func() error {
+			m, err := gp.FitHyper(xs, es, hyper)
+			if err != nil {
+				return fmt.Errorf("mobo: fit energy surrogate: %w", err)
+			}
+			modelE = m
+			return nil
+		},
+		func() error {
+			m, err := gp.FitHyper(xs, ts, hyperT)
+			if err != nil {
+				return fmt.Errorf("mobo: fit latency surrogate: %w", err)
+			}
+			modelT = m
+			return nil
+		},
+	)
 	if err != nil {
-		return fmt.Errorf("mobo: fit energy surrogate: %w", err)
-	}
-	hyper.Seed = o.opts.Seed + 1
-	modelT, err := gp.FitHyper(xs, ts, hyper)
-	if err != nil {
-		return fmt.Errorf("mobo: fit latency surrogate: %w", err)
+		return err
 	}
 	o.modelE, o.modelT = modelE, modelT
+	o.cacheE, o.cacheT = nil, nil
 	return nil
 }
 
@@ -183,7 +209,12 @@ func (o *Optimizer) Fit() error {
 func predictRaw(modelE, modelT *gp.Regressor, x []float64) Gaussian2 {
 	muE, sE := modelE.Predict(x)
 	muT, sT := modelT.Predict(x)
-	// Moment-match the lognormal back to a Gaussian in raw space.
+	return lognormalMoments(muE, sE, muT, sT)
+}
+
+// lognormalMoments moment-matches the two log-space posteriors back to a
+// Gaussian in raw space.
+func lognormalMoments(muE, sE, muT, sT float64) Gaussian2 {
 	mE := math.Exp(muE + sE*sE/2)
 	vE := (math.Exp(sE*sE) - 1) * math.Exp(2*muE+sE*sE)
 	mT := math.Exp(muT + sT*sT/2)
@@ -204,6 +235,12 @@ type Suggestion struct {
 // later picks spread out instead of clustering (§4.3, batch selection
 // strategy). Fewer than k suggestions are returned when the unobserved pool
 // or the acquisition signal is exhausted.
+//
+// The candidate scan fans out over the shared worker pool using the
+// per-candidate cross-covariance caches (kernel work is done once per Fit,
+// then extended by one kernel evaluation per fantasy), and the reduction is
+// serial with an explicit lowest-index-wins rule on equal EHVI — parallel
+// and serial scans return identical suggestions.
 func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 	if k <= 0 {
 		return nil, nil
@@ -220,44 +257,78 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.cacheE == nil {
+		o.cacheE = o.modelE.NewKStarCache(o.candidates)
+	}
+	if o.cacheT == nil {
+		o.cacheT = o.modelT.NewKStarCache(o.candidates)
+	}
 
 	modelE, modelT := o.modelE, o.modelT
+	cacheE, cacheT := o.cacheE, o.cacheT
 	front := o.Front()
-	taken := make(map[int]bool, k)
 	out := make([]Suggestion, 0, k)
 
+	vals := make([]float64, len(o.candidates))
+	gs := make([]Gaussian2, len(o.candidates))
+	live := make([]bool, len(o.candidates))
+	for i := range o.candidates {
+		live[i] = !o.observed[i]
+	}
+
 	for pick := 0; pick < k; pick++ {
+		// Concurrent scan: every live candidate's posterior and EHVI land
+		// in per-index slots; no cross-worker state.
+		parallel.ForChunk(len(o.candidates), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !live[i] {
+					continue
+				}
+				muE, sE := cacheE.Predict(i)
+				muT, sT := cacheT.Predict(i)
+				g := lognormalMoments(muE, sE, muT, sT)
+				gs[i] = g
+				vals[i] = EHVI(g, front, ref)
+			}
+		})
+		// Serial reduction, lowest candidate index wins on equal EHVI
+		// (including the all-zero-EHVI regime near pool exhaustion).
 		bestIdx, bestVal := -1, 0.0
-		var bestG Gaussian2
 		for i := range o.candidates {
-			if o.observed[i] || taken[i] {
+			if !live[i] {
 				continue
 			}
-			g := predictRaw(modelE, modelT, o.candidates[i])
-			v := EHVI(g, front, ref)
-			if bestIdx == -1 || v > bestVal {
-				bestIdx, bestVal, bestG = i, v, g
+			if bestIdx == -1 || vals[i] > bestVal {
+				bestIdx, bestVal = i, vals[i]
 			}
 		}
 		if bestIdx == -1 {
 			break // pool exhausted
 		}
+		bestG := gs[bestIdx]
 		out = append(out, Suggestion{Index: bestIdx, X: o.candidates[bestIdx], EHVI: bestVal})
-		taken[bestIdx] = true
+		live[bestIdx] = false
 
 		if pick+1 == k {
 			break
 		}
 		// Kriging believer: fantasize the predicted mean observation
 		// and update both the surrogates and the working front. The
-		// O(n²) rank-one Cholesky extension keeps batch selection cheap.
+		// O(n²) rank-one Cholesky extension keeps batch selection cheap,
+		// and the caches follow it with one kernel evaluation per
+		// candidate.
 		x := o.candidates[bestIdx]
-		muE, _ := modelE.Predict(x)
-		muT, _ := modelT.Predict(x)
+		muE, _ := cacheE.Predict(bestIdx)
+		muT, _ := cacheT.Predict(bestIdx)
 		condE, errE := modelE.ConditionFast(x, muE)
 		condT, errT := modelT.ConditionFast(x, muT)
 		if errE == nil && errT == nil {
-			modelE, modelT = condE, condT
+			extE, errE := cacheE.Extend(condE, x)
+			extT, errT := cacheT.Extend(condT, x)
+			if errE == nil && errT == nil {
+				modelE, modelT = condE, condT
+				cacheE, cacheT = extE, extT
+			}
 		}
 		front = pareto.Front(append(front, pareto.Point{X: bestG.MuX, Y: bestG.MuY}))
 	}

@@ -1,0 +1,76 @@
+package mobo
+
+import (
+	"testing"
+)
+
+// TestSuggestBatchTieBreakLowestIndex pins the tie-breaking contract: when
+// several candidates share the maximal EHVI, the lowest candidate index wins.
+// Identical candidate coordinates force exact ties — every unobserved
+// candidate has the same posterior, so the scan must walk the pool in index
+// order. This also covers the all-zero-EHVI regime near pool exhaustion,
+// where the fantasized front drives the acquisition of the remaining
+// duplicates to zero.
+func TestSuggestBatchTieBreakLowestIndex(t *testing.T) {
+	x := []float64{0.5, 0.5}
+	cands := [][]float64{x, x, x, x, x, x}
+	opt, err := NewOptimizer(cands, Options{Seed: 3, Restarts: 1, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe index 2, leaving {0, 1, 3, 4, 5} as exact ties.
+	if err := opt.Observe(Observation{Index: 2, Energy: 1.0, Latency: 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := opt.SuggestBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 4 {
+		t.Fatalf("got %d suggestions, want 4", len(sugg))
+	}
+	want := []int{0, 1, 3, 4}
+	for i, s := range sugg {
+		if s.Index != want[i] {
+			t.Errorf("pick %d = index %d, want %d (lowest index must win EHVI ties)", i, s.Index, want[i])
+		}
+	}
+}
+
+// TestSuggestBatchTieBreakMixedPool mixes one strictly better candidate with
+// duplicate ties: the unique maximizer must come first, then the tied
+// duplicates in index order.
+func TestSuggestBatchTieBreakMixedPool(t *testing.T) {
+	dup := []float64{0.8, 0.8}
+	cands := [][]float64{dup, dup, {0.1, 0.1}, dup, {0.8, 0.8}}
+	opt, err := NewOptimizer(cands, Options{Seed: 4, Restarts: 1, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations at the duplicate location and one distinct point give
+	// the GP a gradient: the unobserved distinct candidate (index 2) gets
+	// more acquisition value than the duplicates of an observed point.
+	if err := opt.Observe(
+		Observation{Index: 0, Energy: 2.0, Latency: 1.0},
+		Observation{Index: 4, Energy: 2.1, Latency: 1.1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := opt.SuggestBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugg[0].Index != 2 {
+		t.Fatalf("first pick = %d, want the unique unobserved location 2 (EHVI %v)", sugg[0].Index, sugg[0].EHVI)
+	}
+	// The remaining picks are exact ties between indices 1 and 3.
+	want := []int{1, 3}
+	for i, s := range sugg[1:] {
+		if s.Index != want[i] {
+			t.Errorf("pick %d = index %d, want %d", i+1, s.Index, want[i])
+		}
+	}
+}

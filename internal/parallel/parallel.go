@@ -1,0 +1,169 @@
+// Package parallel provides the shared bounded worker pool behind BoFL's
+// acquisition hot path and experiment harness. It exposes deterministic
+// fan-out primitives: work is always indexed, results land in caller-owned
+// per-index slots, and reductions happen serially in the caller, so the
+// output of a parallel run is byte-identical to the serial one regardless of
+// scheduling (DESIGN.md, "Performance architecture").
+//
+// Boundedness is global: a process-wide token pool caps the number of helper
+// goroutines across all concurrent For/Run calls. The calling goroutine
+// always participates in the work and helpers are acquired without blocking,
+// so nested fan-out (e.g. Optimizer.Fit fitting two surrogates that each
+// fan out hyperparameter restarts) degrades to inline execution instead of
+// deadlocking.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the configured width; 0 means "use runtime.GOMAXPROCS(0)".
+var workers atomic.Int64
+
+// tokens is the global helper-goroutine pool. Its capacity tracks
+// Workers()−1 (the caller is the remaining worker). Rebuilt by SetWorkers.
+var tokens atomic.Pointer[chan struct{}]
+
+func init() {
+	resizePool(0)
+}
+
+func resizePool(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c := make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		c <- struct{}{}
+	}
+	tokens.Store(&c)
+}
+
+// Workers returns the configured pool width: the value set by SetWorkers, or
+// runtime.GOMAXPROCS(0) when unset.
+func Workers() int {
+	if w := workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the pool width and returns the previous setting (0 if it
+// was tracking GOMAXPROCS). n ≤ 0 reverts to tracking GOMAXPROCS. It is
+// intended for process startup (CLI flags) and tests; concurrent calls with
+// in-flight For/Run are safe but the new width only applies to subsequent
+// calls.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	prev := workers.Swap(int64(n))
+	resizePool(n)
+	return int(prev)
+}
+
+// acquireHelpers grabs up to max helper tokens without blocking and returns
+// the tokens' source channel plus the number acquired.
+func acquireHelpers(max int) (chan struct{}, int) {
+	c := *tokens.Load()
+	got := 0
+	for got < max {
+		select {
+		case <-c:
+			got++
+		default:
+			return c, got
+		}
+	}
+	return c, got
+}
+
+// ForChunk processes the index range [0, n) with fn invoked on disjoint
+// sub-ranges [lo, hi). Workers pull chunks from a shared counter, so fn must
+// be safe to call concurrently; chunk boundaries are scheduling-dependent but
+// every index is visited exactly once. fn should write results into
+// per-index slots of a caller-owned slice to stay deterministic.
+func ForChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	// Chunks small enough to balance load, large enough to amortize the
+	// counter; 4 chunks per worker is the usual compromise.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	c, helpers := acquireHelpers(w - 1)
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		go func() {
+			defer wg.Done()
+			defer func() { c <- struct{}{} }()
+			work()
+		}()
+	}
+	work() // the caller is always a worker
+	wg.Wait()
+}
+
+// For invokes fn(i) for every i in [0, n) across the worker pool.
+func For(n int, fn func(i int)) {
+	ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForErr invokes fn(i) for every i in [0, n) across the worker pool and
+// returns the error of the lowest failing index (deterministic regardless of
+// scheduling), or nil. All indices are attempted even after a failure; the
+// per-task cost in BoFL's harness is large enough that wasted work after an
+// error is irrelevant next to deterministic behavior.
+func ForErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the given functions concurrently on the pool and returns the
+// error of the lowest failing index. Used for small static fan-out, e.g.
+// fitting the energy and latency surrogates side by side.
+func Run(fns ...func() error) error {
+	return ForErr(len(fns), func(i int) error { return fns[i]() })
+}

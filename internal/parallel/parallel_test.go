@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1003} {
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkCoversRangeDisjointly(t *testing.T) {
+	const n = 500
+	counts := make([]int32, n)
+	ForChunk(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d with unset width, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForSerialWidthRunsInline(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	// With width 1 everything runs on the calling goroutine, so unguarded
+	// writes are safe — this is what the determinism suite's serial arm uses.
+	sum := 0
+	For(100, func(i int) { sum += i })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := ForErr(100, func(i int) error {
+		switch i {
+		case 97:
+			return errHigh
+		case 13:
+			return errLow
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("ForErr returned %v, want the lowest-index error %v", err, errLow)
+	}
+	if err := ForErr(50, func(int) error { return nil }); err != nil {
+		t.Fatalf("ForErr = %v on success", err)
+	}
+}
+
+func TestRun(t *testing.T) {
+	var a, b int
+	err := Run(
+		func() error { a = 1; return nil },
+		func() error { b = 2; return nil },
+	)
+	if err != nil || a != 1 || b != 2 {
+		t.Fatalf("Run: err=%v a=%d b=%d", err, a, b)
+	}
+	want := errors.New("first")
+	err = Run(
+		func() error { return want },
+		func() error { return errors.New("second") },
+	)
+	if err != want {
+		t.Fatalf("Run returned %v, want %v", err, want)
+	}
+}
+
+func TestNestedFanOutDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	// Outer fan-out saturating the pool, each task fanning out again:
+	// inner calls must degrade to inline execution instead of blocking on
+	// helper tokens held by their ancestors.
+	var total atomic.Int64
+	For(16, func(int) {
+		For(16, func(int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 256 {
+		t.Fatalf("nested total = %d, want 256", total.Load())
+	}
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Snapshot the acquisition hot-path benchmarks into BENCH_<n>.json, seeding
+# the repo's perf trajectory. Each snapshot records ns/op for the three
+# hot-path benchmarks (best of -count runs, to damp scheduler noise) plus
+# the environment they ran in.
+#
+# Usage:
+#   scripts/bench.sh [n]        # writes BENCH_<n>.json at the repo root
+#
+# n defaults to the next unused index. Compare snapshots with e.g.
+#   jq -s '.[0].benchmarks, .[1].benchmarks' BENCH_0.json BENCH_1.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkGPFit|BenchmarkFigure9)$'
+COUNT="${BENCH_COUNT:-3}"
+
+n="${1:-}"
+if [[ -z "$n" ]]; then
+  # Next index after the highest existing snapshot (gaps stay gaps).
+  n=0
+  for f in BENCH_*.json; do
+    [[ -e "$f" ]] || continue
+    i="${f#BENCH_}"
+    i="${i%.json}"
+    [[ "$i" =~ ^[0-9]+$ ]] && ((i >= n)) && n=$((i + 1))
+  done
+fi
+out="BENCH_${n}.json"
+
+export GO_VERSION="$(go env GOVERSION)"
+export BENCH_GOMAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+
+raw="$(go test -run='^$' -bench="$BENCHES" -benchtime=1x -count="$COUNT" . 2>&1)"
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" -v count="$COUNT" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+    ns = $3
+    if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    if (order[name] == "") { order[name] = ++k; names[k] = name }
+  }
+  /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+  END {
+    printf "{\n"
+    printf "  \"schema\": \"bofl-bench-v1\",\n"
+    printf "  \"go\": \"%s\",\n", ENVIRON["GO_VERSION"]
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"gomaxprocs\": %s,\n", ENVIRON["BENCH_GOMAXPROCS"]
+    printf "  \"count\": %s,\n", count
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= k; i++) {
+      printf "    \"%s\": {\"ns_per_op\": %s}%s\n", names[i], best[names[i]], (i < k ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+  }
+' > "$out"
+
+echo "wrote $out"
