@@ -17,6 +17,8 @@ import (
 	"bofl/internal/gp"
 	"bofl/internal/ilp"
 	"bofl/internal/mobo"
+	"bofl/internal/obs"
+	"bofl/internal/parallel"
 	"bofl/internal/pareto"
 )
 
@@ -103,6 +105,7 @@ func benchEnergyComparison(b *testing.B, ratio float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	poolBefore := parallel.Stats()
 	for i := 0; i < b.N; i++ {
 		cmp, err := experiment.EnergyComparisonFor(dev, tasks[0], benchRounds, int64(i+1), benchOpts())
 		if err != nil {
@@ -110,6 +113,19 @@ func benchEnergyComparison(b *testing.B, ratio float64) {
 		}
 		b.ReportMetric(cmp.Improvement*100, "improvement%")
 		b.ReportMetric(cmp.Regret*100, "regret%")
+	}
+	reportPoolStats(b, poolBefore)
+}
+
+// reportPoolStats attaches the worker pool's fan-out behaviour over the
+// benchmark loop as custom metrics, so bench.sh snapshots record how much of
+// the run actually used helpers.
+func reportPoolStats(b *testing.B, before parallel.PoolStats) {
+	after := parallel.Stats()
+	fanouts := after.Fanouts - before.Fanouts
+	b.ReportMetric(float64(fanouts)/float64(b.N), "fanouts/op")
+	if fanouts > 0 {
+		b.ReportMetric(float64(after.HelperAcquires-before.HelperAcquires)/float64(fanouts), "helpers/fanout")
 	}
 }
 
@@ -361,7 +377,11 @@ func BenchmarkILPSolve(b *testing.B) {
 	}
 }
 
-func BenchmarkMBOSuggestBatch(b *testing.B) {
+// benchMBOSuggestBatch times the acquisition hot path with the given sink.
+// The default benchmark runs the no-op sink (the production default); the
+// Live variant quantifies the full-telemetry cost — BENCH snapshots compare
+// the two to enforce the <2% NopSink-overhead budget.
+func benchMBOSuggestBatch(b *testing.B, sink obs.Sink) {
 	dev := device.JetsonAGX()
 	space := dev.Space()
 	candidates := make([][]float64, space.Size())
@@ -379,6 +399,7 @@ func BenchmarkMBOSuggestBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	poolBefore := parallel.Stats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -386,6 +407,7 @@ func BenchmarkMBOSuggestBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		opt.SetSink(sink)
 		for _, idx := range seedIdx {
 			lat, energy, err := dev.Perf(device.ViT, mustConfig(b, space, idx))
 			if err != nil {
@@ -400,6 +422,13 @@ func BenchmarkMBOSuggestBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportPoolStats(b, poolBefore)
+}
+
+func BenchmarkMBOSuggestBatch(b *testing.B) { benchMBOSuggestBatch(b, obs.Nop) }
+
+func BenchmarkMBOSuggestBatchLive(b *testing.B) {
+	benchMBOSuggestBatch(b, obs.NewBoFL(obs.Real{}))
 }
 
 func mustConfig(b *testing.B, s device.Space, i int) device.Config {

@@ -25,11 +25,13 @@ import (
 	"bofl/internal/device"
 	"bofl/internal/experiment"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 	"bofl/internal/parallel"
 )
 
-// writeCSV creates path (and parent dirs) and streams fn into it.
-func writeCSV(path string, fn func(io.Writer) error) error {
+// writeFile creates path (and parent dirs) and streams fn into it — used for
+// both CSV exports and telemetry traces.
+func writeFile(path string, fn func(io.Writer) error) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -60,11 +62,40 @@ func run(args []string, out io.Writer) error {
 		tau    = fs.Float64("tau", 5, "reference measurement duration τ (seconds)")
 		csvDir = fs.String("csv-dir", "", "also write figure scatter/series data as CSV into this directory")
 		par    = fs.Int("parallel", 0, "worker pool width for the acquisition scans and the tasks × ratios × seeds experiment fan-out (0 = GOMAXPROCS, 1 = serial)")
+		trace  = fs.String("telemetry", "", "write the suite's span trace as JSONL to this path")
+		chrome = fs.String("telemetry-chrome", "", "write the suite's span trace as Chrome trace_event JSON to this path")
+		pprofA = fs.String("pprof", "", "serve net/http/pprof on this address during the run (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetWorkers(*par)
+	if *pprofA != "" {
+		obs.ServePprof(*pprofA)
+	}
+	var tel *obs.Telemetry
+	if *trace != "" || *chrome != "" {
+		// One process-wide sink: every RunTask, MBO span and experiment-cell
+		// event across the suite lands in the same trace buffer.
+		tel = obs.NewBoFL(obs.Real{})
+		experiment.SetSink(tel)
+		defer func() {
+			if *trace != "" {
+				if err := writeFile(*trace, tel.Tracer.WriteJSONL); err != nil {
+					fmt.Fprintln(os.Stderr, "boflbench: telemetry:", err)
+				} else {
+					fmt.Fprintf(out, "wrote %d trace events to %s\n", tel.Tracer.Len(), *trace)
+				}
+			}
+			if *chrome != "" {
+				if err := writeFile(*chrome, tel.Tracer.WriteChromeTrace); err != nil {
+					fmt.Fprintln(os.Stderr, "boflbench: telemetry:", err)
+				} else {
+					fmt.Fprintf(out, "wrote Chrome trace to %s\n", *chrome)
+				}
+			}
+		}()
+	}
 	opts := core.Options{Tau: *tau}
 
 	want := map[string]bool{}
@@ -145,7 +176,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%s.csv", id, cmp.Task.Workload))
-				if err := writeCSV(path, func(w io.Writer) error {
+				if err := writeFile(path, func(w io.Writer) error {
 					return experiment.WriteEnergyComparisonCSV(w, cmp)
 				}); err != nil {
 					return err
@@ -176,7 +207,7 @@ func run(args []string, out io.Writer) error {
 		if *csvDir != "" {
 			for _, d := range data {
 				path := filepath.Join(*csvDir, fmt.Sprintf("fig11_%s.csv", d.Workload))
-				if err := writeCSV(path, func(w io.Writer) error {
+				if err := writeFile(path, func(w io.Writer) error {
 					return experiment.WriteFigure11CSV(w, d)
 				}); err != nil {
 					return err

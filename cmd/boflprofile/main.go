@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"bofl/internal/device"
+	"bofl/internal/obs"
 )
 
 func main() {
@@ -31,9 +32,13 @@ func run(args []string, out io.Writer) error {
 		devName  = fs.String("device", "agx", "device: agx or tx2")
 		workload = fs.String("workload", "vit", "workload: vit, resnet50 or lstm")
 		jsonPath = fs.String("json", "", "write the full profile as JSON to this path")
+		pprofFlg = fs.String("pprof", "", "serve net/http/pprof on this address during the sweep (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofFlg != "" {
+		obs.ServePprof(*pprofFlg)
 	}
 	dev, ok := device.ByName(*devName)
 	if !ok {

@@ -18,6 +18,7 @@ import (
 	"bofl/internal/device"
 	"bofl/internal/experiment"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boflsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace creates path and streams the trace exporter into it.
+func writeTrace(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(args []string, out io.Writer) error {
@@ -40,6 +54,9 @@ func run(args []string, out io.Writer) error {
 		verbose  = fs.Bool("v", false, "print every round")
 		loadSnap = fs.String("load-snapshot", "", "resume a BoFL controller from this snapshot file")
 		saveSnap = fs.String("save-snapshot", "", "write the BoFL controller's final state to this file")
+		tracePth = fs.String("telemetry", "", "write the run's span trace as JSONL to this path")
+		chromePt = fs.String("telemetry-chrome", "", "write the run's span trace as Chrome trace_event JSON to this path")
+		pprofFlg = fs.String("pprof", "", "serve net/http/pprof on this address during the run (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +84,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown task %q (want vit, resnet50 or lstm)", *taskName)
 	}
 
-	runRes, err := experiment.RunTask(experiment.RunConfig{
+	if *pprofFlg != "" {
+		obs.ServePprof(*pprofFlg)
+	}
+	var tel *obs.Telemetry
+	if *tracePth != "" || *chromePt != "" {
+		tel = obs.NewBoFL(obs.Real{})
+	}
+	cfg := experiment.RunConfig{
 		Device:       dev,
 		Task:         task,
 		Rounds:       *rounds,
@@ -76,9 +100,25 @@ func run(args []string, out io.Writer) error {
 		CtrlOptions:  core.Options{Tau: *tau},
 		LoadSnapshot: *loadSnap,
 		SaveSnapshot: *saveSnap,
-	})
+	}
+	if tel != nil {
+		cfg.Sink = tel
+	}
+	runRes, err := experiment.RunTask(cfg)
 	if err != nil {
 		return err
+	}
+	if *tracePth != "" {
+		if err := writeTrace(*tracePth, tel.Tracer.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s\n", tel.Tracer.Len(), *tracePth)
+	}
+	if *chromePt != "" {
+		if err := writeTrace(*chromePt, tel.Tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Chrome trace to %s\n", *chromePt)
 	}
 
 	fmt.Fprintf(out, "%s on %s, controller=%s, ratio=%.1f, rounds=%d\n",

@@ -18,6 +18,7 @@ import (
 	"bofl/internal/device"
 	"bofl/internal/fl"
 	"bofl/internal/ml"
+	"bofl/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func run(args []string) error {
 	listen := fs.String("listen", ":8071", "HTTP listen address")
 	server := fs.String("server", "", "optional flserver check-in URL, e.g. http://127.0.0.1:8070")
 	advertise := fs.String("advertise", "", "base URL the server should dial back (default http://127.0.0.1<listen>)")
+	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 	cfg, err := parseClientFlags(fs, args)
 	if err != nil {
 		return err
@@ -60,8 +62,20 @@ func run(args []string) error {
 			fmt.Printf("checked in with %s as %s\n", *server, cfg.id)
 		}()
 	}
-	fmt.Printf("flclient %s (%s, %s pacing) listening on %s\n", cfg.id, cfg.devName, cfg.controller, *listen)
-	return http.ListenAndServe(*listen, fl.NewClientHandler(client))
+	// Live telemetry: the daemon's mux serves /metrics, /healthz and
+	// /v1/telemetry alongside the training endpoints, and the sink threads
+	// down through the client into its pace controller.
+	tel := obs.NewBoFL(obs.Real{})
+	ml.SetSink(tel)
+	handler := fl.NewClientHandler(client)
+	handler.SetTelemetry(tel)
+	if *pprofAddr != "" {
+		obs.ServePprof(*pprofAddr)
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	fmt.Printf("flclient %s (%s, %s pacing) listening on %s (introspection: /metrics /healthz /v1/telemetry)\n",
+		cfg.id, cfg.devName, cfg.controller, *listen)
+	return http.ListenAndServe(*listen, handler)
 }
 
 // clientConfig holds the daemon's construction parameters.

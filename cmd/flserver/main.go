@@ -18,6 +18,7 @@ import (
 
 	"bofl/internal/fl"
 	"bofl/internal/ml"
+	"bofl/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,9 @@ func run(args []string) error {
 		perRound = fs.Int("per-round", 0, "participants per round (0 = all)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-round HTTP timeout")
+		admin    = fs.String("admin", "", "serve /metrics, /healthz and /v1/telemetry on this address (empty = off)")
+		hold     = fs.Duration("hold", 0, "keep the process (and admin endpoints) alive this long after the last round")
+		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,25 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Server-side telemetry: the server folds client round reports into the
+	// BoFL domain instruments, so one scrape of the admin endpoint shows
+	// federation-wide energy, deadline misses and controller phases.
+	tel := obs.NewBoFL(obs.Real{})
+	srv.SetSink(tel)
+	if *admin != "" {
+		mux := http.NewServeMux()
+		tel.Mount(mux)
+		go func() {
+			if err := http.ListenAndServe(*admin, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "flserver: admin listener:", err)
+			}
+		}()
+		fmt.Printf("admin endpoints on %s (/metrics /healthz /v1/telemetry)\n", *admin)
+	}
+	if *pprofFlg != "" {
+		obs.ServePprof(*pprofFlg)
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofFlg)
+	}
 	switch {
 	case *checkin != "":
 		// Figure 1, step 1: wait for devices to check in.
@@ -79,6 +102,9 @@ func run(args []string) error {
 			time.Sleep(200 * time.Millisecond)
 		}
 		for _, p := range reg.Participants() {
+			if ss, ok := p.(interface{ SetSink(obs.Sink) }); ok {
+				ss.SetSink(tel)
+			}
 			srv.Register(p)
 			fmt.Printf("registered %s via check-in\n", p.ID())
 		}
@@ -92,13 +118,23 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			p.SetSink(tel)
 			srv.Register(p)
 			fmt.Printf("registered %s at %s\n", p.ID(), url)
 		}
 	default:
 		return fmt.Errorf("need -clients or -checkin")
 	}
-	return orchestrate(srv, *rounds, os.Stdout)
+	if err := orchestrate(srv, *rounds, os.Stdout); err != nil {
+		return err
+	}
+	if *hold > 0 {
+		// Leave the admin endpoints scrapeable after the run — the CI smoke
+		// test curls /metrics once the rounds are done.
+		fmt.Printf("holding for %v\n", *hold)
+		time.Sleep(*hold)
+	}
+	return nil
 }
 
 // orchestrate drives the federation for the given number of rounds, printing

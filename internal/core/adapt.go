@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"bofl/internal/mobo"
+	"bofl/internal/obs"
 )
 
 // Adaptive re-exploration (extension): the paper assumes T(x) and E(x) are
@@ -45,7 +46,7 @@ func (c *Controller) updateDrift(a *aggObs, perJobLat float64) bool {
 func (c *Controller) readapt(trigger *aggObs) error {
 	ratio := trigger.ewmaLat / trigger.meanLatency()
 
-	obs := make([]mobo.Observation, 0, len(c.observed))
+	dataset := make([]mobo.Observation, 0, len(c.observed))
 	for idx, a := range c.observed {
 		// Configurations with a *recent* window of their own use it;
 		// the rest — including ones whose window is a relic of the
@@ -61,7 +62,7 @@ func (c *Controller) readapt(trigger *aggObs) error {
 		// falls); lacking a fresh energy window, apply that model.
 		a.sumE *= sqrtScale(scale)
 		a.ewmaLat = newLat
-		obs = append(obs, mobo.Observation{
+		dataset = append(dataset, mobo.Observation{
 			Index:   idx,
 			Energy:  a.meanEnergy(),
 			Latency: a.meanLatency(),
@@ -72,15 +73,17 @@ func (c *Controller) readapt(trigger *aggObs) error {
 	if err != nil {
 		return err
 	}
-	if err := optimizer.Observe(obs...); err != nil {
+	if err := optimizer.Observe(dataset...); err != nil {
 		return err
 	}
 	c.optimizer = optimizer
-	c.phase = PhaseParetoConstruct
+	c.pushSink()
+	c.setPhase(PhaseParetoConstruct)
 	c.haveHV = false
 	c.lastHV = 0
 	c.queue = nil
 	c.readapts++
+	c.sink.Count(obs.MetricReadapts, 1)
 	// The guardian's budget math is only as good as T(x_max); re-measure
 	// it first thing next round.
 	c.remeasureXmax = true

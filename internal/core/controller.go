@@ -22,6 +22,7 @@ import (
 
 	"bofl/internal/device"
 	"bofl/internal/mobo"
+	"bofl/internal/obs"
 	"bofl/internal/pareto"
 )
 
@@ -277,6 +278,10 @@ type Controller struct {
 	// remeasureXmax forces a fresh guardian measurement at the start of
 	// the next round after a drift re-adaptation.
 	remeasureXmax bool
+
+	// sink receives domain metrics and spans; obs.Nop unless SetSink
+	// installed a live telemetry backend.
+	sink obs.Sink
 }
 
 var _ PaceController = (*Controller)(nil)
@@ -340,6 +345,7 @@ func New(space device.Space, opts Options) (*Controller, error) {
 		queue:      queue,
 		xmaxIdx:    xmaxIdx,
 		observed:   make(map[int]*aggObs),
+		sink:       obs.Nop,
 	}, nil
 }
 

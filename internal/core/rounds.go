@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"bofl/internal/obs"
 )
 
 // roundState tracks the budget of one in-flight round.
@@ -120,6 +122,8 @@ func (c *Controller) RunRound(jobs int, deadline float64, exec Executor) (RoundR
 	}
 	c.round++
 	rs := &roundState{remaining: jobs, timeLeft: deadline, exec: exec}
+	endRound := c.sink.Span(obs.SpanRound, obs.L("phase", c.phase.String()))
+	defer endRound()
 
 	switch c.phase {
 	case PhaseExploit:
@@ -133,11 +137,11 @@ func (c *Controller) RunRound(jobs int, deadline float64, exec Executor) (RoundR
 		c.deadlineSum += deadline
 		c.deadlineCount++
 		if c.phase == PhaseRandomExplore && len(c.queue) == 0 {
-			c.phase = PhaseParetoConstruct
+			c.setPhase(PhaseParetoConstruct)
 		}
 	}
 
-	return RoundReport{
+	report := RoundReport{
 		Round:       c.round,
 		Phase:       c.phase,
 		Jobs:        jobs,
@@ -147,7 +151,9 @@ func (c *Controller) RunRound(jobs int, deadline float64, exec Executor) (RoundR
 		DeadlineMet: rs.duration <= deadline,
 		Explored:    rs.explored,
 		FrontSize:   len(c.Front()),
-	}, nil
+	}
+	c.recordRound(report)
+	return report, nil
 }
 
 // runExplorationRound implements Figure 7 for phases 1 and 2.
@@ -199,6 +205,9 @@ func (c *Controller) BetweenRounds() (MBOReport, error) {
 		return MBOReport{}, nil
 	}
 	start := time.Now()
+	endMBO := c.sink.Span(obs.SpanMBO)
+	defer endMBO()
+	c.sink.Count(obs.MetricMBORuns, 1)
 
 	hv, err := c.hypervolume()
 	if err != nil {
@@ -209,10 +218,11 @@ func (c *Controller) BetweenRounds() (MBOReport, error) {
 		gain = (hv - c.lastHV) / c.lastHV
 	}
 	c.lastHV, c.haveHV = hv, true
+	c.sink.SetGauge(obs.MetricHypervolume, hv)
 
 	exploredFrac := float64(len(c.observed)) / float64(len(c.candidates))
 	if exploredFrac >= c.opts.MinExploredFrac && gain < c.opts.HVGainThreshold {
-		c.phase = PhaseExploit
+		c.setPhase(PhaseExploit)
 		return MBOReport{
 			Ran:                 true,
 			WallTime:            time.Since(start),
@@ -227,6 +237,7 @@ func (c *Controller) BetweenRounds() (MBOReport, error) {
 	if err != nil {
 		return MBOReport{}, err
 	}
+	c.sink.Count(obs.MetricMBOSuggestions, float64(len(sugg)))
 	c.queue = c.queue[:0]
 	for _, s := range sugg {
 		c.queue = append(c.queue, s.Index)

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"bofl/internal/mobo"
+	"bofl/internal/obs"
 )
 
 // FL tasks run for hundreds to thousands of rounds (§6.2), far longer than an
@@ -97,7 +98,7 @@ func (c *Controller) Restore(s Snapshot) error {
 	}
 	observed := make(map[int]*aggObs, len(s.Observations))
 	var xmaxObs *aggObs
-	obs := make([]mobo.Observation, 0, len(s.Observations))
+	dataset := make([]mobo.Observation, 0, len(s.Observations))
 	for _, o := range s.Observations {
 		if o.Index < 0 || o.Index >= len(c.candidates) {
 			return fmt.Errorf("core: snapshot observation index %d out of range", o.Index)
@@ -110,7 +111,7 @@ func (c *Controller) Restore(s Snapshot) error {
 		if o.Index == c.xmaxIdx {
 			xmaxObs = a
 		}
-		obs = append(obs, mobo.Observation{
+		dataset = append(dataset, mobo.Observation{
 			Index:   o.Index,
 			Energy:  a.meanEnergy(),
 			Latency: a.meanLatency(),
@@ -123,13 +124,14 @@ func (c *Controller) Restore(s Snapshot) error {
 	if err != nil {
 		return err
 	}
-	if len(obs) > 0 {
-		if err := optimizer.Observe(obs...); err != nil {
+	if len(dataset) > 0 {
+		if err := optimizer.Observe(dataset...); err != nil {
 			return err
 		}
 	}
 
 	c.optimizer = optimizer
+	c.pushSink()
 	c.observed = observed
 	c.xmaxObs = xmaxObs
 	c.phase = s.Phase
@@ -139,6 +141,7 @@ func (c *Controller) Restore(s Snapshot) error {
 	c.deadlineCount = s.DeadlineCount
 	c.lastHV = s.LastHV
 	c.haveHV = s.HaveHV
+	c.sink.SetGauge(obs.MetricControllerPhase, float64(c.phase))
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import "bofl/internal/obs"
+
+// Telemetry is attached to a controller after construction (SetSink) rather
+// than through Options: Options is part of the public API surface and its
+// snapshot/JSON round-trip, while a sink is process-local wiring.
+
+// sinkSettable is implemented by MBO strategies that accept a telemetry sink.
+type sinkSettable interface{ SetSink(obs.Sink) }
+
+// SetSink installs a telemetry sink on the controller and its optimizer.
+// Passing nil restores the no-op sink. Safe to call at any time between
+// rounds; not synchronized against a concurrently running round.
+func (c *Controller) SetSink(s obs.Sink) {
+	c.sink = obs.OrNop(s)
+	c.pushSink()
+	c.sink.SetGauge(obs.MetricControllerPhase, float64(c.phase))
+}
+
+// pushSink re-propagates the sink to the optimizer; called after every site
+// that rebuilds the suggester (construction, drift re-adaptation, restore).
+func (c *Controller) pushSink() {
+	if ss, ok := c.optimizer.(sinkSettable); ok {
+		ss.SetSink(c.sink)
+	}
+}
+
+// setPhase transitions the controller phase, emitting a trace instant and
+// refreshing the phase gauge.
+func (c *Controller) setPhase(p Phase) {
+	if p == c.phase {
+		return
+	}
+	from := c.phase
+	c.phase = p
+	c.sink.Event("bofl_phase_transition", obs.L("from", from.String()), obs.L("to", p.String()))
+	c.sink.SetGauge(obs.MetricControllerPhase, float64(p))
+}
+
+// recordRound folds one completed round into the domain instruments.
+func (c *Controller) recordRound(r RoundReport) {
+	c.sink.Count(obs.MetricRounds, 1)
+	c.sink.Observe(obs.MetricRoundEnergy, r.Energy)
+	c.sink.Observe(obs.MetricRoundDuration, r.Duration)
+	if !r.DeadlineMet {
+		c.sink.Count(obs.MetricDeadlineMisses, 1)
+	}
+	c.sink.SetGauge(obs.MetricControllerPhase, float64(c.phase))
+	c.sink.SetGauge(obs.MetricFrontSize, float64(r.FrontSize))
+	phase := obs.L("phase", r.Phase.String())
+	c.sink.Count(obs.MetricPhaseEnergy, r.Energy, phase)
+	c.sink.Count(obs.MetricPhaseLatency, r.Duration, phase)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bofl/internal/device"
+	"bofl/internal/obs"
+)
+
+// TestControllerTelemetry drives a controller through enough rounds to cross
+// all three phases with a live Telemetry attached and checks that the domain
+// instruments fill in: round counter, energy histogram, phase gauge,
+// hypervolume, MBO spans and phase-transition trace events.
+func TestControllerTelemetry(t *testing.T) {
+	tel := obs.NewBoFL(obs.Real{})
+	c, err := New(smallSpace(), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSink(tel)
+
+	exec := newSimExec(t, device.JetsonAGX(), device.ViT, 7)
+	rounds := 0
+	for i := 0; i < 40; i++ {
+		if _, err := c.RunRound(30, 45, exec); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		if _, err := c.BetweenRounds(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Phase() == PhaseExploit {
+			break
+		}
+	}
+	if c.Phase() != PhaseExploit {
+		t.Fatalf("controller never reached exploitation (phase %v after %d rounds)", c.Phase(), rounds)
+	}
+
+	r := tel.Registry
+	if got := r.Counter(obs.MetricRounds, "").Value(); got != float64(rounds) {
+		t.Errorf("%s = %v, want %d", obs.MetricRounds, got, rounds)
+	}
+	if got := r.Histogram(obs.MetricRoundEnergy, "", nil).Count(); got != uint64(rounds) {
+		t.Errorf("%s count = %d, want %d", obs.MetricRoundEnergy, got, rounds)
+	}
+	if got := r.Gauge(obs.MetricControllerPhase, "").Value(); got != float64(PhaseExploit) {
+		t.Errorf("%s = %v, want %v", obs.MetricControllerPhase, got, float64(PhaseExploit))
+	}
+	if got := r.Gauge(obs.MetricHypervolume, "").Value(); got <= 0 {
+		t.Errorf("%s = %v, want > 0", obs.MetricHypervolume, got)
+	}
+	if got := r.Gauge(obs.MetricFrontSize, "").Value(); got <= 0 {
+		t.Errorf("%s = %v, want > 0", obs.MetricFrontSize, got)
+	}
+	if got := r.Counter(obs.MetricMBORuns, "").Value(); got == 0 {
+		t.Errorf("%s never incremented", obs.MetricMBORuns)
+	}
+	if got := r.Histogram(obs.SpanGPFit+"_seconds", "", nil).Count(); got == 0 {
+		t.Errorf("no %s spans recorded", obs.SpanGPFit)
+	}
+	if got := r.Histogram(obs.SpanEHVIScan+"_seconds", "", nil).Count(); got == 0 {
+		t.Errorf("no %s spans recorded", obs.SpanEHVIScan)
+	}
+	if got := r.Histogram(obs.SpanILPSolve+"_seconds", "", nil).Count(); got == 0 {
+		t.Errorf("no %s spans recorded", obs.SpanILPSolve)
+	}
+
+	// Phase transitions must appear in the trace: explore→construct and
+	// construct→exploit.
+	var sawConstruct, sawExploit bool
+	for _, ev := range tel.Tracer.Events() {
+		if ev.Name != "bofl_phase_transition" {
+			continue
+		}
+		switch ev.Labels["to"] {
+		case PhaseParetoConstruct.String():
+			sawConstruct = true
+		case PhaseExploit.String():
+			sawExploit = true
+		}
+	}
+	if !sawConstruct || !sawExploit {
+		t.Errorf("missing phase-transition events (construct=%v exploit=%v)", sawConstruct, sawExploit)
+	}
+
+	// The exposition must carry the acceptance-criteria series.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		obs.MetricRounds, obs.MetricRoundEnergy + "_bucket", obs.MetricDeadlineMisses,
+		obs.MetricControllerPhase, obs.MetricHypervolume,
+		obs.SpanGPFit + "_seconds_bucket", obs.SpanEHVIScan + "_seconds_bucket",
+		obs.MetricPoolUtilization,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestSetSinkSurvivesReadaptAndRestore checks that the sink propagates to a
+// rebuilt optimizer after snapshot restore (the same path readapt uses).
+func TestSetSinkSurvivesReadaptAndRestore(t *testing.T) {
+	tel := obs.New(obs.Frozen{T: time.Unix(0, 0)})
+	c, err := New(smallSpace(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSink(tel)
+	exec := newSimExec(t, device.JetsonAGX(), device.ViT, 5)
+	if _, err := c.RunRound(30, 45, exec); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Snapshot()
+	c2, err := New(smallSpace(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetSink(tel)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := c2.optimizer.(sinkSettable)
+	if !ok {
+		t.Fatal("optimizer does not accept a sink")
+	}
+	_ = ss
+	// The restored optimizer must carry the live sink: a fit shows up in
+	// the span histogram.
+	before := tel.Registry.Histogram(obs.SpanGPFit+"_seconds", "", nil).Count()
+	if _, err := c2.optimizer.SuggestBatch(1); err != nil {
+		t.Fatal(err)
+	}
+	after := tel.Registry.Histogram(obs.SpanGPFit+"_seconds", "", nil).Count()
+	if after <= before {
+		t.Error("restored optimizer lost the telemetry sink")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 	"bofl/internal/parallel"
 )
 
@@ -83,6 +84,10 @@ func EnergyComparisonFor(dev *device.Device, task fl.TaskSpec, rounds int, seed 
 		BoFLRun:         bofl,
 	}
 	out.EndPhase1, out.EndPhase2 = bofl.PhaseBoundaries()
+	cellDone("energy-comparison",
+		obs.L("task", task.Name),
+		obs.L("improvement", fmtF(out.Improvement)),
+		obs.L("regret", fmtF(out.Regret)))
 	for r := range bofl.Reports {
 		out.Rows = append(out.Rows, EnergyRow{
 			Round:      r + 1,
@@ -170,6 +175,7 @@ func Figure12(ratios []float64, rounds int, seed int64, opts core.Options) ([]Fi
 			Improvement: cmp.Improvement,
 			Regret:      cmp.Regret,
 		}
+		cellDone("figure12", obs.L("task", j.task.Name), obs.L("ratio", fmtF(j.ratio)))
 		return nil
 	})
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 )
 
 // ControllerKind names a pace-control policy under test.
@@ -50,6 +51,9 @@ type RunConfig struct {
 	// across runs (KindBoFL / KindBoFLParEGO only).
 	LoadSnapshot string
 	SaveSnapshot string
+	// Sink receives this run's telemetry (controller metrics, spans). Nil
+	// falls back to the package-wide sink installed with SetSink.
+	Sink obs.Sink
 }
 
 // TaskRun is the result of executing one task under one controller.
@@ -146,6 +150,14 @@ func RunTask(cfg RunConfig) (*TaskRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	snk := cfg.Sink
+	if snk == nil {
+		snk = sink()
+	}
+	if boflCtrl != nil {
+		boflCtrl.SetSink(snk)
+	}
+	defer snk.Span(SpanRun, obs.L("controller", string(cfg.Controller)), obs.L("task", cfg.Task.Name))()
 	if cfg.LoadSnapshot != "" {
 		if boflCtrl == nil {
 			return nil, fmt.Errorf("experiment: snapshots need a BoFL controller, got %s", cfg.Controller)
@@ -209,6 +221,7 @@ func RunTask(cfg RunConfig) (*TaskRun, error) {
 			return nil, err
 		}
 	}
+	snk.Count(MetricRuns, 1, obs.L("controller", string(cfg.Controller)))
 	return run, nil
 }
 

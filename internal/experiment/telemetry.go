@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bofl/internal/obs"
+)
+
+// The experiment harness reports sweep progress through a process-wide event
+// sink instead of ad-hoc writes: long grid sweeps (variance, Figure 12,
+// thermal) emit one structured event per completed cell, so a -telemetry
+// trace shows where a multi-minute run spends its time without the harness
+// printing to stderr.
+
+// sinkBox wraps the interface because atomic.Value demands one consistent
+// concrete type across stores.
+type sinkBox struct{ s obs.Sink }
+
+var pkgSink atomic.Value // holds sinkBox
+
+func init() { pkgSink.Store(sinkBox{obs.Nop}) }
+
+// SetSink routes experiment progress events and run spans through s for the
+// whole process. Nil restores the no-op sink.
+func SetSink(s obs.Sink) { pkgSink.Store(sinkBox{obs.OrNop(s)}) }
+
+// sink returns the current process-wide experiment sink.
+func sink() obs.Sink { return pkgSink.Load().(sinkBox).s }
+
+// Experiment-layer instrument names.
+const (
+	MetricRuns    = "bofl_experiment_runs_total" // counter{controller}: completed task runs
+	SpanRun       = "bofl_experiment_run"        // span: one RunTask execution
+	EventCellDone = "experiment_cell_done"       // instant: one sweep cell finished
+)
+
+// cellDone emits a sweep-progress event. Calls stay at cell granularity —
+// label formatting is wasted work under the default Nop sink.
+func cellDone(kind string, labels ...obs.Label) {
+	sink().Event(EventCellDone, append([]obs.Label{obs.L("kind", kind)}, labels...)...)
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }

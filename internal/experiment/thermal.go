@@ -6,6 +6,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 )
 
 // Extension experiment (beyond the paper): BoFL on a thermally throttling
@@ -88,6 +89,9 @@ func ThermalStudy(dev *device.Device, task fl.TaskSpec, rounds int, seed int64, 
 		if err != nil {
 			return nil, err
 		}
+		if boflCtrl != nil {
+			boflCtrl.SetSink(sink())
+		}
 		board, err := device.NewThermalDevice(dev, thermal)
 		if err != nil {
 			return nil, err
@@ -122,6 +126,10 @@ func ThermalStudy(dev *device.Device, task fl.TaskSpec, rounds int, seed int64, 
 			row.Readapts = boflCtrl.Readapts()
 		}
 		row.FinalTempC = board.Temperature()
+		cellDone("thermal",
+			obs.L("controller", ct.name),
+			obs.L("readapts", fmt.Sprint(row.Readapts)),
+			obs.L("finalTempC", fmtF(row.FinalTempC)))
 		rows = append(rows, row)
 	}
 	return rows, nil

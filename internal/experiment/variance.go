@@ -9,6 +9,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/fl"
+	"bofl/internal/obs"
 	"bofl/internal/parallel"
 )
 
@@ -49,6 +50,7 @@ func VarianceStudy(dev *device.Device, ratio float64, rounds, seeds int, base in
 			return fmt.Errorf("experiment: %s seed %d: %w", tasks[ti].Name, s, err)
 		}
 		cmps[i] = cmp
+		cellDone("variance", obs.L("task", tasks[ti].Name), obs.L("seed", fmt.Sprint(s)))
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/device"
 	"bofl/internal/ml"
+	"bofl/internal/obs"
 	"bofl/internal/simclock"
 )
 
@@ -27,6 +28,17 @@ type Client struct {
 
 	cursor      int
 	totalEnergy float64
+	sink        obs.Sink
+}
+
+// SetSink installs a telemetry sink on the client and, when the pace
+// controller supports one, on the controller too (the BoFL controller then
+// records its domain metrics into the same registry).
+func (c *Client) SetSink(s obs.Sink) {
+	c.sink = obs.OrNop(s)
+	if ss, ok := c.controller.(interface{ SetSink(obs.Sink) }); ok {
+		ss.SetSink(c.sink)
+	}
 }
 
 // ClientConfig bundles a client's construction parameters.
@@ -81,6 +93,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		numExample: len(cfg.Data),
 		controller: cfg.Controller,
 		lr:         cfg.LearnRate,
+		sink:       obs.Nop,
 	}, nil
 }
 
@@ -149,6 +162,7 @@ func (c *Client) executor() core.Executor {
 // TrainRound runs one FL round of `jobs` minibatch jobs under the round
 // deadline, driven by the client's pace controller.
 func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport, error) {
+	defer c.sink.Span(obs.SpanClientRound)()
 	rep, err := c.controller.RunRound(jobs, deadline, c.executor())
 	if err != nil {
 		return core.RoundReport{}, fmt.Errorf("fl: client %q round %d: %w", c.id, round, err)
@@ -160,6 +174,7 @@ func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport
 // ConfigWindow runs the controller's between-round work (MBO) during the
 // configuration/reporting window, as §4.3 prescribes.
 func (c *Client) ConfigWindow() (core.MBOReport, error) {
+	defer c.sink.Span(obs.SpanClientWindow)()
 	return c.controller.BetweenRounds()
 }
 

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"bofl/internal/obs"
 )
 
 // HTTP transport: a client daemon serves its training endpoint over HTTP and
@@ -32,16 +34,30 @@ type InfoResponse struct {
 type ClientHandler struct {
 	client *Client
 	mux    *http.ServeMux
+	sink   obs.Sink
 }
 
 var _ http.Handler = (*ClientHandler)(nil)
 
 // NewClientHandler wraps a client.
 func NewClientHandler(c *Client) *ClientHandler {
-	h := &ClientHandler{client: c, mux: http.NewServeMux()}
+	h := &ClientHandler{client: c, mux: http.NewServeMux(), sink: obs.Nop}
 	h.mux.HandleFunc("GET /v1/info", h.handleInfo)
 	h.mux.HandleFunc("POST /v1/round", h.handleRound)
 	return h
+}
+
+// SetTelemetry installs a live telemetry backend: error counters flow into
+// its registry and the introspection endpoints (/metrics, /healthz,
+// /v1/telemetry) are mounted next to the API. Also propagates the sink to the
+// wrapped client.
+func (h *ClientHandler) SetTelemetry(t *obs.Telemetry) {
+	if t == nil {
+		return
+	}
+	h.sink = t
+	h.client.SetSink(t)
+	t.Mount(h.mux)
 }
 
 // ServeHTTP dispatches to the API endpoints.
@@ -52,6 +68,7 @@ func (h *ClientHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (h *ClientHandler) handleInfo(w http.ResponseWriter, r *http.Request) {
 	perJob, err := h.client.TMin(1)
 	if err != nil {
+		h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "info"), obs.L("kind", "internal"))
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -66,12 +83,14 @@ func (h *ClientHandler) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (h *ClientHandler) handleRound(w http.ResponseWriter, r *http.Request) {
 	var req RoundRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", "decode"))
 		http.Error(w, fmt.Sprintf("decode round request: %v", err), http.StatusBadRequest)
 		return
 	}
 	p := &LocalParticipant{Client: h.client}
 	resp, err := p.Round(req)
 	if err != nil {
+		h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", "round"))
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -92,6 +111,16 @@ type HTTPParticipant struct {
 	id      string
 	perJob  float64
 	client  *http.Client
+	sink    obs.Sink
+}
+
+// SetSink installs a telemetry sink counting transport, status and decode
+// failures against the remote daemon.
+func (p *HTTPParticipant) SetSink(s obs.Sink) { p.sink = obs.OrNop(s) }
+
+// countErr increments the HTTP error counter for the round endpoint.
+func (p *HTTPParticipant) countErr(kind string) {
+	p.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", kind))
 }
 
 var _ Participant = (*HTTPParticipant)(nil)
@@ -114,7 +143,7 @@ func DialParticipant(baseURL string, timeout time.Duration) (*HTTPParticipant, e
 	if info.ClientID == "" || info.TMinPerJob <= 0 {
 		return nil, fmt.Errorf("fl: dial %s: malformed info %+v", baseURL, info)
 	}
-	return &HTTPParticipant{baseURL: baseURL, id: info.ClientID, perJob: info.TMinPerJob, client: hc}, nil
+	return &HTTPParticipant{baseURL: baseURL, id: info.ClientID, perJob: info.TMinPerJob, client: hc, sink: obs.Nop}, nil
 }
 
 // ID returns the remote client's identifier.
@@ -136,15 +165,18 @@ func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
 	}
 	resp, err := p.client.Post(p.baseURL+"/v1/round", "application/json", bytes.NewReader(body))
 	if err != nil {
+		p.countErr("transport")
 		return RoundResponse{}, fmt.Errorf("fl: round on %s: %w", p.id, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		p.countErr("status")
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return RoundResponse{}, fmt.Errorf("fl: round on %s: %s: %s", p.id, resp.Status, bytes.TrimSpace(msg))
 	}
 	var out RoundResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil {
+		p.countErr("decode")
 		return RoundResponse{}, fmt.Errorf("fl: decode round response: %w", err)
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bofl/internal/core"
+	"bofl/internal/obs"
 )
 
 // RoundRequest is the server → client message starting one training round
@@ -145,7 +146,14 @@ type Server struct {
 	pool   []Participant
 	rng    *rand.Rand
 	round  int
+	sink   obs.Sink
 }
+
+// SetSink installs a telemetry sink. Beyond orchestration metrics, the server
+// folds every client-reported RoundReport into the BoFL domain instruments,
+// so a server-side scrape shows round energy, deadline misses, phase and
+// front size even though the controllers run on the clients.
+func (s *Server) SetSink(sink obs.Sink) { s.sink = obs.OrNop(sink) }
 
 // NewServer validates the configuration and builds a server.
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -167,6 +175,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:    cfg,
 		global: global,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		sink:   obs.Nop,
 	}, nil
 }
 
@@ -202,17 +211,24 @@ func (s *Server) RunRound() (RoundResult, error) {
 		return RoundResult{}, errors.New("fl: no registered participants")
 	}
 	s.round++
+	endRound := s.sink.Span(obs.SpanFLRound)
+	defer endRound()
+
+	endSelect := s.sink.Span(obs.SpanFLSelect)
 	selected := s.cfg.Selector.Select(s.round, s.pool, s.cfg.ParticipantsPerRound)
+	endSelect()
 	if len(selected) == 0 {
 		return RoundResult{}, fmt.Errorf("fl: selector chose no participants in round %d", s.round)
 	}
 
 	// Deadline: the slowest selected client's T_min scaled by a uniform
 	// draw from [1, ratio].
+	endConfigure := s.sink.Span(obs.SpanFLConfigure)
 	tmin := 0.0
 	for _, p := range selected {
 		t, err := p.TMinFor(s.cfg.Jobs)
 		if err != nil {
+			endConfigure()
 			return RoundResult{}, fmt.Errorf("fl: tmin of %s: %w", p.ID(), err)
 		}
 		if t > tmin {
@@ -226,6 +242,9 @@ func (s *Server) RunRound() (RoundResult, error) {
 	deadline := tmin * (lo + s.rng.Float64()*(s.cfg.DeadlineRatio-lo))
 
 	req := RoundRequest{Round: s.round, Params: s.GlobalParams(), Jobs: s.cfg.Jobs, Deadline: deadline}
+	endConfigure()
+
+	endExecute := s.sink.Span(obs.SpanFLExecute)
 	responses := make([]RoundResponse, len(selected))
 	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
@@ -237,6 +256,13 @@ func (s *Server) RunRound() (RoundResult, error) {
 		}(i, p)
 	}
 	wg.Wait()
+	endExecute()
+
+	for _, err := range errs {
+		if err != nil {
+			s.sink.Count(obs.MetricFLRoundErrors, 1)
+		}
+	}
 
 	result := RoundResult{Round: s.round, Deadline: deadline}
 	if s.cfg.TolerateDropouts {
@@ -263,13 +289,37 @@ func (s *Server) RunRound() (RoundResult, error) {
 		result.Responses = responses
 	}
 
-	if err := s.aggregate(result.Responses); err != nil {
+	endReport := s.sink.Span(obs.SpanFLReport)
+	err := s.aggregate(result.Responses)
+	endReport()
+	if err != nil {
 		return RoundResult{}, err
 	}
 	for _, r := range result.Responses {
 		result.Reports = append(result.Reports, r.Report)
 	}
+	s.sink.Count(obs.MetricFLRounds, 1)
+	s.sink.Count(obs.MetricFLDropouts, float64(len(result.Dropped)))
+	s.recordReports(result.Reports)
 	return result, nil
+}
+
+// recordReports folds the round's client reports into the BoFL domain
+// instruments, mirroring what each client's controller records locally.
+func (s *Server) recordReports(reports []core.RoundReport) {
+	for _, rep := range reports {
+		s.sink.Count(obs.MetricRounds, 1)
+		s.sink.Observe(obs.MetricRoundEnergy, rep.Energy)
+		s.sink.Observe(obs.MetricRoundDuration, rep.Duration)
+		if !rep.DeadlineMet {
+			s.sink.Count(obs.MetricDeadlineMisses, 1)
+		}
+		s.sink.SetGauge(obs.MetricControllerPhase, float64(rep.Phase))
+		s.sink.SetGauge(obs.MetricFrontSize, float64(rep.FrontSize))
+		phase := obs.L("phase", rep.Phase.String())
+		s.sink.Count(obs.MetricPhaseEnergy, rep.Energy, phase)
+		s.sink.Count(obs.MetricPhaseLatency, rep.Duration, phase)
+	}
 }
 
 // aggregate applies FedAvg: the global model becomes the dataset-size

@@ -160,6 +160,7 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 		return Assignment{}, err
 	}
 	if jobs == 0 {
+		recordSolve(0, false)
 		return Assignment{Counts: make([]int, len(opts))}, nil
 	}
 
@@ -185,6 +186,7 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 	sort.Slice(work, func(i, j int) bool { return work[i].Time < work[j].Time })
 
 	if float64(jobs)*work[0].Time > budget+1e-9 {
+		recordSolve(0, true)
 		return Assignment{}, ErrInfeasible
 	}
 
@@ -262,8 +264,10 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 		return e + h.value(b/float64(left))*float64(left)
 	}
 
+	nodes := uint64(0)
 	var dfs func(i, remJobs int, remBudget, accEnergy float64)
 	dfs = func(i, remJobs int, remBudget, accEnergy float64) {
+		nodes++
 		if remJobs == 0 {
 			if accEnergy < bestEnergy {
 				bestEnergy = accEnergy
@@ -349,8 +353,10 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 	dfs(0, jobs, budget, 0)
 
 	if math.IsInf(bestEnergy, 1) {
+		recordSolve(nodes, true)
 		return Assignment{}, ErrInfeasible
 	}
+	recordSolve(nodes, false)
 	out := Assignment{Counts: make([]int, len(opts))}
 	for k, w := range work {
 		out.Counts[w.orig] += bestCounts[k]

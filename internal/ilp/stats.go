@@ -1,0 +1,41 @@
+package ilp
+
+import "sync/atomic"
+
+// Solver instrumentation: process-wide atomics snapshotted by Stats for the
+// obs layer. One atomic add per Solve call, so the hot exploitation path
+// never touches shared cache lines per node.
+var (
+	statSolves     atomic.Uint64
+	statInfeasible atomic.Uint64
+	statNodes      atomic.Uint64
+)
+
+// SolverStats is a snapshot of the branch-and-bound solver's lifetime work.
+type SolverStats struct {
+	// Solves counts completed Solve calls (including infeasible ones).
+	Solves uint64
+	// Infeasible counts Solve calls that returned ErrInfeasible.
+	Infeasible uint64
+	// Nodes counts branch-and-bound tree nodes expanded across all solves;
+	// Nodes/Solves is the mean search effort per exploitation re-plan.
+	Nodes uint64
+}
+
+// Stats snapshots the solver counters.
+func Stats() SolverStats {
+	return SolverStats{
+		Solves:     statSolves.Load(),
+		Infeasible: statInfeasible.Load(),
+		Nodes:      statNodes.Load(),
+	}
+}
+
+// recordSolve folds one completed Solve into the counters.
+func recordSolve(nodes uint64, infeasible bool) {
+	statSolves.Add(1)
+	statNodes.Add(nodes)
+	if infeasible {
+		statInfeasible.Add(1)
+	}
+}

@@ -15,6 +15,29 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"bofl/internal/obs"
+)
+
+// Training telemetry: one counter bump and one gauge store per minibatch,
+// routed through a process-wide sink so FL clients and experiment harnesses
+// share the same registry. Defaults to the no-op sink. The interface is boxed
+// in a struct because atomic.Value demands one consistent concrete type.
+type sinkBox struct{ s obs.Sink }
+
+var pkgSink atomic.Value // holds sinkBox
+
+func init() { pkgSink.Store(sinkBox{obs.Nop}) }
+
+// SetSink routes training-progress telemetry through s. Nil restores the
+// no-op sink.
+func SetSink(s obs.Sink) { pkgSink.Store(sinkBox{obs.OrNop(s)}) }
+
+// Training instrument names.
+const (
+	MetricTrainSteps = "bofl_ml_train_steps_total" // counter: completed minibatch SGD steps
+	MetricTrainLoss  = "bofl_ml_train_loss"        // gauge: last minibatch loss
 )
 
 // Example is one training sample. Feature models read Features; sequence
@@ -68,6 +91,9 @@ func TrainStep(m Model, batch []Example, lr float64) (float64, error) {
 	if err := SGD(m, grads, lr); err != nil {
 		return 0, err
 	}
+	s := pkgSink.Load().(sinkBox).s
+	s.Count(MetricTrainSteps, 1)
+	s.SetGauge(MetricTrainLoss, loss)
 	return loss, nil
 }
 

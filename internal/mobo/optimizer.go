@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"bofl/internal/gp"
+	"bofl/internal/obs"
 	"bofl/internal/parallel"
 	"bofl/internal/pareto"
 )
@@ -56,7 +57,13 @@ type Optimizer struct {
 	// calls (Kriging-believer fantasies extend transient copies).
 	cacheE *gp.KStarCache
 	cacheT *gp.KStarCache
+
+	sink obs.Sink
 }
+
+// SetSink installs a telemetry sink recording GP fit and EHVI scan spans plus
+// the chosen candidate's acquisition value. Nil restores the no-op sink.
+func (o *Optimizer) SetSink(s obs.Sink) { o.sink = obs.OrNop(s) }
 
 // ErrNoObservations indicates that Fit or SuggestBatch was called before any
 // observation was recorded.
@@ -83,6 +90,7 @@ func NewOptimizer(candidates [][]float64, opts Options) (*Optimizer, error) {
 		dim:        dim,
 		opts:       opts,
 		observed:   make(map[int]bool),
+		sink:       obs.Nop,
 	}, nil
 }
 
@@ -156,6 +164,7 @@ func (o *Optimizer) Fit() error {
 	if len(o.obs) == 0 {
 		return ErrNoObservations
 	}
+	defer o.sink.Span(obs.SpanGPFit)()
 	xs := make([][]float64, len(o.obs))
 	es := make([]float64, len(o.obs))
 	ts := make([]float64, len(o.obs))
@@ -253,6 +262,7 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 			return nil, err
 		}
 	}
+	defer o.sink.Span(obs.SpanEHVIScan)()
 	ref, err := o.Reference()
 	if err != nil {
 		return nil, err
@@ -308,6 +318,9 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 		bestG := gs[bestIdx]
 		out = append(out, Suggestion{Index: bestIdx, X: o.candidates[bestIdx], EHVI: bestVal})
 		live[bestIdx] = false
+		if pick == 0 {
+			o.sink.SetGauge(obs.MetricAcqBest, bestVal)
+		}
 
 		if pick+1 == k {
 			break

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"bofl/internal/gp"
+	"bofl/internal/obs"
 	"bofl/internal/pareto"
 )
 
@@ -24,7 +25,13 @@ type ParEGO struct {
 
 	observed map[int]bool
 	obs      []Observation
+
+	sink obs.Sink
 }
+
+// SetSink installs a telemetry sink recording per-scalarization GP fits and
+// the suggestion scan. Nil restores the no-op sink.
+func (p *ParEGO) SetSink(s obs.Sink) { p.sink = obs.OrNop(s) }
 
 // NewParEGO constructs the scalarizing optimizer over a fixed candidate set.
 func NewParEGO(candidates [][]float64, opts Options) (*ParEGO, error) {
@@ -46,6 +53,7 @@ func NewParEGO(candidates [][]float64, opts Options) (*ParEGO, error) {
 		opts:       opts,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		observed:   make(map[int]bool),
+		sink:       obs.Nop,
 	}, nil
 }
 
@@ -94,6 +102,7 @@ func (p *ParEGO) SuggestBatch(k int) ([]Suggestion, error) {
 	if len(p.obs) == 0 {
 		return nil, ErrNoObservations
 	}
+	defer p.sink.Span(obs.SpanEHVIScan)()
 
 	// Normalize the objectives to [0,1] over the observed ranges.
 	minE, maxE := math.Inf(1), math.Inf(-1)
@@ -124,6 +133,7 @@ func (p *ParEGO) SuggestBatch(k int) ([]Suggestion, error) {
 				best = ys[i]
 			}
 		}
+		endFit := p.sink.Span(obs.SpanGPFit)
 		model, err := gp.FitHyper(xs, ys, gp.HyperOptions{
 			Dim:      p.dim,
 			Restarts: max1(p.opts.Restarts, 1),
@@ -131,6 +141,7 @@ func (p *ParEGO) SuggestBatch(k int) ([]Suggestion, error) {
 			Seed:     p.opts.Seed + int64(pick),
 			UseRBF:   p.opts.UseRBF,
 		})
+		endFit()
 		if err != nil {
 			return nil, fmt.Errorf("mobo: parego surrogate: %w", err)
 		}
@@ -150,6 +161,9 @@ func (p *ParEGO) SuggestBatch(k int) ([]Suggestion, error) {
 		}
 		taken[bestIdx] = true
 		out = append(out, Suggestion{Index: bestIdx, X: p.candidates[bestIdx], EHVI: bestEI})
+		if pick == 0 {
+			p.sink.SetGauge(obs.MetricAcqBest, bestEI)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+// The instrumented packages call the sink unconditionally, so the default
+// no-op sink must cost next to nothing and the live sink must stay cheap
+// enough for per-round and per-solve call sites.
+
+func BenchmarkNopSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Nop.Count(MetricRounds, 1)
+		Nop.SetGauge(MetricHypervolume, 1.5)
+		Nop.Span(SpanRound)()
+	}
+}
+
+func BenchmarkTelemetrySink(b *testing.B) {
+	tel := NewBoFL(Real{})
+	tel.Tracer.SetMaxEvents(1 << 10) // steady-state: buffer full, events counted as dropped
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel.Count(MetricRounds, 1)
+		tel.SetGauge(MetricHypervolume, 1.5)
+		tel.Span(SpanRound)()
+	}
+}
+
+func BenchmarkRegistryLabeledCounter(b *testing.B) {
+	tel := New(Real{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel.Count(MetricPhaseEnergy, 1, L("phase", "exploit"))
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import "time"
+
+// Clock supplies the instants behind span timing. It is a strict subset of
+// simclock.Clock, so a *simclock.Sim can be plugged straight in: daemons use
+// Real, experiment harnesses a virtual clock, and tests Frozen or Step so
+// traces are byte-deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is the wall clock. time.Now carries a monotonic reading, so span
+// durations are immune to wall-clock steps.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Frozen is a clock stuck at one instant: every span it times has zero
+// duration. Tests use it to make recorded traces independent of scheduling.
+type Frozen struct{ T time.Time }
+
+var _ Clock = Frozen{}
+
+// Now returns the frozen instant.
+func (f Frozen) Now() time.Time { return f.T }
+
+// Step is a deterministic ticking clock: each Now call advances by a fixed
+// step. Tests that need non-zero, reproducible span durations use it.
+// Safe for concurrent use is NOT guaranteed; it is a test helper.
+type Step struct {
+	T    time.Time
+	Size time.Duration
+}
+
+var _ Clock = (*Step)(nil)
+
+// NewStep returns a Step clock starting at start, advancing by size per call.
+func NewStep(start time.Time, size time.Duration) *Step {
+	return &Step{T: start, Size: size}
+}
+
+// Now returns the current instant and advances the clock by one step.
+func (s *Step) Now() time.Time {
+	t := s.T
+	s.T = s.T.Add(s.Size)
+	return t
+}

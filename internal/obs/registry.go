@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a race-safe metrics registry: counters, gauges and fixed-bucket
+// histograms, plus read-on-scrape callback series for external atomics (the
+// worker pool, the ILP solver). Instruments are identified by family name and
+// a canonicalized label set; exposition is Prometheus text format with
+// deterministic ordering, so two scrapes of identical state are byte-equal.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // registration order snapshot, sorted at exposition
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+	typeCounterFunc
+	typeGaugeFunc
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter, typeCounterFunc:
+		return "counter"
+	case typeGauge, typeGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with all of its labeled series.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64 // histogram families only
+	fn      func() float64
+
+	mu     sync.Mutex
+	series map[string]any // canonical label string → *Counter/*Gauge/*Histogram
+	labels map[string][]Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// floatAtom is a float64 updated with CAS on its bit pattern.
+type floatAtom struct{ bits atomic.Uint64 }
+
+func (f *floatAtom) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *floatAtom) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *floatAtom) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v floatAtom }
+
+// Add increments the counter. Negative deltas are ignored to preserve
+// monotonicity.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v floatAtom }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(v)
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    floatAtom
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// DurationBuckets are the default bounds (seconds) for span and latency
+// histograms: sub-millisecond solver calls up to multi-minute rounds.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// EnergyBuckets are the default bounds (Joules) for per-round energy: one
+// minibatch on an efficient config (~10 J) up to thousand-job rounds.
+var EnergyBuckets = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+}
+
+// family looks up or creates the named family. A name reused with a different
+// type or bucket layout yields a detached instrument (valid but never
+// exported) — telemetry must not panic or error at a hook site.
+func (r *Registry) family(name, help string, typ metricType, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, typ: typ, buckets: buckets,
+				series: make(map[string]any), labels: make(map[string][]Label),
+			}
+			r.families[name] = f
+			r.names = append(r.names, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		return nil
+	}
+	return f
+}
+
+// Counter returns the counter for name and labels, registering it on first
+// use. help is only applied at family creation.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, typeCounter, nil)
+	if f == nil {
+		return &Counter{}
+	}
+	return f.instrument(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, typeGauge, nil)
+	if f == nil {
+		return &Gauge{}
+	}
+	return f.instrument(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name and labels. buckets are the
+// ascending upper bounds used when the family is first created; nil selects
+// DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	f := r.family(name, help, typeHistogram, buckets)
+	if f == nil {
+		return newHistogram(buckets)
+	}
+	return f.instrument(labels, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape time.
+// Used to expose external atomics (e.g. the worker pool's fan-out counters).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if f := r.family(name, help, typeCounterFunc, nil); f != nil {
+		f.fn = fn
+	}
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if f := r.family(name, help, typeGaugeFunc, nil); f != nil {
+		f.fn = fn
+	}
+}
+
+// instrument returns the series for the canonicalized labels, creating it
+// with mk on first use.
+func (f *family) instrument(labels []Label, mk func() any) any {
+	key := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	inst := f.series[key]
+	if inst == nil {
+		inst = mk()
+		f.series[key] = inst
+		f.labels[key] = append([]Label(nil), labels...)
+	}
+	return inst
+}
+
+// canonical renders labels sorted by key into the exposition form
+// `{k="v",...}` (empty string for no labels).
+func canonical(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// mergeLabels renders a label set extended with one extra pair (for
+// histogram `le` buckets).
+func mergeLabels(base string, extra Label) string {
+	pair := extra.Key + `="` + escapeLabel(extra.Value) + `"`
+	if base == "" {
+		return "{" + pair + "}"
+	}
+	return base[:len(base)-1] + "," + pair + "}"
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus writes every registered family in Prometheus text format
+// (version 0.0.4), families and series sorted for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if f == nil {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if err := f.writeSeries(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer) error {
+	if f.typ == typeCounterFunc || f.typ == typeGaugeFunc {
+		v := 0.0
+		if f.fn != nil {
+			v = f.fn()
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(v))
+		return err
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	insts := make([]any, len(keys))
+	for i, k := range keys {
+		insts[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	for i, key := range keys {
+		switch inst := insts[i].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatValue(inst.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatValue(inst.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			cum := uint64(0)
+			for bi, bound := range inst.bounds {
+				cum += inst.counts[bi].Load()
+				lk := mergeLabels(key, L("le", formatValue(bound)))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, lk, cum); err != nil {
+					return err
+				}
+			}
+			cum += inst.counts[len(inst.bounds)].Load()
+			lk := mergeLabels(key, L("le", "+Inf"))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, lk, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatValue(inst.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, inst.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

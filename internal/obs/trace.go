@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one recorded trace event: a completed span (Dur > 0 or a
+// timed region that happened to be instantaneous) or an instant event
+// (Instant true).
+type SpanEvent struct {
+	// Name is the span or event name (also the metric family prefix for
+	// auto-recorded duration histograms).
+	Name string `json:"name"`
+	// Start is nanoseconds since the tracer's epoch.
+	Start int64 `json:"startNs"`
+	// Dur is the span duration in nanoseconds (0 for instants).
+	Dur int64 `json:"durNs"`
+	// Instant marks zero-duration point events.
+	Instant bool `json:"instant,omitempty"`
+	// Labels carries the span's attributes.
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Tracer records span events into a bounded in-memory buffer. It is safe for
+// concurrent use. When the buffer fills, further events are dropped and
+// counted, never blocking the instrumented path.
+type Tracer struct {
+	clock Clock
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  []SpanEvent
+	max     int
+	dropped uint64
+}
+
+// DefaultMaxEvents bounds a tracer's buffer: enough for thousand-round
+// experiment traces while keeping worst-case memory in the tens of MB.
+const DefaultMaxEvents = 1 << 17
+
+// NewTracer returns a tracer stamping events with clock (nil = Real). The
+// tracer's epoch is the clock's instant at construction; event timestamps
+// are offsets from it.
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = Real{}
+	}
+	return &Tracer{clock: clock, epoch: clock.Now(), max: DefaultMaxEvents}
+}
+
+// SetMaxEvents adjusts the buffer bound (testing and long-haul daemons).
+func (t *Tracer) SetMaxEvents(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > 0 {
+		t.max = n
+	}
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func (t *Tracer) add(ev SpanEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Begin opens a span; the returned func closes and records it.
+func (t *Tracer) Begin(name string, labels ...Label) func() {
+	start := t.clock.Now()
+	return func() {
+		end := t.clock.Now()
+		t.add(SpanEvent{
+			Name:   name,
+			Start:  start.Sub(t.epoch).Nanoseconds(),
+			Dur:    end.Sub(start).Nanoseconds(),
+			Labels: labelMap(labels),
+		})
+	}
+}
+
+// Instant records a zero-duration point event.
+func (t *Tracer) Instant(name string, labels ...Label) {
+	t.add(SpanEvent{
+		Name:    name,
+		Start:   t.clock.Now().Sub(t.epoch).Nanoseconds(),
+		Instant: true,
+		Labels:  labelMap(labels),
+	})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded after the buffer filled.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events in record order.
+func (t *Tracer) Events() []SpanEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// WriteJSONL streams the buffer as one JSON object per line — the repo's
+// portable trace format; convert with WriteChromeTrace (or the boflsim
+// -telemetry-chrome flag) for about:tracing.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Chrome trace_event wire form ("X" complete events and
+// "i" instants, timestamps in microseconds).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+func toChrome(events []SpanEvent) []chromeEvent {
+	out := make([]chromeEvent, len(events))
+	for i, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Ts:   float64(ev.Start) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: ev.Labels,
+		}
+		if ev.Instant {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			ce.Ph, ce.Dur = "X", float64(ev.Dur)/1e3
+		}
+		out[i] = ce
+	}
+	return out
+}
+
+// WriteChromeTrace writes the buffer as Chrome trace_event JSON, loadable in
+// about:tracing / Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	payload := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{toChrome(t.Events()), "ms"}
+	return json.NewEncoder(w).Encode(payload)
+}
+
+// ConvertJSONLToChrome reads a JSONL trace (as written by WriteJSONL) and
+// writes the Chrome trace_event equivalent.
+func ConvertJSONLToChrome(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	var events []SpanEvent
+	for {
+		var ev SpanEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		events = append(events, ev)
+	}
+	payload := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{toChrome(events), "ms"}
+	return json.NewEncoder(w).Encode(payload)
+}

@@ -22,6 +22,55 @@ import (
 // workers holds the configured width; 0 means "use runtime.GOMAXPROCS(0)".
 var workers atomic.Int64
 
+// Pool instrumentation: cheap atomics bumped once per fan-out (never per
+// index), snapshotted by Stats for the obs layer's /metrics gauges.
+var (
+	statFanouts        atomic.Uint64 // ForChunk calls that used helpers
+	statInline         atomic.Uint64 // ForChunk calls that ran on the caller only
+	statHelperAcquires atomic.Uint64 // helper tokens handed out across all fan-outs
+)
+
+// PoolStats is a point-in-time snapshot of the worker pool.
+type PoolStats struct {
+	// Workers is the configured pool width (callers + helpers).
+	Workers int
+	// HelperCapacity is the number of helper tokens (Workers − 1).
+	HelperCapacity int
+	// HelpersBusy is how many helper tokens are currently checked out.
+	HelpersBusy int
+	// Fanouts counts ForChunk calls that acquired at least one helper.
+	Fanouts uint64
+	// InlineRuns counts ForChunk calls that ran serially (n ≤ 1 worker or
+	// no helper available).
+	InlineRuns uint64
+	// HelperAcquires counts helper tokens handed out over the process
+	// lifetime; HelperAcquires/Fanouts is the mean fan-out width.
+	HelperAcquires uint64
+}
+
+// Utilization is the busy fraction of the helper pool in [0, 1]; 0 when the
+// pool has no helpers.
+func (s PoolStats) Utilization() float64 {
+	if s.HelperCapacity <= 0 {
+		return 0
+	}
+	return float64(s.HelpersBusy) / float64(s.HelperCapacity)
+}
+
+// Stats snapshots the pool counters. The gauge fields are instantaneous and
+// may be stale by the time the caller reads them; the counters are exact.
+func Stats() PoolStats {
+	c := *tokens.Load()
+	return PoolStats{
+		Workers:        Workers(),
+		HelperCapacity: cap(c),
+		HelpersBusy:    cap(c) - len(c),
+		Fanouts:        statFanouts.Load(),
+		InlineRuns:     statInline.Load(),
+		HelperAcquires: statHelperAcquires.Load(),
+	}
+}
+
 // tokens is the global helper-goroutine pool. Its capacity tracks
 // Workers()−1 (the caller is the remaining worker). Rebuilt by SetWorkers.
 var tokens atomic.Pointer[chan struct{}]
@@ -94,6 +143,7 @@ func ForChunk(n int, fn func(lo, hi int)) {
 		w = n
 	}
 	if w <= 1 {
+		statInline.Add(1)
 		fn(0, n)
 		return
 	}
@@ -118,6 +168,12 @@ func ForChunk(n int, fn func(lo, hi int)) {
 		}
 	}
 	c, helpers := acquireHelpers(w - 1)
+	if helpers > 0 {
+		statFanouts.Add(1)
+		statHelperAcquires.Add(uint64(helpers))
+	} else {
+		statInline.Add(1)
+	}
 	var wg sync.WaitGroup
 	wg.Add(helpers)
 	for i := 0; i < helpers; i++ {

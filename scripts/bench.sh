@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkGPFit|BenchmarkFigure9)$'
+BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkMBOSuggestBatchLive|BenchmarkGPFit|BenchmarkFigure9)$'
 COUNT="${BENCH_COUNT:-3}"
 
 n="${1:-}"
@@ -40,7 +40,17 @@ echo "$raw" | awk -v out="$out" -v count="$COUNT" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
     ns = $3
-    if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+      best[name] = ns
+      # Keep the custom metrics (pool fan-out stats, figure metrics) that
+      # rode along with the best run: fields come in <value> <unit> pairs.
+      # Fields run <name> <iters> <value> <unit> [<value> <unit>]...; skip
+      # the leading ns/op pair already captured in best[].
+      extra[name] = ""
+      for (i = 5; i + 1 <= NF; i += 2) {
+        extra[name] = extra[name] sprintf(", \"%s\": %s", $(i + 1), $i)
+      }
+    }
     if (order[name] == "") { order[name] = ++k; names[k] = name }
   }
   /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
@@ -53,7 +63,7 @@ echo "$raw" | awk -v out="$out" -v count="$COUNT" '
     printf "  \"count\": %s,\n", count
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= k; i++) {
-      printf "    \"%s\": {\"ns_per_op\": %s}%s\n", names[i], best[names[i]], (i < k ? "," : "")
+      printf "    \"%s\": {\"ns_per_op\": %s%s}%s\n", names[i], best[names[i]], extra[names[i]], (i < k ? "," : "")
     }
     printf "  }\n"
     printf "}\n"

@@ -1,0 +1,125 @@
+package bofl_test
+
+// Telemetry must be observation-only: attaching a live sink (or none) to any
+// layer must leave every numeric output bit-identical, under both serial and
+// parallel execution. These tests extend the determinism suite's contract
+// (see determinism_test.go) to the obs layer.
+
+import (
+	"reflect"
+	"testing"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/experiment"
+	"bofl/internal/fl"
+	"bofl/internal/mobo"
+	"bofl/internal/obs"
+)
+
+// sinkModes are the telemetry attachments compared by the suite; the first
+// entry is the default no-op reference.
+var sinkModes = []struct {
+	name string
+	make func() obs.Sink
+}{
+	{"nop", func() obs.Sink { return obs.Nop }},
+	{"live", func() obs.Sink { return obs.NewBoFL(obs.Real{}) }},
+}
+
+func TestSuggestBatchUnperturbedByTelemetry(t *testing.T) {
+	dev := device.JetsonAGX()
+	space := dev.Space()
+	candidates := make([][]float64, space.Size())
+	for i := range candidates {
+		cfg, err := space.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidates[i], err = space.Normalize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedIdx, err := mobo.HaltonIndices(21, space.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suggest := func(sink obs.Sink) []mobo.Suggestion {
+		opt, err := mobo.NewOptimizer(candidates, mobo.Options{Seed: 5, Restarts: 2, Iters: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.SetSink(sink)
+		for _, idx := range seedIdx {
+			cfg, err := space.Config(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat, energy, err := dev.Perf(device.ViT, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.Observe(mobo.Observation{Index: idx, Energy: energy, Latency: lat}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sugg, err := opt.SuggestBatch(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sugg
+	}
+	// Reference: no-op sink, serial execution. Every sink × execution mode
+	// must reproduce it exactly.
+	var ref []mobo.Suggestion
+	withExecMode(1, 1, func() { ref = suggest(obs.Nop) })
+	for _, mode := range execModes {
+		for _, sm := range sinkModes {
+			var got []mobo.Suggestion
+			withExecMode(mode.procs, mode.workers, func() { got = suggest(sm.make()) })
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("SuggestBatch differs with sink=%s under %s", sm.name, mode.name)
+			}
+		}
+	}
+}
+
+func TestRunTaskUnperturbedByTelemetry(t *testing.T) {
+	const rounds = 6
+	dev := device.JetsonAGX()
+	tasks, err := fl.Tasks(dev, 2.0, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 3, MBORestarts: 1, MBOIters: 3}
+	runWith := func(sink obs.Sink) *experiment.TaskRun {
+		run, err := experiment.RunTask(experiment.RunConfig{
+			Device:      dev,
+			Task:        tasks[0],
+			Rounds:      rounds,
+			Controller:  experiment.KindBoFL,
+			Seed:        1,
+			CtrlOptions: opts,
+			Sink:        sink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	ref := runWith(nil) // package default: no-op
+	for _, sm := range sinkModes {
+		got := runWith(sm.make())
+		if !reflect.DeepEqual(ref.Reports, got.Reports) {
+			t.Errorf("round reports differ with sink=%s", sm.name)
+		}
+		if ref.TotalEnergy != got.TotalEnergy || ref.DeadlineMisses != got.DeadlineMisses {
+			t.Errorf("summary differs with sink=%s: energy %v vs %v, misses %d vs %d",
+				sm.name, ref.TotalEnergy, got.TotalEnergy, ref.DeadlineMisses, got.DeadlineMisses)
+		}
+		if !reflect.DeepEqual(ref.Deadlines, got.Deadlines) {
+			t.Errorf("deadline sequence differs with sink=%s", sm.name)
+		}
+	}
+}
