@@ -34,6 +34,7 @@ func run(args []string) error {
 	server := fs.String("server", "", "optional flserver check-in URL, e.g. http://127.0.0.1:8070")
 	advertise := fs.String("advertise", "", "base URL the server should dial back (default http://127.0.0.1<listen>)")
 	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
+	jsonOnly := fs.Bool("json-only", false, "disable the binary wire codec and speak JSON only (pre-codec behaviour)")
 	cfg, err := parseClientFlags(fs, args)
 	if err != nil {
 		return err
@@ -69,6 +70,9 @@ func run(args []string) error {
 	ml.SetSink(tel)
 	handler := fl.NewClientHandler(client)
 	handler.SetTelemetry(tel)
+	if *jsonOnly {
+		handler.SetJSONOnly(true)
+	}
 	if *pprofAddr != "" {
 		obs.ServePprof(*pprofAddr)
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)

@@ -19,6 +19,7 @@ import (
 	"bofl/internal/fl"
 	"bofl/internal/ml"
 	"bofl/internal/obs"
+	"bofl/internal/parallel"
 )
 
 func main() {
@@ -43,9 +44,13 @@ func run(args []string) error {
 		admin    = fs.String("admin", "", "serve /metrics, /healthz and /v1/telemetry on this address (empty = off)")
 		hold     = fs.Duration("hold", 0, "keep the process (and admin endpoints) alive this long after the last round")
 		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
+		fanout   = fs.Int("fanout", 0, "round dispatch width: max concurrent participant requests (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fanout > 0 {
+		parallel.SetWorkers(*fanout)
 	}
 
 	global, err := ml.NewMLP(8, 16, 4, 42)
@@ -106,7 +111,11 @@ func run(args []string) error {
 				ss.SetSink(tel)
 			}
 			srv.Register(p)
-			fmt.Printf("registered %s via check-in\n", p.ID())
+			if cp, ok := p.(interface{ Codec() string }); ok {
+				fmt.Printf("registered %s via check-in (codec %s)\n", p.ID(), cp.Codec())
+			} else {
+				fmt.Printf("registered %s via check-in\n", p.ID())
+			}
 		}
 	case *clients != "":
 		for _, url := range strings.Split(*clients, ",") {
@@ -120,7 +129,7 @@ func run(args []string) error {
 			}
 			p.SetSink(tel)
 			srv.Register(p)
-			fmt.Printf("registered %s at %s\n", p.ID(), url)
+			fmt.Printf("registered %s at %s (codec %s)\n", p.ID(), url, p.Codec())
 		}
 	default:
 		return fmt.Errorf("need -clients or -checkin")

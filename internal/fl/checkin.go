@@ -122,8 +122,8 @@ func CheckIn(serverURL string, req CheckinRequest, timeout time.Duration) error 
 	if err != nil {
 		return fmt.Errorf("fl: encode check-in: %w", err)
 	}
-	hc := &http.Client{Timeout: timeout}
-	resp, err := hc.Post(serverURL+"/v1/checkin", "application/json", bytes.NewReader(body))
+	hc := &http.Client{Timeout: timeout, Transport: flTransport}
+	resp, err := hc.Post(serverURL+"/v1/checkin", ContentTypeJSON, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("fl: check-in with %s: %w", serverURL, err)
 	}

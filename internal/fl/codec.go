@@ -1,0 +1,341 @@
+package fl
+
+// Wire codec for the FL data plane. The HTTP transport historically moved
+// every model as a JSON array of float64s — ~19 bytes per parameter once a
+// value needs its full shortest-round-trip decimal form. At fleet scale the
+// round traffic is dominated by those arrays, so this file defines a
+// versioned binary frame for RoundRequest/RoundResponse:
+//
+//	offset  size  field
+//	0       4     magic "BFL1" (version is part of the magic)
+//	4       1     flags: bit0 payload gzipped, bit1 float32-narrowed
+//	5       4     uint32 LE: metadata length M
+//	9       M     metadata (JSON: everything except Params)
+//	9+M     4     uint32 LE: parameter count N
+//	13+M    4     uint32 LE: payload length P in bytes
+//	17+M    P     parameter payload, little-endian IEEE-754
+//
+// Two payload transforms, both lossless and both negotiated per frame by the
+// encoder alone (the flags tell the decoder everything):
+//
+//   - float32 narrowing: when every parameter is exactly representable as a
+//     float32 — the common case for models trained in single precision and
+//     shipped through a float64 API — values are stored as 4-byte floats.
+//     Widening on decode reproduces the input bit-for-bit.
+//   - gzip: payloads at or above gzipThreshold are compressed. Model deltas
+//     with structure (zero runs, repeated exponents) shrink further; fully
+//     random mantissas cost a few header bytes and pass through.
+//
+// Frames are self-describing, so a binary-capable peer can decode any frame
+// a binary-capable encoder produces. Interop with JSON-only peers is handled
+// one level up (http.go) via Content-Type negotiation; the codec advertised
+// in InfoResponse.Codecs is CodecBinary.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"bofl/internal/core"
+)
+
+// Codec and content-type identifiers used by the negotiation layer.
+const (
+	// CodecBinary names the binary frame codec in InfoResponse.Codecs.
+	CodecBinary = "bofl-frame-v1"
+	// CodecJSON names the JSON fallback codec.
+	CodecJSON = "json"
+	// ContentTypeBinary is the Content-Type of a binary frame body.
+	ContentTypeBinary = "application/x-bofl-frame"
+	// ContentTypeJSON is the Content-Type of the JSON fallback.
+	ContentTypeJSON = "application/json"
+)
+
+var frameMagic = [4]byte{'B', 'F', 'L', '1'}
+
+const (
+	flagGzip byte = 1 << 0 // payload section is gzip-compressed
+	flagF32  byte = 1 << 1 // parameters stored as float32 (exact)
+
+	// gzipThreshold is the raw payload size in bytes at which the encoder
+	// switches gzip on. Below it the ~20-byte gzip framing and the CPU cost
+	// outweigh any win on small vectors.
+	gzipThreshold = 64 << 10
+
+	// Decoder sanity caps: a frame that claims more is rejected before any
+	// allocation, so truncated or hostile inputs cannot balloon memory.
+	maxMetaBytes   = 1 << 20
+	maxFrameParams = 1 << 26
+)
+
+// roundRequestMeta is RoundRequest minus the parameter vector.
+type roundRequestMeta struct {
+	Round    int     `json:"round"`
+	Jobs     int     `json:"jobs"`
+	Deadline float64 `json:"deadlineSeconds"`
+}
+
+// roundResponseMeta is RoundResponse minus the parameter vector.
+type roundResponseMeta struct {
+	ClientID    string           `json:"clientId"`
+	NumExamples int              `json:"numExamples"`
+	Report      core.RoundReport `json:"report"`
+}
+
+// Pooled scratch: frame assembly and payload staging reuse buffers across
+// rounds so the steady-state encode path allocates only the caller-visible
+// result. Buffers beyond maxPooledBytes are dropped instead of pinned.
+const maxPooledBytes = 16 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBytes {
+		bufPool.Put(b)
+	}
+}
+
+var bytesPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBytes returns a pooled scratch slice of length n.
+func getBytes(n int) *[]byte {
+	p := bytesPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBytes(p *[]byte) {
+	if cap(*p) <= maxPooledBytes {
+		bytesPool.Put(p)
+	}
+}
+
+var gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+var gzipReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+// f32Exact reports whether every parameter survives a round trip through
+// float32 unchanged (NaNs never do, so they keep the 8-byte path and their
+// payload bits).
+func f32Exact(params []float64) bool {
+	if len(params) == 0 {
+		return false
+	}
+	for _, v := range params {
+		if float64(float32(v)) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeFrame writes one frame carrying meta and params to w.
+func encodeFrame(w io.Writer, meta any, params []float64) error {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("fl: encode frame meta: %w", err)
+	}
+	if len(mb) > maxMetaBytes {
+		return fmt.Errorf("fl: frame meta %d bytes exceeds %d", len(mb), maxMetaBytes)
+	}
+	if len(params) > maxFrameParams {
+		return fmt.Errorf("fl: %d params exceed frame limit %d", len(params), maxFrameParams)
+	}
+
+	flags := byte(0)
+	elem := 8
+	if f32Exact(params) {
+		flags |= flagF32
+		elem = 4
+	}
+	raw := getBytes(len(params) * elem)
+	defer putBytes(raw)
+	if elem == 4 {
+		for i, v := range params {
+			binary.LittleEndian.PutUint32((*raw)[i*4:], math.Float32bits(float32(v)))
+		}
+	} else {
+		for i, v := range params {
+			binary.LittleEndian.PutUint64((*raw)[i*8:], math.Float64bits(v))
+		}
+	}
+
+	payload := *raw
+	var comp *bytes.Buffer
+	if len(payload) >= gzipThreshold {
+		comp = getBuf()
+		defer putBuf(comp)
+		zw := gzipWriterPool.Get().(*gzip.Writer)
+		zw.Reset(comp)
+		_, werr := zw.Write(payload)
+		cerr := zw.Close()
+		gzipWriterPool.Put(zw)
+		if werr != nil || cerr != nil {
+			return fmt.Errorf("fl: gzip frame payload: %w", firstErr(werr, cerr))
+		}
+		flags |= flagGzip
+		payload = comp.Bytes()
+	}
+
+	var hdr [17]byte
+	copy(hdr[:4], frameMagic[:])
+	hdr[4] = flags
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(mb)))
+	if _, err := w.Write(hdr[:9]); err != nil {
+		return fmt.Errorf("fl: write frame header: %w", err)
+	}
+	if _, err := w.Write(mb); err != nil {
+		return fmt.Errorf("fl: write frame meta: %w", err)
+	}
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(params)))
+	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(payload)))
+	if _, err := w.Write(hdr[9:17]); err != nil {
+		return fmt.Errorf("fl: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("fl: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error (helper for the two-error gzip close).
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// decodeFrame reads one frame from r, unmarshals the metadata into meta and
+// returns the parameter vector. Truncated, oversized or malformed frames
+// return an error; decodeFrame never panics on hostile input.
+func decodeFrame(r io.Reader, meta any) ([]float64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("fl: read frame header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], frameMagic[:]) {
+		return nil, fmt.Errorf("fl: bad frame magic %q", hdr[:4])
+	}
+	flags := hdr[4]
+	if flags&^(flagGzip|flagF32) != 0 {
+		return nil, fmt.Errorf("fl: unknown frame flags %#x", flags)
+	}
+	metaLen := binary.LittleEndian.Uint32(hdr[5:9])
+	if metaLen > maxMetaBytes {
+		return nil, fmt.Errorf("fl: frame meta %d bytes exceeds %d", metaLen, maxMetaBytes)
+	}
+	mb := getBytes(int(metaLen))
+	defer putBytes(mb)
+	if _, err := io.ReadFull(r, *mb); err != nil {
+		return nil, fmt.Errorf("fl: read frame meta: %w", err)
+	}
+	if err := json.Unmarshal(*mb, meta); err != nil {
+		return nil, fmt.Errorf("fl: decode frame meta: %w", err)
+	}
+
+	var tail [8]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("fl: read frame header: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(tail[:4])
+	payloadLen := binary.LittleEndian.Uint32(tail[4:8])
+	if count > maxFrameParams {
+		return nil, fmt.Errorf("fl: frame claims %d params, limit %d", count, maxFrameParams)
+	}
+	elem := 8
+	if flags&flagF32 != 0 {
+		elem = 4
+	}
+	rawLen := int(count) * elem
+	if flags&flagGzip == 0 {
+		if int(payloadLen) != rawLen {
+			return nil, fmt.Errorf("fl: frame payload %d bytes, want %d", payloadLen, rawLen)
+		}
+	} else if int64(payloadLen) > int64(rawLen)+(64<<10) {
+		// gzip never expands beyond a small framing overhead; anything
+		// bigger is a length-field lie.
+		return nil, fmt.Errorf("fl: gzip payload %d bytes for %d raw", payloadLen, rawLen)
+	}
+
+	payload := getBytes(int(payloadLen))
+	defer putBytes(payload)
+	if _, err := io.ReadFull(r, *payload); err != nil {
+		return nil, fmt.Errorf("fl: read frame payload: %w", err)
+	}
+
+	raw := *payload
+	if flags&flagGzip != 0 {
+		zr := gzipReaderPool.Get().(*gzip.Reader)
+		defer gzipReaderPool.Put(zr)
+		if err := zr.Reset(bytes.NewReader(*payload)); err != nil {
+			return nil, fmt.Errorf("fl: gzip frame payload: %w", err)
+		}
+		inflated := getBytes(rawLen)
+		defer putBytes(inflated)
+		if _, err := io.ReadFull(zr, *inflated); err != nil {
+			return nil, fmt.Errorf("fl: inflate frame payload: %w", err)
+		}
+		var one [1]byte
+		if n, _ := zr.Read(one[:]); n != 0 {
+			return nil, fmt.Errorf("fl: frame payload inflates past %d declared params", count)
+		}
+		raw = *inflated
+	}
+
+	out := make([]float64, count)
+	if elem == 4 {
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	} else {
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return out, nil
+}
+
+// EncodeRoundRequest writes req to w as one binary frame.
+func EncodeRoundRequest(w io.Writer, req RoundRequest) error {
+	return encodeFrame(w, roundRequestMeta{Round: req.Round, Jobs: req.Jobs, Deadline: req.Deadline}, req.Params)
+}
+
+// DecodeRoundRequest reads one binary frame from r.
+func DecodeRoundRequest(r io.Reader) (RoundRequest, error) {
+	var meta roundRequestMeta
+	params, err := decodeFrame(r, &meta)
+	if err != nil {
+		return RoundRequest{}, err
+	}
+	return RoundRequest{Round: meta.Round, Params: params, Jobs: meta.Jobs, Deadline: meta.Deadline}, nil
+}
+
+// EncodeRoundResponse writes resp to w as one binary frame.
+func EncodeRoundResponse(w io.Writer, resp RoundResponse) error {
+	return encodeFrame(w, roundResponseMeta{ClientID: resp.ClientID, NumExamples: resp.NumExamples, Report: resp.Report}, resp.Params)
+}
+
+// DecodeRoundResponse reads one binary frame from r.
+func DecodeRoundResponse(r io.Reader) (RoundResponse, error) {
+	var meta roundResponseMeta
+	params, err := decodeFrame(r, &meta)
+	if err != nil {
+		return RoundResponse{}, err
+	}
+	return RoundResponse{ClientID: meta.ClientID, Params: params, NumExamples: meta.NumExamples, Report: meta.Report}, nil
+}

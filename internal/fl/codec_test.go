@@ -1,0 +1,320 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bofl/internal/core"
+)
+
+func sampleRequest(params []float64) RoundRequest {
+	return RoundRequest{Round: 7, Params: params, Jobs: 40, Deadline: 61.5}
+}
+
+func sampleResponse(params []float64) RoundResponse {
+	return RoundResponse{
+		ClientID:    "client-3",
+		Params:      params,
+		NumExamples: 128,
+		Report: core.RoundReport{
+			Round:       7,
+			Energy:      12.5,
+			Duration:    3.25,
+			DeadlineMet: true,
+			Phase:       2,
+			FrontSize:   5,
+		},
+	}
+}
+
+func paramsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    nil,
+		"single":   {1.25},
+		"f64":      {1.0 / 3.0, math.Pi, -2.7e-300, 1e300},
+		"f32exact": {0.5, -1.25, 3, 0, 65504},
+		"specials": {math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 42},
+	}
+	for name, params := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			req := sampleRequest(params)
+			if err := EncodeRoundRequest(&buf, req); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeRoundRequest(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Round != req.Round || got.Jobs != req.Jobs || got.Deadline != req.Deadline {
+				t.Errorf("meta mismatch: %+v vs %+v", got, req)
+			}
+			if !paramsEqual(got.Params, req.Params) {
+				t.Errorf("params mismatch: %v vs %v", got.Params, req.Params)
+			}
+
+			buf.Reset()
+			resp := sampleResponse(params)
+			if err := EncodeRoundResponse(&buf, resp); err != nil {
+				t.Fatal(err)
+			}
+			gotR, err := DecodeRoundResponse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotR.ClientID != resp.ClientID || gotR.NumExamples != resp.NumExamples ||
+				gotR.Report.Round != resp.Report.Round || gotR.Report.Energy != resp.Report.Energy ||
+				gotR.Report.DeadlineMet != resp.Report.DeadlineMet || gotR.Report.Phase != resp.Report.Phase {
+				t.Errorf("meta mismatch: %+v vs %+v", gotR, resp)
+			}
+			if !paramsEqual(gotR.Params, resp.Params) {
+				t.Errorf("params mismatch")
+			}
+		})
+	}
+}
+
+// TestCodecF32Narrowing pins the flag choice: exactly-representable vectors
+// take the 4-byte path, anything else (including NaN) the 8-byte path.
+func TestCodecF32Narrowing(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []float64
+		f32    bool
+	}{
+		{"exact", []float64{0.5, -1.25, float64(float32(0.1))}, true},
+		{"inexact", []float64{0.1}, false},
+		{"nan", []float64{math.NaN()}, false},
+		{"empty", nil, false},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, sampleRequest(tc.params)); err != nil {
+			t.Fatal(err)
+		}
+		flags := buf.Bytes()[4]
+		if got := flags&flagF32 != 0; got != tc.f32 {
+			t.Errorf("%s: f32 flag = %v, want %v", tc.name, got, tc.f32)
+		}
+	}
+}
+
+// TestCodecGzipThreshold drives payload sizes straddling gzipThreshold and
+// checks the flag byte plus lossless decode on both sides of the boundary.
+func TestCodecGzipThreshold(t *testing.T) {
+	// Inexact values force the 8-byte element path, making the raw payload
+	// size exactly 8·n.
+	mk := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 0.1 + float64(i)
+		}
+		return out
+	}
+	cases := []struct {
+		n    int
+		gzip bool
+	}{
+		{gzipThreshold/8 - 1, false}, // one element below
+		{gzipThreshold / 8, true},    // exactly at the threshold
+		{gzipThreshold/8 + 1, true},  // one above
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		req := sampleRequest(mk(tc.n))
+		if err := EncodeRoundRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		flags := buf.Bytes()[4]
+		if got := flags&flagGzip != 0; got != tc.gzip {
+			t.Errorf("n=%d: gzip flag = %v, want %v", tc.n, got, tc.gzip)
+		}
+		got, err := DecodeRoundRequest(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if !paramsEqual(got.Params, req.Params) {
+			t.Errorf("n=%d: params corrupted through gzip boundary", tc.n)
+		}
+	}
+}
+
+// TestCodecTruncatedFrames cuts a valid frame at every byte offset; each
+// prefix must produce an error, never a panic or a silent short decode.
+func TestCodecTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRoundRequest(&buf, sampleRequest([]float64{1.5, 2.5, 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeRoundRequest(bytes.NewReader(frame[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(frame))
+		}
+	}
+	// The full frame still decodes.
+	if _, err := DecodeRoundRequest(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecMalformedFrames(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, sampleRequest([]float64{1, 2})); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		f := valid()
+		f[0] = 'X'
+		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("unknown flags", func(t *testing.T) {
+		f := valid()
+		f[4] |= 0x80
+		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
+			t.Error("unknown flag bits accepted")
+		}
+	})
+	t.Run("oversized meta claim", func(t *testing.T) {
+		f := valid()
+		binary.LittleEndian.PutUint32(f[5:9], maxMetaBytes+1)
+		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
+			t.Error("oversized meta length accepted")
+		}
+	})
+	t.Run("oversized param claim", func(t *testing.T) {
+		f := valid()
+		metaLen := binary.LittleEndian.Uint32(f[5:9])
+		binary.LittleEndian.PutUint32(f[9+metaLen:], maxFrameParams+1)
+		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
+			t.Error("oversized param count accepted")
+		}
+	})
+	t.Run("payload length mismatch", func(t *testing.T) {
+		f := valid()
+		metaLen := binary.LittleEndian.Uint32(f[5:9])
+		binary.LittleEndian.PutUint32(f[13+metaLen:], 1)
+		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
+			t.Error("payload/count mismatch accepted")
+		}
+	})
+	t.Run("non-json meta", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.Write(frameMagic[:])
+		buf.WriteByte(0)
+		var lb [4]byte
+		binary.LittleEndian.PutUint32(lb[:], 3)
+		buf.Write(lb[:])
+		buf.WriteString("{{{")
+		binary.LittleEndian.PutUint32(lb[:], 0)
+		buf.Write(lb[:]) // count 0
+		buf.Write(lb[:]) // payload 0
+		if _, err := DecodeRoundRequest(&buf); err == nil {
+			t.Error("garbage meta accepted")
+		}
+	})
+}
+
+// TestCodecWireSavings pins the acceptance bar: on a CNN-sized vector of
+// float32-valued weights (the realistic case — models train in single
+// precision), the frame must be at least 4× smaller than the JSON encoding.
+func TestCodecWireSavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	params := make([]float64, 100_000)
+	for i := range params {
+		params[i] = float64(float32(rng.NormFloat64() * 0.05))
+	}
+	req := sampleRequest(params)
+
+	var bin bytes.Buffer
+	if err := EncodeRoundRequest(&bin, req); err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes := encodeJSONLen(t, req)
+	ratio := float64(jsonBytes) / float64(bin.Len())
+	if ratio < 4 {
+		t.Errorf("binary frame only %.2fx smaller than JSON (%d vs %d bytes), want ≥4x",
+			ratio, bin.Len(), jsonBytes)
+	}
+	got, err := DecodeRoundRequest(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paramsEqual(got.Params, params) {
+		t.Error("narrowed payload not lossless")
+	}
+}
+
+func encodeJSONLen(t *testing.T, v any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// FuzzCodec feeds arbitrary bytes to the frame decoder: it must never panic,
+// and whenever it does decode, a re-encode/re-decode cycle must reproduce the
+// decoded value exactly (the codec is its own inverse on its image).
+func FuzzCodec(f *testing.F) {
+	seedVectors := [][]float64{
+		nil,
+		{1.5},
+		{0.1, 0.2, 0.3},
+		{math.NaN(), math.Inf(1)},
+		make([]float64, gzipThreshold/8+4), // gzip path
+	}
+	for _, params := range seedVectors {
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, sampleRequest(params)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("BFL1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRoundRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, req); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		again, err := DecodeRoundRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Round != req.Round || again.Jobs != req.Jobs || again.Deadline != req.Deadline {
+			t.Fatalf("meta drift: %+v vs %+v", again, req)
+		}
+		if !paramsEqual(again.Params, req.Params) {
+			t.Fatalf("param drift after round trip")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bofl/internal/obs"
+)
+
+func wireCount(t *obs.Telemetry, metric, codec string) float64 {
+	return t.Registry.Counter(metric, "", obs.L("codec", codec)).Value()
+}
+
+// TestNegotiationBinaryBothEnds: a new server dialing a new daemon settles on
+// the binary codec, the round works, and wire bytes are accounted under the
+// binary label on both ends.
+func TestNegotiationBinaryBothEnds(t *testing.T) {
+	daemonTel := obs.New(nil)
+	h := NewClientHandler(newTestClient(t, "bin-client", 31))
+	h.SetTelemetry(daemonTel)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p, err := DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codec() != CodecBinary {
+		t.Fatalf("negotiated %q, want %q", p.Codec(), CodecBinary)
+	}
+	serverTel := obs.New(nil)
+	p.SetSink(serverTel)
+
+	params := h.client.Params()
+	resp, err := p.Round(RoundRequest{Round: 1, Params: params, Jobs: 20, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientID != "bin-client" || len(resp.Params) != len(params) {
+		t.Fatalf("bad response: %q, %d params", resp.ClientID, len(resp.Params))
+	}
+	for _, check := range []struct {
+		tel    *obs.Telemetry
+		metric string
+	}{
+		{serverTel, obs.MetricFLWireTx},
+		{serverTel, obs.MetricFLWireRx},
+		{daemonTel, obs.MetricFLWireRx},
+		{daemonTel, obs.MetricFLWireTx},
+	} {
+		if got := wireCount(check.tel, check.metric, CodecBinary); got <= 0 {
+			t.Errorf("%s[binary] = %v, want > 0", check.metric, got)
+		}
+		if got := wireCount(check.tel, check.metric, CodecJSON); got != 0 {
+			t.Errorf("%s[json] = %v, want 0", check.metric, got)
+		}
+	}
+}
+
+// TestCompatNewServerOldDaemon: a daemon in JSON-only mode (standing in for a
+// pre-codec build) makes a new server fall back to JSON transparently.
+func TestCompatNewServerOldDaemon(t *testing.T) {
+	h := NewClientHandler(newTestClient(t, "old-daemon", 32))
+	h.SetJSONOnly(true)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// The JSON-only daemon must not advertise codecs at all, exactly like an
+	// old build that predates the field.
+	ir, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info InfoResponse
+	if err := json.NewDecoder(ir.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	ir.Body.Close()
+	if len(info.Codecs) != 0 {
+		t.Fatalf("json-only daemon advertises codecs %v", info.Codecs)
+	}
+
+	p, err := DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codec() != CodecJSON {
+		t.Fatalf("negotiated %q, want %q", p.Codec(), CodecJSON)
+	}
+	resp, err := p.Round(RoundRequest{Round: 1, Params: h.client.Params(), Jobs: 20, Deadline: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientID != "old-daemon" {
+		t.Fatalf("response from %q", resp.ClientID)
+	}
+}
+
+// TestCompatOldServerNewDaemon: a raw JSON POST with no Accept header (what a
+// pre-codec server sends) must get a JSON response back from a binary-capable
+// daemon.
+func TestCompatOldServerNewDaemon(t *testing.T) {
+	c := newTestClient(t, "new-daemon", 33)
+	ts := httptest.NewServer(NewClientHandler(c))
+	defer ts.Close()
+
+	var body bytes.Buffer
+	req := RoundRequest{Round: 1, Params: c.Params(), Jobs: 20, Deadline: 60}
+	if err := json.NewEncoder(&body).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/round", ContentTypeJSON, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(hr.Body)
+		t.Fatalf("status %d: %s", hr.StatusCode, msg)
+	}
+	if ct := hr.Header.Get("Content-Type"); ct != ContentTypeJSON {
+		t.Fatalf("Content-Type %q, want JSON for a JSON caller", ct)
+	}
+	var resp RoundResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientID != "new-daemon" || len(resp.Params) != len(req.Params) {
+		t.Fatalf("bad JSON response: %q, %d params", resp.ClientID, len(resp.Params))
+	}
+}
+
+// TestBinaryFrameRejectedByJSONOnlyDaemon: a binary frame posted at a daemon
+// with the codec disabled must fail loudly (415), not mis-decode.
+func TestBinaryFrameRejectedByJSONOnlyDaemon(t *testing.T) {
+	tel := obs.New(nil)
+	h := NewClientHandler(newTestClient(t, "strict-daemon", 34))
+	h.SetJSONOnly(true)
+	h.SetTelemetry(tel)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var body bytes.Buffer
+	if err := EncodeRoundRequest(&body, RoundRequest{Round: 1, Params: h.client.Params(), Jobs: 20, Deadline: 60}); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/round", ContentTypeBinary, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415", hr.StatusCode)
+	}
+	if got := errCount(tel, "round", "codec"); got != 1 {
+		t.Errorf("codec error count = %v, want 1", got)
+	}
+}

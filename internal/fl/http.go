@@ -5,18 +5,32 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"slices"
+	"strings"
 	"time"
 
 	"bofl/internal/obs"
 )
 
 // HTTP transport: a client daemon serves its training endpoint over HTTP and
-// the server drives it through an HTTPParticipant. Wire format is JSON over
-// two endpoints:
+// the server drives it through an HTTPParticipant. Two endpoints:
 //
 //	GET  /v1/info           → InfoResponse
 //	POST /v1/round          → RoundRequest ⇒ RoundResponse
+//
+// The round body travels either as JSON (the original wire format, kept as
+// the universal fallback) or as the binary frame defined in codec.go.
+// Negotiation is one round trip and fully backwards compatible:
+//
+//   - The daemon advertises its codecs in InfoResponse.Codecs. An old daemon
+//     omits the field, so a new server falls back to JSON for it.
+//   - The server picks the best mutually supported codec and declares it in
+//     the request's Content-Type; it also sends Accept for the response.
+//   - The daemon decodes by Content-Type and answers in the same codec the
+//     caller asked for, so an old server posting JSON gets JSON back even
+//     from a binary-capable daemon.
 //
 // This mirrors the configuration/execution/reporting flow of Figure 1 with a
 // plain stdlib stack.
@@ -28,13 +42,45 @@ type InfoResponse struct {
 	TMinPerJob     float64 `json:"tminPerJobSeconds"`
 	NumExamples    int     `json:"numExamples"`
 	ParamsChecksum int     `json:"paramsChecksum"`
+	// Codecs lists the wire codecs this daemon understands, best first.
+	// Absent on pre-codec daemons, which speak JSON only.
+	Codecs []string `json:"codecs,omitempty"`
+}
+
+// flTransport is the process-wide HTTP transport shared by every
+// HTTPParticipant and check-in call: connections to client daemons are kept
+// alive across rounds instead of being re-dialed every round, and dials are
+// individually bounded so one unreachable device cannot absorb the whole
+// round timeout.
+var flTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        0, // no global cap; per-host below
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// countingReader counts the bytes pulled through it, for wire accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ClientHandler exposes a *Client over HTTP.
 type ClientHandler struct {
-	client *Client
-	mux    *http.ServeMux
-	sink   obs.Sink
+	client   *Client
+	mux      *http.ServeMux
+	sink     obs.Sink
+	jsonOnly bool
 }
 
 var _ http.Handler = (*ClientHandler)(nil)
@@ -46,6 +92,12 @@ func NewClientHandler(c *Client) *ClientHandler {
 	h.mux.HandleFunc("POST /v1/round", h.handleRound)
 	return h
 }
+
+// SetJSONOnly disables the binary codec: the daemon stops advertising it,
+// rejects binary frames and always answers JSON — byte-for-byte the pre-codec
+// wire behaviour. Used as an operational escape hatch (flclient -json-only)
+// and by the cross-compatibility tests to stand in for an old daemon.
+func (h *ClientHandler) SetJSONOnly(on bool) { h.jsonOnly = on }
 
 // SetTelemetry installs a live telemetry backend: error counters flow into
 // its registry and the introspection endpoints (/metrics, /healthz,
@@ -72,21 +124,42 @@ func (h *ClientHandler) handleInfo(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, InfoResponse{
+	info := InfoResponse{
 		ClientID:    h.client.ID(),
 		Device:      h.client.dev.Name(),
 		TMinPerJob:  perJob,
 		NumExamples: h.client.NumExamples(),
-	})
+	}
+	if !h.jsonOnly {
+		info.Codecs = []string{CodecBinary, CodecJSON}
+	}
+	writeJSON(w, info)
 }
 
 func (h *ClientHandler) handleRound(w http.ResponseWriter, r *http.Request) {
+	body := &countingReader{r: io.LimitReader(r.Body, 64<<20)}
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
+	codec := CodecJSON
 	var req RoundRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+	var err error
+	if binaryReq {
+		if h.jsonOnly {
+			h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", "codec"))
+			http.Error(w, "binary frames disabled on this daemon", http.StatusUnsupportedMediaType)
+			return
+		}
+		codec = CodecBinary
+		req, err = DecodeRoundRequest(body)
+	} else {
+		err = json.NewDecoder(body).Decode(&req)
+	}
+	if err != nil {
 		h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", "decode"))
 		http.Error(w, fmt.Sprintf("decode round request: %v", err), http.StatusBadRequest)
 		return
 	}
+	h.sink.Count(obs.MetricFLWireRx, float64(body.n), obs.L("codec", codec))
+
 	p := &LocalParticipant{Client: h.client}
 	resp, err := p.Round(req)
 	if err != nil {
@@ -94,11 +167,35 @@ func (h *ClientHandler) handleRound(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, resp)
+
+	// Answer in the codec the caller used (or explicitly accepts): a JSON
+	// caller must get JSON back even from a binary-capable daemon.
+	respBinary := !h.jsonOnly &&
+		(binaryReq || strings.Contains(r.Header.Get("Accept"), ContentTypeBinary))
+	buf := getBuf()
+	defer putBuf(buf)
+	respCodec := CodecJSON
+	if respBinary {
+		respCodec = CodecBinary
+		err = EncodeRoundResponse(buf, resp)
+		w.Header().Set("Content-Type", ContentTypeBinary)
+	} else {
+		err = json.NewEncoder(buf).Encode(resp)
+		w.Header().Set("Content-Type", ContentTypeJSON)
+	}
+	if err != nil {
+		h.sink.Count(obs.MetricFLHTTPErrors, 1, obs.L("endpoint", "round"), obs.L("kind", "encode"))
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // headers already sent; nothing more we can do
+	}
+	h.sink.Count(obs.MetricFLWireTx, float64(buf.Len()), obs.L("codec", respCodec))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ContentTypeJSON)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are already sent; nothing more we can do.
 		return
@@ -112,11 +209,25 @@ type HTTPParticipant struct {
 	perJob  float64
 	client  *http.Client
 	sink    obs.Sink
+	binary  bool
 }
 
 // SetSink installs a telemetry sink counting transport, status and decode
-// failures against the remote daemon.
+// failures against the remote daemon, plus wire bytes per codec.
 func (p *HTTPParticipant) SetSink(s obs.Sink) { p.sink = obs.OrNop(s) }
+
+// SetBinary overrides codec negotiation (true forces binary frames, false
+// forces JSON). Normally the choice is made from the daemon's advertised
+// codecs at dial time.
+func (p *HTTPParticipant) SetBinary(on bool) { p.binary = on }
+
+// Codec reports the negotiated round codec.
+func (p *HTTPParticipant) Codec() string {
+	if p.binary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
 
 // countErr increments the HTTP error counter for the round endpoint.
 func (p *HTTPParticipant) countErr(kind string) {
@@ -125,9 +236,12 @@ func (p *HTTPParticipant) countErr(kind string) {
 
 var _ Participant = (*HTTPParticipant)(nil)
 
-// DialParticipant contacts a client daemon and caches its identity.
+// DialParticipant contacts a client daemon, caches its identity and
+// negotiates the round codec from the daemon's advertised list. All
+// participants share one keep-alive transport, so per-round requests reuse
+// established connections.
 func DialParticipant(baseURL string, timeout time.Duration) (*HTTPParticipant, error) {
-	hc := &http.Client{Timeout: timeout}
+	hc := &http.Client{Timeout: timeout, Transport: flTransport}
 	resp, err := hc.Get(baseURL + "/v1/info")
 	if err != nil {
 		return nil, fmt.Errorf("fl: dial %s: %w", baseURL, err)
@@ -143,7 +257,14 @@ func DialParticipant(baseURL string, timeout time.Duration) (*HTTPParticipant, e
 	if info.ClientID == "" || info.TMinPerJob <= 0 {
 		return nil, fmt.Errorf("fl: dial %s: malformed info %+v", baseURL, info)
 	}
-	return &HTTPParticipant{baseURL: baseURL, id: info.ClientID, perJob: info.TMinPerJob, client: hc, sink: obs.Nop}, nil
+	return &HTTPParticipant{
+		baseURL: baseURL,
+		id:      info.ClientID,
+		perJob:  info.TMinPerJob,
+		client:  hc,
+		sink:    obs.Nop,
+		binary:  slices.Contains(info.Codecs, CodecBinary),
+	}, nil
 }
 
 // ID returns the remote client's identifier.
@@ -157,13 +278,29 @@ func (p *HTTPParticipant) TMinFor(jobs int) (float64, error) {
 	return p.perJob * float64(jobs), nil
 }
 
-// Round posts the round request to the daemon.
+// Round posts the round request to the daemon in the negotiated codec.
 func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
-	body, err := json.Marshal(req)
+	buf := getBuf()
+	defer putBuf(buf)
+	codec, contentType := CodecJSON, ContentTypeJSON
+	var err error
+	if p.binary {
+		codec, contentType = CodecBinary, ContentTypeBinary
+		err = EncodeRoundRequest(buf, req)
+	} else {
+		err = json.NewEncoder(buf).Encode(req)
+	}
 	if err != nil {
 		return RoundResponse{}, fmt.Errorf("fl: encode round: %w", err)
 	}
-	resp, err := p.client.Post(p.baseURL+"/v1/round", "application/json", bytes.NewReader(body))
+
+	hreq, err := http.NewRequest(http.MethodPost, p.baseURL+"/v1/round", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return RoundResponse{}, fmt.Errorf("fl: round on %s: %w", p.id, err)
+	}
+	hreq.Header.Set("Content-Type", contentType)
+	hreq.Header.Set("Accept", contentType)
+	resp, err := p.client.Do(hreq)
 	if err != nil {
 		p.countErr("transport")
 		return RoundResponse{}, fmt.Errorf("fl: round on %s: %w", p.id, err)
@@ -174,10 +311,21 @@ func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return RoundResponse{}, fmt.Errorf("fl: round on %s: %s: %s", p.id, resp.Status, bytes.TrimSpace(msg))
 	}
+	p.sink.Count(obs.MetricFLWireTx, float64(buf.Len()), obs.L("codec", codec))
+
+	body := &countingReader{r: io.LimitReader(resp.Body, 64<<20)}
+	respCodec := CodecJSON
 	var out RoundResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary) {
+		respCodec = CodecBinary
+		out, err = DecodeRoundResponse(body)
+	} else {
+		err = json.NewDecoder(body).Decode(&out)
+	}
+	if err != nil {
 		p.countErr("decode")
 		return RoundResponse{}, fmt.Errorf("fl: decode round response: %w", err)
 	}
+	p.sink.Count(obs.MetricFLWireRx, float64(body.n), obs.L("codec", respCodec))
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"bofl/internal/core"
 	"bofl/internal/obs"
+	"bofl/internal/parallel"
 )
 
 // RoundRequest is the server → client message starting one training round
@@ -139,7 +140,10 @@ type ServerConfig struct {
 }
 
 // Server orchestrates federated rounds: selection, deadline assignment,
-// dispatch, and FedAvg aggregation.
+// dispatch, and FedAvg aggregation. Dispatch is bounded by the shared
+// internal/parallel worker pool and updates are folded into a single reused
+// accumulator as they arrive, so a round's memory footprint is O(params) —
+// independent of the number of selected participants.
 type Server struct {
 	cfg    ServerConfig
 	global []float64
@@ -147,6 +151,9 @@ type Server struct {
 	rng    *rand.Rand
 	round  int
 	sink   obs.Sink
+
+	// acc is the streaming FedAvg accumulator, reused across rounds.
+	acc []float64
 }
 
 // SetSink installs a telemetry sink. Beyond orchestration metrics, the server
@@ -193,8 +200,12 @@ func (s *Server) GlobalParams() []float64 {
 
 // RoundResult summarizes one orchestrated round.
 type RoundResult struct {
-	Round     int                `json:"round"`
-	Deadline  float64            `json:"deadlineSeconds"`
+	Round    int     `json:"round"`
+	Deadline float64 `json:"deadlineSeconds"`
+	// Responses holds each aggregated participant's round metadata. The
+	// parameter vectors are folded into the global model as they arrive and
+	// then released, so Params is nil on every entry — retaining them would
+	// put round memory back at O(clients × params).
 	Responses []RoundResponse    `json:"responses"`
 	Reports   []core.RoundReport `json:"-"`
 	// Dropped lists the ids of selected participants that failed or missed
@@ -241,60 +252,152 @@ func (s *Server) RunRound() (RoundResult, error) {
 	}
 	deadline := tmin * (lo + s.rng.Float64()*(s.cfg.DeadlineRatio-lo))
 
-	req := RoundRequest{Round: s.round, Params: s.GlobalParams(), Jobs: s.cfg.Jobs, Deadline: deadline}
 	endConfigure()
 
+	// Execute phase: dispatch through the shared bounded worker pool and
+	// stream each arriving update into the FedAvg accumulator. Folds happen
+	// strictly in participant index order (a condition-variable turnstile),
+	// so the floating-point sum — and therefore the global model — is
+	// byte-identical for any pool width or completion order. A worker whose
+	// turn has not come waits holding only its own response, so at most
+	// pool-width parameter vectors are alive at once; the O(clients×params)
+	// response buffer of the old two-phase design is gone.
 	endExecute := s.sink.Span(obs.SpanFLExecute)
-	responses := make([]RoundResponse, len(selected))
-	errs := make([]error, len(selected))
-	var wg sync.WaitGroup
-	for i, p := range selected {
-		wg.Add(1)
-		go func(i int, p Participant) {
-			defer wg.Done()
-			responses[i], errs[i] = p.Round(req)
-		}(i, p)
+	n := len(selected)
+	if len(s.acc) != len(s.global) {
+		s.acc = make([]float64, len(s.global))
 	}
-	wg.Wait()
+	acc := s.acc
+	for j := range acc {
+		acc[j] = 0
+	}
+	type slot struct {
+		resp   RoundResponse // Params stripped after folding
+		err    error         // participant Round failure
+		valErr error         // aggregation-fatal validation failure
+	}
+	slots := make([]slot, n)
+	var (
+		foldMu      sync.Mutex
+		foldCond    = sync.NewCond(&foldMu)
+		nextFold    int
+		totalWeight float64
+	)
+	parallel.ForChunk(n, func(lo, hi int) {
+		// One params scratch per chunk: each participant gets a private
+		// copy of the global vector, so no two concurrent requests alias
+		// the same backing slice (and none alias s.global). The scratch is
+		// only reused after the previous index's fold completed, which is
+		// the point where the server stops reading the response.
+		var scratch []float64
+		for i := lo; i < hi; i++ {
+			if scratch == nil {
+				scratch = make([]float64, len(s.global))
+			}
+			copy(scratch, s.global)
+			resp, err := selected[i].Round(RoundRequest{
+				Round:    s.round,
+				Params:   scratch,
+				Jobs:     s.cfg.Jobs,
+				Deadline: deadline,
+			})
+
+			foldMu.Lock()
+			for nextFold != i {
+				foldCond.Wait()
+			}
+			if err != nil {
+				slots[i].err = err
+			} else {
+				// In dropout-tolerant rounds a deadline miss excludes the
+				// update from aggregation; in strict rounds it is still
+				// aggregated (and only reported), matching the legacy
+				// batch behaviour.
+				if !s.cfg.TolerateDropouts || resp.Report.DeadlineMet {
+					endFold := s.sink.Span(obs.SpanFLFold)
+					switch {
+					case len(resp.Params) != len(s.global):
+						slots[i].valErr = fmt.Errorf("fl: client %s returned %d params, want %d",
+							resp.ClientID, len(resp.Params), len(s.global))
+					case resp.NumExamples <= 0:
+						slots[i].valErr = fmt.Errorf("fl: client %s reports %d examples",
+							resp.ClientID, resp.NumExamples)
+					default:
+						w := float64(resp.NumExamples)
+						totalWeight += w
+						for j, v := range resp.Params {
+							acc[j] += w * v
+						}
+					}
+					endFold()
+				}
+				resp.Params = nil // the update now lives in the accumulator
+				slots[i].resp = resp
+			}
+			nextFold++
+			foldCond.Broadcast()
+			foldMu.Unlock()
+		}
+	})
 	endExecute()
 
-	for _, err := range errs {
-		if err != nil {
+	for i := range slots {
+		if slots[i].err != nil {
 			s.sink.Count(obs.MetricFLRoundErrors, 1)
 		}
 	}
 
-	result := RoundResult{Round: s.round, Deadline: deadline}
+	result := RoundResult{
+		Round:     s.round,
+		Deadline:  deadline,
+		Responses: make([]RoundResponse, 0, n),
+	}
 	if s.cfg.TolerateDropouts {
 		// Figure 1's dropout path: keep the survivors, record the rest.
-		for i, err := range errs {
+		for i := range slots {
 			switch {
-			case err != nil:
+			case slots[i].err != nil:
 				result.Dropped = append(result.Dropped, selected[i].ID())
-			case !responses[i].Report.DeadlineMet:
-				result.Dropped = append(result.Dropped, responses[i].ClientID)
+			case !slots[i].resp.Report.DeadlineMet:
+				result.Dropped = append(result.Dropped, slots[i].resp.ClientID)
 			default:
-				result.Responses = append(result.Responses, responses[i])
+				result.Responses = append(result.Responses, slots[i].resp)
 			}
 		}
 		if len(result.Responses) == 0 {
 			return RoundResult{}, fmt.Errorf("fl: round %d: every participant dropped", s.round)
 		}
 	} else {
-		for i, err := range errs {
-			if err != nil {
-				return RoundResult{}, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), err)
+		for i := range slots {
+			if slots[i].err != nil {
+				return RoundResult{}, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), slots[i].err)
 			}
 		}
-		result.Responses = responses
+		for i := range slots {
+			result.Responses = append(result.Responses, slots[i].resp)
+		}
+	}
+	// Validation failures (bad length, non-positive example count) are
+	// round-fatal, exactly as the batch aggregate treated them.
+	for i := range slots {
+		if slots[i].valErr != nil {
+			return RoundResult{}, slots[i].valErr
+		}
 	}
 
+	// Report phase: commit the deferred normalization. Nothing before this
+	// line mutated the global model, so a failed round leaves it untouched.
 	endReport := s.sink.Span(obs.SpanFLReport)
-	err := s.aggregate(result.Responses)
-	endReport()
-	if err != nil {
-		return RoundResult{}, err
+	if totalWeight <= 0 {
+		endReport()
+		return RoundResult{}, fmt.Errorf("fl: round %d: zero aggregate weight", s.round)
 	}
+	for j := range s.global {
+		s.global[j] = acc[j] / totalWeight
+	}
+	endReport()
+
+	result.Reports = make([]core.RoundReport, 0, len(result.Responses))
 	for _, r := range result.Responses {
 		result.Reports = append(result.Reports, r.Report)
 	}
@@ -322,27 +425,34 @@ func (s *Server) recordReports(reports []core.RoundReport) {
 	}
 }
 
-// aggregate applies FedAvg: the global model becomes the dataset-size
-// weighted average of the participants' parameters.
+// aggregate applies FedAvg in batch: the global model becomes the
+// dataset-size weighted average of the participants' parameters. It performs
+// the exact floating-point operations of RunRound's streaming fold — sum
+// w·v in response order, divide by the total weight at the end — so the two
+// paths are byte-identical; it is kept as the reference implementation for
+// the streaming-equivalence tests.
 func (s *Server) aggregate(responses []RoundResponse) error {
 	totalWeight := 0.0
+	acc := make([]float64, len(s.global))
 	for _, r := range responses {
-		if len(r.Params) != len(s.global) {
+		switch {
+		case len(r.Params) != len(s.global):
 			return fmt.Errorf("fl: client %s returned %d params, want %d", r.ClientID, len(r.Params), len(s.global))
-		}
-		if r.NumExamples <= 0 {
+		case r.NumExamples <= 0:
 			return fmt.Errorf("fl: client %s reports %d examples", r.ClientID, r.NumExamples)
 		}
-		totalWeight += float64(r.NumExamples)
-	}
-	next := make([]float64, len(s.global))
-	for _, r := range responses {
-		w := float64(r.NumExamples) / totalWeight
+		w := float64(r.NumExamples)
+		totalWeight += w
 		for i, v := range r.Params {
-			next[i] += w * v
+			acc[i] += w * v
 		}
 	}
-	s.global = next
+	if totalWeight <= 0 {
+		return errors.New("fl: zero aggregate weight")
+	}
+	for i := range s.global {
+		s.global[i] = acc[i] / totalWeight
+	}
 	return nil
 }
 

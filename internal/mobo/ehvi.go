@@ -49,24 +49,46 @@ func psi(c, mu, sigma float64) float64 {
 // Gaussian CDF, a/b the strip's first-objective bounds and c its
 // second-objective ceiling. This runs in O(n log n) for a front of size n.
 func EHVI(g Gaussian2, front []pareto.Point, ref pareto.Point) float64 {
+	return NewEHVIStrips(front, ref).Value(g)
+}
+
+// ehviStrip is one vertical slice of the non-dominated region: first-objective
+// bounds [a, b) under second-objective ceiling c.
+type ehviStrip struct {
+	a, b, c float64
+}
+
+// EHVIStrips is the strip decomposition of the non-dominated region for a
+// fixed Pareto front and reference point. The decomposition depends only on
+// the front geometry, not on the candidate's predictive distribution, so a
+// SuggestBatch candidate scan builds it once and evaluates every candidate in
+// O(n) instead of re-sorting the front per candidate.
+type EHVIStrips struct {
+	strips []ehviStrip
+	b0     float64 // upper bound of strip 0 (u₁ ∈ (−∞, b0), ceiling ref.Y)
+	ref    pareto.Point
+	empty  bool // no front points: the whole reference box improves
+}
+
+// NewEHVIStrips sorts and decomposes the front once. The strips replay the
+// exact per-call arithmetic of the single-shot evaluation (same bounds, same
+// empty-strip skipping), so Value is bitwise-identical to the historical
+// inline EHVI loop.
+func NewEHVIStrips(front []pareto.Point, ref pareto.Point) *EHVIStrips {
 	f := pareto.Front(front)
 	// Keep only points that restrict the region inside the box. Points at
 	// or beyond the reference in X produce empty strips automatically;
 	// points with Y ≥ ref.Y only matter through clipping below.
 	sort.Slice(f, func(i, j int) bool { return f[i].X < f[j].X })
 
-	total := 0.0
-	psi1 := func(c float64) float64 { return psi(c, g.MuX, g.SigmaX) }
-	psi2 := func(c float64) float64 { return psi(c, g.MuY, g.SigmaY) }
-
+	s := &EHVIStrips{ref: ref}
 	if len(f) == 0 {
-		return psi1(ref.X) * psi2(ref.Y)
+		s.empty = true
+		return s
 	}
-
 	// Strip 0: u₁ ∈ (−∞, x₁), ceiling ref.Y.
-	b0 := math.Min(f[0].X, ref.X)
-	total += psi1(b0) * psi2(ref.Y)
-
+	s.b0 = math.Min(f[0].X, ref.X)
+	s.strips = make([]ehviStrip, 0, len(f))
 	for i := 0; i < len(f); i++ {
 		a := math.Min(f[i].X, ref.X)
 		b := ref.X
@@ -77,7 +99,23 @@ func EHVI(g Gaussian2, front []pareto.Point, ref pareto.Point) float64 {
 			continue
 		}
 		c := math.Min(f[i].Y, ref.Y)
-		total += (psi1(b) - psi1(a)) * psi2(c)
+		s.strips = append(s.strips, ehviStrip{a: a, b: b, c: c})
+	}
+	return s
+}
+
+// Value evaluates the expected hypervolume improvement of a candidate with
+// predictive distribution g against the precomputed decomposition.
+func (s *EHVIStrips) Value(g Gaussian2) float64 {
+	psi1 := func(c float64) float64 { return psi(c, g.MuX, g.SigmaX) }
+	psi2 := func(c float64) float64 { return psi(c, g.MuY, g.SigmaY) }
+
+	if s.empty {
+		return psi1(s.ref.X) * psi2(s.ref.Y)
+	}
+	total := psi1(s.b0) * psi2(s.ref.Y)
+	for _, st := range s.strips {
+		total += (psi1(st.b) - psi1(st.a)) * psi2(st.c)
 	}
 	if total < 0 {
 		// Guard against tiny negative values from floating cancellation.

@@ -1,0 +1,89 @@
+package mobo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bofl/internal/pareto"
+)
+
+// legacyEHVI is a verbatim copy of the pre-decomposition single-shot EHVI
+// (sort + strip loop per call). The strips refactor must be bitwise-identical
+// to it for every (front, ref, g).
+func legacyEHVI(g Gaussian2, front []pareto.Point, ref pareto.Point) float64 {
+	f := pareto.Front(front)
+	sort.Slice(f, func(i, j int) bool { return f[i].X < f[j].X })
+
+	total := 0.0
+	psi1 := func(c float64) float64 { return psi(c, g.MuX, g.SigmaX) }
+	psi2 := func(c float64) float64 { return psi(c, g.MuY, g.SigmaY) }
+
+	if len(f) == 0 {
+		return psi1(ref.X) * psi2(ref.Y)
+	}
+	b0 := math.Min(f[0].X, ref.X)
+	total += psi1(b0) * psi2(ref.Y)
+	for i := 0; i < len(f); i++ {
+		a := math.Min(f[i].X, ref.X)
+		b := ref.X
+		if i+1 < len(f) {
+			b = math.Min(f[i+1].X, ref.X)
+		}
+		if b <= a {
+			continue
+		}
+		c := math.Min(f[i].Y, ref.Y)
+		total += (psi1(b) - psi1(a)) * psi2(c)
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// TestEHVIStripsMatchesLegacy drives the precomputed decomposition against
+// the historical inline implementation over randomized fronts, references and
+// predictive distributions, requiring bit-for-bit equality.
+func TestEHVIStripsMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) // includes empty fronts
+		front := make([]pareto.Point, n)
+		for i := range front {
+			front[i] = pareto.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4}
+		}
+		ref := pareto.Point{X: 1 + rng.Float64()*3, Y: 1 + rng.Float64()*3}
+		strips := NewEHVIStrips(front, ref)
+		for probe := 0; probe < 20; probe++ {
+			g := Gaussian2{
+				MuX: rng.Float64() * 5, SigmaX: rng.Float64() * 2,
+				MuY: rng.Float64() * 5, SigmaY: rng.Float64() * 2,
+			}
+			if probe%5 == 0 {
+				g.SigmaX, g.SigmaY = 0, 0 // degenerate (deterministic) posterior
+			}
+			want := legacyEHVI(g, front, ref)
+			if got := strips.Value(g); got != want {
+				t.Fatalf("trial %d probe %d: strips.Value=%v legacy=%v (diff %g)",
+					trial, probe, got, want, got-want)
+			}
+			if got := EHVI(g, front, ref); got != want {
+				t.Fatalf("trial %d probe %d: EHVI wrapper=%v legacy=%v", trial, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestEHVIStripsRefBeyondFront covers fronts entirely at or past the
+// reference in X, where every strip collapses and only strip 0 contributes.
+func TestEHVIStripsRefBeyondFront(t *testing.T) {
+	front := []pareto.Point{{X: 5, Y: 0.1}, {X: 6, Y: 0.05}}
+	ref := pareto.Point{X: 2, Y: 2}
+	g := Gaussian2{MuX: 1, SigmaX: 0.5, MuY: 1, SigmaY: 0.5}
+	want := legacyEHVI(g, front, ref)
+	if got := NewEHVIStrips(front, ref).Value(g); got != want {
+		t.Fatalf("collapsed strips: got %v want %v", got, want)
+	}
+}

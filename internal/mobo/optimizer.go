@@ -287,6 +287,10 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 	}
 
 	for pick := 0; pick < k; pick++ {
+		// The strip decomposition depends only on the working front, which
+		// is fixed for the duration of one pick: build it once and score
+		// every candidate in O(n) instead of re-sorting per candidate.
+		strips := NewEHVIStrips(front, ref)
 		// Concurrent scan: every live candidate's posterior and EHVI land
 		// in per-index slots; no cross-worker state.
 		parallel.ForChunk(len(o.candidates), func(lo, hi int) {
@@ -298,7 +302,7 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 				muT, sT := cacheT.Predict(i)
 				g := lognormalMoments(muE, sE, muT, sT)
 				gs[i] = g
-				vals[i] = EHVI(g, front, ref)
+				vals[i] = strips.Value(g)
 			}
 		})
 		// Serial reduction, lowest candidate index wins on equal EHVI

@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkMBOSuggestBatchLive|BenchmarkGPFit|BenchmarkFigure9)$'
+BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkMBOSuggestBatchLive|BenchmarkGPFit|BenchmarkFigure9|BenchmarkFLScale)$'
 COUNT="${BENCH_COUNT:-3}"
 
 n="${1:-}"
