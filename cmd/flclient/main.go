@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -33,6 +34,8 @@ func run(args []string) error {
 	listen := fs.String("listen", ":8071", "HTTP listen address")
 	server := fs.String("server", "", "optional flserver check-in URL, e.g. http://127.0.0.1:8070")
 	advertise := fs.String("advertise", "", "base URL the server should dial back (default http://127.0.0.1<listen>)")
+	checkinRetries := fs.Int("checkin-retries", 5, "check-in attempts against an unreachable server")
+	checkinTimeout := fs.Duration("checkin-timeout", 10*time.Second, "per-attempt check-in deadline")
 	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 	jsonOnly := fs.Bool("json-only", false, "disable the binary wire codec and speak JSON only (pre-codec behaviour)")
 	cfg, err := parseClientFlags(fs, args)
@@ -51,16 +54,27 @@ func run(args []string) error {
 		}
 		go func() {
 			time.Sleep(300 * time.Millisecond) // let the listener come up
-			err := fl.CheckIn(*server, fl.CheckinRequest{
-				ClientID: cfg.id,
-				BaseURL:  base,
-				Device:   cfg.devName,
-			}, 30*time.Second)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "flclient: check-in:", err)
-				return
+			// Each attempt is context-bounded, so a dead or hung server
+			// can't wedge the daemon; backoff doubles between attempts.
+			req := fl.CheckinRequest{ClientID: cfg.id, BaseURL: base, Device: cfg.devName}
+			backoff := 500 * time.Millisecond
+			for attempt := 0; ; attempt++ {
+				ctx, cancel := context.WithTimeout(context.Background(), *checkinTimeout)
+				err := fl.CheckInContext(ctx, *server, req, *checkinTimeout)
+				cancel()
+				if err == nil {
+					fmt.Printf("checked in with %s as %s\n", *server, cfg.id)
+					return
+				}
+				if attempt+1 >= *checkinRetries {
+					fmt.Fprintln(os.Stderr, "flclient: check-in:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "flclient: check-in attempt %d: %v (retrying in %v)\n",
+					attempt+1, err, backoff)
+				time.Sleep(backoff)
+				backoff *= 2
 			}
-			fmt.Printf("checked in with %s as %s\n", *server, cfg.id)
 		}()
 	}
 	// Live telemetry: the daemon's mux serves /metrics, /healthz and

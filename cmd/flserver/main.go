@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"bofl/internal/faultinject"
 	"bofl/internal/fl"
 	"bofl/internal/ml"
 	"bofl/internal/obs"
@@ -45,12 +46,44 @@ func run(args []string) error {
 		hold     = fs.Duration("hold", 0, "keep the process (and admin endpoints) alive this long after the last round")
 		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 		fanout   = fs.Int("fanout", 0, "round dispatch width: max concurrent participant requests (0 = GOMAXPROCS)")
+
+		quorum      = fs.Float64("quorum", 0, "fraction of selected clients whose updates must arrive for a round to commit (0 = legacy strict/tolerant semantics, >0 implies dropout tolerance)")
+		retries     = fs.Int("retries", 1, "attempts per participant per round (1 = no retries)")
+		retryBudget = fs.Int("retry-budget", 0, "total retries allowed across all participants per round (0 = unbounded)")
+		attemptTO   = fs.Duration("attempt-timeout", 0, "per-attempt timeout before a participant is stripped as a straggler (0 = unbounded)")
+
+		chaosSeed     = fs.Int64("chaos-seed", 0, "seed for the deterministic fault plan (0 = chaos off)")
+		chaosDrop     = fs.Float64("chaos-drop", 0, "per-attempt probability a client drops before training")
+		chaosCrash    = fs.Float64("chaos-crash", 0, "per-attempt probability a client trains but dies before reporting")
+		chaosTimeout  = fs.Float64("chaos-timeout", 0, "per-attempt probability a client hangs past the attempt timeout")
+		chaosCorrupt  = fs.Float64("chaos-corrupt", 0, "per-attempt probability a client ships a corrupt frame (quarantines it)")
+		chaosStraggle = fs.Float64("chaos-straggle", 0, "per-attempt probability a client straggles")
+		chaosStragMin = fs.Duration("chaos-straggle-min", 0, "minimum injected straggler delay")
+		chaosStragMax = fs.Duration("chaos-straggle-max", 30*time.Second, "maximum injected straggler delay")
+		chaosFlaky    = fs.Int("chaos-flaky", 0, "every client fails its first N attempts per round, then recovers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fanout > 0 {
 		parallel.SetWorkers(*fanout)
+	}
+	var policy faultinject.Policy
+	if *chaosSeed != 0 {
+		policy = &faultinject.Plan{
+			Seed: *chaosSeed,
+			Default: faultinject.Profile{
+				FlakyAttempts: *chaosFlaky,
+				Drop:          *chaosDrop,
+				Crash:         *chaosCrash,
+				Timeout:       *chaosTimeout,
+				Corrupt:       *chaosCorrupt,
+				Straggle:      *chaosStraggle,
+				StraggleMin:   *chaosStragMin,
+				StraggleMax:   *chaosStragMax,
+			},
+		}
+		fmt.Printf("chaos plan armed (seed %d)\n", *chaosSeed)
 	}
 
 	global, err := ml.NewMLP(8, 16, 4, 42)
@@ -68,6 +101,14 @@ func run(args []string) error {
 		Selector:             selector,
 		ParticipantsPerRound: *perRound,
 		Seed:                 *seed,
+		Quorum:               *quorum,
+		Retry: fl.RetryConfig{
+			MaxAttempts:    *retries,
+			AttemptTimeout: *attemptTO,
+			Budget:         *retryBudget,
+			Seed:           *seed,
+		},
+		FaultPolicy: policy,
 	})
 	if err != nil {
 		return err
@@ -162,8 +203,13 @@ func orchestrate(srv *fl.Server, rounds int, out io.Writer) error {
 				misses++
 			}
 		}
-		fmt.Fprintf(out, "round %3d: deadline %6.1fs, %d participants, %8.1f J, %d misses\n",
-			res.Round, res.Deadline, len(res.Responses), energy, misses)
+		casualties := ""
+		if len(res.Dropped) > 0 {
+			casualties = fmt.Sprintf(", %d dropped (%d stragglers, %d quarantined)",
+				len(res.Dropped), len(res.Stragglers), len(res.Quarantined))
+		}
+		fmt.Fprintf(out, "round %3d: deadline %6.1fs, %d participants, %8.1f J, %d misses%s\n",
+			res.Round, res.Deadline, len(res.Responses), energy, misses, casualties)
 	}
 	fmt.Fprintln(out, "done; global model aggregated over", rounds, "rounds")
 	return nil

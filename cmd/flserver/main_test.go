@@ -7,6 +7,7 @@ import (
 
 	"bofl/internal/core"
 	"bofl/internal/device"
+	"bofl/internal/faultinject"
 	"bofl/internal/fl"
 	"bofl/internal/ml"
 )
@@ -68,6 +69,60 @@ func TestOrchestratePrintsRounds(t *testing.T) {
 	}
 	if !strings.Contains(out, "done;") {
 		t.Errorf("missing completion line:\n%s", out)
+	}
+}
+
+// TestOrchestrateReportsCasualties drives a chaos-configured federation and
+// checks the per-round summary surfaces dropped participants.
+func TestOrchestrateReportsCasualties(t *testing.T) {
+	global, err := ml.NewMLP(8, 16, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		InitialParams: global.Params(),
+		Jobs:          20,
+		DeadlineRatio: 2,
+		Seed:          1,
+		Quorum:        0.5,
+		Retry:         fl.RetryConfig{MaxAttempts: 1, Seed: 1},
+		FaultPolicy: faultinject.Scripted{
+			{Layer: faultinject.LayerParticipant, Client: "c1", Round: 1}: {Drop: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.JetsonAGX()
+	for i := 0; i < 3; i++ {
+		model, err := ml.NewMLP(8, 16, 4, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ml.Blobs(64, 8, 4, 0.6, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := core.NewPerformant(dev.Space())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := fl.NewClient(fl.ClientConfig{
+			ID: "c" + string(rune('0'+i)), Device: dev, Workload: device.ViT,
+			Model: model, Data: data, BatchSize: 8, LearnRate: 0.1,
+			Controller: ctrl, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(&fl.LocalParticipant{Client: c})
+	}
+	var buf bytes.Buffer
+	if err := orchestrate(srv, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 dropped") {
+		t.Errorf("casualty summary missing:\n%s", buf.String())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bofl/internal/device"
+	"bofl/internal/obs"
 )
 
 func trainedController(t *testing.T, rounds int) (*Controller, *device.Device) {
@@ -128,6 +129,68 @@ func TestRestoreValidation(t *testing.T) {
 		if err := c.Restore(s); err == nil {
 			t.Errorf("bad snapshot %d accepted", i)
 		}
+	}
+}
+
+// TestRestoreReplaysPhaseTransitions is the server-restart-mid-round
+// property: two controllers restored from the same snapshot and driven by
+// identical (same-seed) executors must walk through identical phase
+// transitions, observed via the controller phase gauge. This is what makes a
+// crash/restore during an FL run invisible to the pace-control trajectory.
+func TestRestoreReplaysPhaseTransitions(t *testing.T) {
+	orig, dev := trainedController(t, 10) // mid-run: before exploitation settles
+	snap := orig.Snapshot()
+
+	xmaxLat, err := dev.Latency(device.ViT, smallSpace().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const contRounds = 8
+	deadlines := mkDeadlines(xmaxLat*60*1.1, 2.5, contRounds, 77)
+
+	// continuation restores the snapshot into a fresh controller and runs it
+	// forward, returning the phase-gauge value after every round.
+	continuation := func(execSeed int64) []float64 {
+		t.Helper()
+		tel := obs.NewBoFL(obs.Real{})
+		c, err := New(smallSpace(), Options{Seed: 9, Tau: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetSink(tel)
+		if err := c.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		gauge := tel.Registry.Gauge(obs.MetricControllerPhase, "")
+		if got := gauge.Value(); got != float64(snap.Phase) {
+			t.Fatalf("phase gauge %v right after restore, want %v", got, float64(snap.Phase))
+		}
+		exec := newSimExec(t, dev, device.ViT, execSeed)
+		phases := make([]float64, 0, contRounds)
+		for r := 0; r < contRounds; r++ {
+			if _, err := c.RunRound(60, deadlines[r], exec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.BetweenRounds(); err != nil {
+				t.Fatal(err)
+			}
+			phases = append(phases, gauge.Value())
+		}
+		return phases
+	}
+
+	a, b := continuation(55), continuation(55)
+	transitions := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d after restore: phase gauge %v vs %v — restore is not replayable", i+1, a[i], b[i])
+		}
+		if i > 0 && a[i] != a[i-1] {
+			transitions++
+		}
+	}
+	if a[0] != float64(snap.Phase) && transitions == 0 {
+		t.Logf("note: no phase transition inside the continuation window (phases %v)", a)
 	}
 }
 

@@ -1,0 +1,290 @@
+// Package faultinject is the serving plane's deterministic fault plane: a
+// seeded source of injected failures (dropouts, stragglers, timeouts, corrupt
+// frames, crashes) that the FL call path consults at well-defined points.
+//
+// Real fleets straggle, drop out and return garbage — BouquetFL emulates
+// exactly this hardware diversity, and Falafels shows dropout/straggler
+// behaviour dominates FL energy estimates. Reproducing those behaviours in
+// tests requires faults that are *deterministic*: every Decision is a pure
+// function of (seed, Point), independent of goroutine scheduling or call
+// order, so a chaos scenario replays bit-for-bit from its logged seed.
+//
+// The zero-cost default is NopPolicy: call sites that are handed no policy
+// inject nothing and add no behaviour.
+package faultinject
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// Layer identifies where in the stack a fault is injected. It participates in
+// the per-point hash, so the same client/round/attempt draws independently at
+// each layer.
+type Layer uint8
+
+const (
+	// LayerParticipant faults wrap a Participant.Round call (the server's
+	// dispatch path).
+	LayerParticipant Layer = iota
+	// LayerTransport faults wrap one HTTP round trip.
+	LayerTransport
+	// LayerCodec faults corrupt encoded wire frames.
+	LayerCodec
+)
+
+// String names the layer for error messages.
+func (l Layer) String() string {
+	switch l {
+	case LayerParticipant:
+		return "participant"
+	case LayerTransport:
+		return "transport"
+	case LayerCodec:
+		return "codec"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// Point identifies one injection decision: which client, which round, which
+// attempt, at which layer. Round and Attempt are zero when unknown (e.g. a
+// transport wrapper that cannot see round numbers).
+type Point struct {
+	Layer   Layer
+	Client  string
+	Round   int
+	Attempt int
+}
+
+// Decision is the injected behaviour at one Point. The zero value injects
+// nothing. At most one failure field is set by the built-in policies; Delay
+// composes with success (a straggler that eventually answers).
+type Decision struct {
+	// Drop fails the attempt immediately — the device vanished before doing
+	// any work.
+	Drop bool
+	// Crash fails the attempt after the work ran — the device trained but
+	// died before reporting (its update is lost, its energy is spent).
+	Crash bool
+	// Timeout hangs the attempt past any per-attempt deadline: the caller
+	// charges its full attempt timeout and strips the attempt as a straggler.
+	Timeout bool
+	// Corrupt flips bits in the attempt's encoded frame, which the codec
+	// must reject as a corrupt frame.
+	Corrupt bool
+	// Delay adds straggle latency before the attempt proceeds.
+	Delay time.Duration
+}
+
+// Faulty reports whether the decision injects anything at all.
+func (d Decision) Faulty() bool {
+	return d.Drop || d.Crash || d.Timeout || d.Corrupt || d.Delay > 0
+}
+
+// kind names the dominant injected behaviour for error messages.
+func (d Decision) kind() string {
+	switch {
+	case d.Drop:
+		return "drop"
+	case d.Crash:
+		return "crash"
+	case d.Timeout:
+		return "timeout"
+	case d.Corrupt:
+		return "corrupt"
+	case d.Delay > 0:
+		return "delay"
+	}
+	return "none"
+}
+
+// ErrInjected is the sentinel every injected failure wraps; errors.Is against
+// it distinguishes chaos from organic failures.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FaultError carries the point and decision of one injected failure.
+type FaultError struct {
+	Point    Point
+	Decision Decision
+}
+
+// Error describes the injected fault.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s client=%s round=%d attempt=%d",
+		e.Decision.kind(), e.Point.Layer, e.Point.Client, e.Point.Round, e.Point.Attempt)
+}
+
+// Unwrap ties the error to ErrInjected.
+func (e *FaultError) Unwrap() error { return ErrInjected }
+
+// Errorf builds the canonical error for a faulty decision.
+func (d Decision) Errorf(pt Point) error { return &FaultError{Point: pt, Decision: d} }
+
+// Policy decides the fault behaviour at a point. Implementations MUST be
+// deterministic: the same Point always yields the same Decision, regardless
+// of call order or concurrency, or chaos runs stop being replayable.
+type Policy interface {
+	Decide(Point) Decision
+}
+
+// NopPolicy injects nothing — the default wherever a policy is optional.
+type NopPolicy struct{}
+
+var _ Policy = NopPolicy{}
+
+// Decide returns the zero Decision.
+func (NopPolicy) Decide(Point) Decision { return Decision{} }
+
+// OrNop returns p, or NopPolicy when p is nil, so call sites never
+// nil-check.
+func OrNop(p Policy) Policy {
+	if p == nil {
+		return NopPolicy{}
+	}
+	return p
+}
+
+// Scripted is an exact-match policy for table-driven tests: every Point not
+// present in the map is healthy. Read-only after construction, so safe for
+// concurrent use.
+type Scripted map[Point]Decision
+
+var _ Policy = Scripted{}
+
+// Decide looks the point up verbatim.
+func (s Scripted) Decide(pt Point) Decision { return s[pt] }
+
+// Profile is one client's fault distribution: independent per-attempt
+// probabilities for each fault kind, drawn in a fixed order (flaky, drop,
+// crash, timeout, corrupt, straggle) from the point's hash stream. The zero
+// Profile is healthy.
+type Profile struct {
+	// FlakyAttempts fails the first n attempts of every round with a drop,
+	// then answers — the flaky-then-recover device that retries must absorb.
+	FlakyAttempts int
+	// Drop is the probability the device vanishes before doing work.
+	Drop float64
+	// Crash is the probability the device dies after the work ran.
+	Crash float64
+	// Timeout is the probability the device hangs past the attempt deadline.
+	Timeout float64
+	// Corrupt is the probability the device's frame arrives bit-flipped.
+	Corrupt float64
+	// Straggle is the probability of added latency, drawn uniformly from
+	// [StraggleMin, StraggleMax].
+	Straggle                 float64
+	StraggleMin, StraggleMax time.Duration
+}
+
+// healthy reports whether the profile never injects.
+func (p Profile) healthy() bool {
+	return p.FlakyAttempts == 0 && p.Drop == 0 && p.Crash == 0 &&
+		p.Timeout == 0 && p.Corrupt == 0 && p.Straggle == 0
+}
+
+// Plan is a seeded, per-client fault policy: each client id maps to a
+// Profile (falling back to Default), and every Decision derives from a hash
+// of (Seed, Point) — deterministic and order-independent, so concurrent
+// dispatch over any pool width replays identically. Read-only after
+// construction, so safe for concurrent use.
+type Plan struct {
+	// Seed drives every draw; two Plans with equal seeds and profiles are
+	// behaviourally identical.
+	Seed int64
+	// Default applies to clients without an entry in Client.
+	Default Profile
+	// Client overrides the default per client id.
+	Client map[string]Profile
+}
+
+var _ Policy = (*Plan)(nil)
+
+// Decide draws the point's decision from its hash stream.
+func (p *Plan) Decide(pt Point) Decision {
+	prof, ok := p.Client[pt.Client]
+	if !ok {
+		prof = p.Default
+	}
+	if prof.healthy() {
+		return Decision{}
+	}
+	if pt.Attempt < prof.FlakyAttempts {
+		return Decision{Drop: true}
+	}
+	s := stream{state: PointHash(p.Seed, pt)}
+	if s.unit() < prof.Drop {
+		return Decision{Drop: true}
+	}
+	if s.unit() < prof.Crash {
+		return Decision{Crash: true}
+	}
+	if s.unit() < prof.Timeout {
+		return Decision{Timeout: true}
+	}
+	if s.unit() < prof.Corrupt {
+		return Decision{Corrupt: true}
+	}
+	if s.unit() < prof.Straggle {
+		span := prof.StraggleMax - prof.StraggleMin
+		if span < 0 {
+			span = 0
+		}
+		return Decision{Delay: prof.StraggleMin + time.Duration(s.unit()*float64(span))}
+	}
+	return Decision{}
+}
+
+// PointHash folds a seed and a point into a 64-bit state, the root of that
+// point's private draw stream. Exported so the fl retry path can derive its
+// backoff jitter from the same order-independent construction.
+func PointHash(seed int64, pt Point) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte{byte(pt.Layer)})
+	h.Write([]byte(pt.Client))
+	binary.LittleEndian.PutUint64(b[:], uint64(pt.Round))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(pt.Attempt))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// stream is a tiny splitmix64 generator over a point hash: enough quality for
+// fault draws, zero allocation, and — unlike a shared *rand.Rand — free of
+// cross-goroutine state.
+type stream struct{ state uint64 }
+
+// next advances the splitmix64 state.
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit returns a uniform draw in [0, 1).
+func (s *stream) unit() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// Unit exposes one uniform [0,1) draw for a (seed, point) pair — the
+// building block for deterministic full-jitter backoff.
+func Unit(seed int64, pt Point) float64 {
+	s := stream{state: PointHash(seed, pt)}
+	return s.unit()
+}
+
+// UnitDuration scales d by Unit: a deterministic uniform draw in [0, d).
+func UnitDuration(seed int64, pt Point, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(math.Floor(Unit(seed, pt) * float64(d)))
+}

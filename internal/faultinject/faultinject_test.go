@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNopPolicyInjectsNothing(t *testing.T) {
+	var p Policy = NopPolicy{}
+	for round := 0; round < 50; round++ {
+		d := p.Decide(Point{Client: "c0", Round: round})
+		if d.Faulty() {
+			t.Fatalf("NopPolicy injected %+v", d)
+		}
+	}
+	if OrNop(nil).Decide(Point{}) != (Decision{}) {
+		t.Error("OrNop(nil) not a nop")
+	}
+}
+
+func TestPlanDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{
+			Seed: seed,
+			Default: Profile{
+				Drop: 0.2, Crash: 0.1, Timeout: 0.1, Corrupt: 0.05,
+				Straggle: 0.3, StraggleMin: 10 * time.Millisecond, StraggleMax: time.Second,
+			},
+		}
+	}
+	a, b := mk(7), mk(7)
+	other := mk(8)
+	differs := false
+	for round := 1; round <= 200; round++ {
+		pt := Point{Layer: LayerParticipant, Client: "edge-3", Round: round}
+		da, db := a.Decide(pt), b.Decide(pt)
+		if da != db {
+			t.Fatalf("round %d: same seed diverged: %+v vs %+v", round, da, db)
+		}
+		if da != other.Decide(pt) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical decision streams")
+	}
+}
+
+// TestPlanOrderIndependence is the property that makes chaos replayable under
+// concurrent dispatch: decisions are pure functions of the point, so querying
+// them in any order — or from many goroutines — yields the same stream.
+func TestPlanOrderIndependence(t *testing.T) {
+	plan := &Plan{Seed: 42, Default: Profile{Drop: 0.3, Straggle: 0.4, StraggleMax: time.Second}}
+	points := make([]Point, 0, 300)
+	for r := 1; r <= 30; r++ {
+		for c := 0; c < 10; c++ {
+			points = append(points, Point{Client: string(rune('a' + c)), Round: r})
+		}
+	}
+	forward := make([]Decision, len(points))
+	for i, pt := range points {
+		forward[i] = plan.Decide(pt)
+	}
+	// Reverse order.
+	for i := len(points) - 1; i >= 0; i-- {
+		if got := plan.Decide(points[i]); got != forward[i] {
+			t.Fatalf("point %+v: reverse-order decision %+v != %+v", points[i], got, forward[i])
+		}
+	}
+	// Concurrent queries (run under -race in CI).
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, pt := range points {
+				if got := plan.Decide(pt); got != forward[i] {
+					t.Errorf("point %+v: concurrent decision %+v != %+v", pt, got, forward[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPlanRatesApproximatelyHonored(t *testing.T) {
+	plan := &Plan{Seed: 3, Default: Profile{Drop: 0.3}}
+	drops := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if plan.Decide(Point{Client: "c", Round: i}).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Errorf("drop rate %.3f, want ~0.30", rate)
+	}
+}
+
+func TestPlanPerClientProfiles(t *testing.T) {
+	plan := &Plan{
+		Seed:    1,
+		Default: Profile{},
+		Client:  map[string]Profile{"bad": {Drop: 1}},
+	}
+	for r := 1; r <= 20; r++ {
+		if d := plan.Decide(Point{Client: "good", Round: r}); d.Faulty() {
+			t.Fatalf("default-profile client faulted: %+v", d)
+		}
+		if d := plan.Decide(Point{Client: "bad", Round: r}); !d.Drop {
+			t.Fatalf("drop-rate-1 client survived round %d", r)
+		}
+	}
+}
+
+func TestFlakyThenRecover(t *testing.T) {
+	plan := &Plan{Seed: 5, Default: Profile{FlakyAttempts: 2}}
+	for round := 1; round <= 10; round++ {
+		for attempt := 0; attempt < 5; attempt++ {
+			d := plan.Decide(Point{Client: "f", Round: round, Attempt: attempt})
+			if attempt < 2 && !d.Drop {
+				t.Fatalf("round %d attempt %d: flaky client did not fail", round, attempt)
+			}
+			if attempt >= 2 && d.Faulty() {
+				t.Fatalf("round %d attempt %d: recovered client faulted: %+v", round, attempt, d)
+			}
+		}
+	}
+}
+
+func TestStraggleDelayWithinBounds(t *testing.T) {
+	lo, hi := 50*time.Millisecond, 400*time.Millisecond
+	plan := &Plan{Seed: 9, Default: Profile{Straggle: 1, StraggleMin: lo, StraggleMax: hi}}
+	seen := false
+	for r := 1; r <= 100; r++ {
+		d := plan.Decide(Point{Client: "s", Round: r})
+		if d.Delay == 0 {
+			t.Fatalf("round %d: straggle-rate-1 client did not straggle", r)
+		}
+		if d.Delay < lo || d.Delay >= hi {
+			t.Fatalf("round %d: delay %v outside [%v, %v)", r, d.Delay, lo, hi)
+		}
+		if d.Delay != plan.Decide(Point{Client: "s", Round: r}).Delay {
+			t.Fatal("delay draw not deterministic")
+		}
+		seen = true
+	}
+	if !seen {
+		t.Fatal("no draws")
+	}
+}
+
+func TestScriptedPolicy(t *testing.T) {
+	s := Scripted{
+		{Client: "a", Round: 2}:             {Drop: true},
+		{Client: "b", Round: 2, Attempt: 1}: {Corrupt: true},
+	}
+	if !s.Decide(Point{Client: "a", Round: 2}).Drop {
+		t.Error("scripted drop missing")
+	}
+	if s.Decide(Point{Client: "a", Round: 3}).Faulty() {
+		t.Error("unscripted point faulted")
+	}
+	if !s.Decide(Point{Client: "b", Round: 2, Attempt: 1}).Corrupt {
+		t.Error("scripted corrupt missing")
+	}
+}
+
+func TestFaultErrorWrapsSentinel(t *testing.T) {
+	d := Decision{Timeout: true}
+	err := d.Errorf(Point{Layer: LayerTransport, Client: "x", Round: 3, Attempt: 1})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("FaultError does not wrap ErrInjected")
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Point.Client != "x" || !fe.Decision.Timeout {
+		t.Fatalf("FaultError lost its point/decision: %v", err)
+	}
+	for _, want := range []string{"timeout", "transport", "x"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestUnitDeterministicAndUniformish(t *testing.T) {
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		pt := Point{Client: "j", Round: i}
+		u := Unit(11, pt)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit out of range: %v", u)
+		}
+		if u != Unit(11, pt) {
+			t.Fatal("Unit not deterministic")
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("Unit mean %.3f, want ~0.5", mean)
+	}
+	if UnitDuration(1, Point{Client: "k"}, 0) != 0 {
+		t.Error("UnitDuration(0) != 0")
+	}
+	if d := UnitDuration(1, Point{Client: "k"}, time.Second); d < 0 || d >= time.Second {
+		t.Errorf("UnitDuration %v outside [0, 1s)", d)
+	}
+}

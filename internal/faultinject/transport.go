@@ -1,0 +1,87 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"bofl/internal/simclock"
+)
+
+// Transport injects faults at the HTTP layer: it wraps an http.RoundTripper
+// and applies the policy's LayerTransport decision to every round trip.
+// Drops and crashes become transport errors, timeouts become errors after
+// sleeping the configured hang, delays straggle the response, and corruption
+// flips a bit in the response body — which a binary-frame decoder must then
+// reject as a corrupt frame.
+//
+// The transport cannot see FL round numbers, so Points carry a per-transport
+// monotone attempt counter instead: deterministic as long as the requests
+// through one Transport are issued sequentially (true for one participant's
+// round/retry sequence).
+type Transport struct {
+	// Base performs the real round trips; http.DefaultTransport when nil.
+	Base http.RoundTripper
+	// Policy decides the faults; NopPolicy when nil.
+	Policy Policy
+	// Client is the participant identity used in Points.
+	Client string
+	// Clock drives injected delays and hangs; the real clock when nil.
+	Clock simclock.Clock
+	// Hang is how long an injected Timeout blocks before erroring (standing
+	// in for a peer that answers only after the caller gave up).
+	Hang time.Duration
+
+	attempts atomic.Int64
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// RoundTrip applies the policy's decision around one real round trip.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pt := Point{
+		Layer:   LayerTransport,
+		Client:  t.Client,
+		Attempt: int(t.attempts.Add(1) - 1),
+	}
+	d := OrNop(t.Policy).Decide(pt)
+	clock := t.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	switch {
+	case d.Drop, d.Crash:
+		return nil, d.Errorf(pt)
+	case d.Timeout:
+		clock.Sleep(t.Hang)
+		return nil, d.Errorf(pt)
+	}
+	if d.Delay > 0 {
+		clock.Sleep(d.Delay)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !d.Corrupt {
+		return resp, err
+	}
+
+	// Corrupt the response in flight: flip one bit in the first body byte.
+	// For a binary frame that breaks the magic; for JSON it breaks the
+	// opening brace — either way the decoder must reject, never misread.
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if len(body) > 0 {
+		body[0] ^= 0x01
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}

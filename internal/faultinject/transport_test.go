@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bofl/internal/simclock"
+)
+
+func TestTransportPassThroughWhenHealthy(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}))
+	defer ts.Close()
+
+	hc := &http.Client{Transport: &Transport{Client: "c0"}}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" {
+		t.Errorf("body %q", body)
+	}
+}
+
+func TestTransportDropAndTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	clock := simclock.NewSim(time.Unix(0, 0))
+	// Attempt 0 drops, attempt 1 times out, attempt 2 is healthy.
+	tr := &Transport{
+		Policy: Scripted{
+			{Layer: LayerTransport, Client: "c1", Attempt: 0}: {Drop: true},
+			{Layer: LayerTransport, Client: "c1", Attempt: 1}: {Timeout: true},
+		},
+		Client: "c1",
+		Clock:  clock,
+		Hang:   3 * time.Second,
+	}
+	hc := &http.Client{Transport: tr}
+
+	if _, err := hc.Get(ts.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped attempt returned %v, want injected error", err)
+	}
+	before := clock.Now()
+	if _, err := hc.Get(ts.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("timed-out attempt returned %v, want injected error", err)
+	}
+	if got := clock.Now().Sub(before); got != 3*time.Second {
+		t.Errorf("timeout hung %v of virtual time, want 3s", got)
+	}
+	if _, err := hc.Get(ts.URL); err != nil {
+		t.Fatalf("healthy attempt failed: %v", err)
+	}
+}
+
+func TestTransportDelayStragglesVirtually(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	clock := simclock.NewSim(time.Unix(0, 0))
+	tr := &Transport{
+		Policy: Scripted{{Layer: LayerTransport, Client: "c2", Attempt: 0}: {Delay: 700 * time.Millisecond}},
+		Client: "c2",
+		Clock:  clock,
+	}
+	hc := &http.Client{Transport: tr}
+	if _, err := hc.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != 700*time.Millisecond {
+		t.Errorf("delay advanced %v, want 700ms", got)
+	}
+}
+
+func TestTransportCorruptFlipsFirstBodyBit(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "BFL1rest-of-frame")
+	}))
+	defer ts.Close()
+
+	tr := &Transport{
+		Policy: Scripted{{Layer: LayerTransport, Client: "c3", Attempt: 0}: {Corrupt: true}},
+		Client: "c3",
+	}
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] == 'B' {
+		t.Error("first byte survived corruption")
+	}
+	if body[0] != 'B'^0x01 || string(body[1:]) != "FL1rest-of-frame" {
+		t.Errorf("corruption is not a single bit flip: %q", body)
+	}
+}

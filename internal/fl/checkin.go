@@ -2,6 +2,7 @@ package fl
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,7 +38,7 @@ type Registry struct {
 	mu          sync.Mutex
 	dialTimeout time.Duration
 	participant map[string]Participant // by client id
-	dial        func(baseURL string, timeout time.Duration) (Participant, error)
+	dial        func(ctx context.Context, baseURL string, timeout time.Duration) (Participant, error)
 }
 
 // NewRegistry creates an empty registry. dialTimeout bounds the verification
@@ -46,9 +47,7 @@ func NewRegistry(dialTimeout time.Duration) *Registry {
 	return &Registry{
 		dialTimeout: dialTimeout,
 		participant: make(map[string]Participant),
-		dial: func(baseURL string, timeout time.Duration) (Participant, error) {
-			return DialParticipant(baseURL, timeout)
-		},
+		dial:        DialParticipantContext,
 	}
 }
 
@@ -56,10 +55,17 @@ func NewRegistry(dialTimeout time.Duration) *Registry {
 // resulting participant. Re-registering an id replaces the previous entry
 // (devices reconnect with new addresses).
 func (r *Registry) CheckIn(req CheckinRequest) error {
+	return r.CheckInContext(context.Background(), req)
+}
+
+// CheckInContext is CheckIn with a caller-supplied context: a cancelled or
+// expired ctx aborts the dial-back immediately instead of hanging on a dead
+// or unresponsive client endpoint.
+func (r *Registry) CheckInContext(ctx context.Context, req CheckinRequest) error {
 	if req.ClientID == "" || req.BaseURL == "" {
 		return fmt.Errorf("fl: check-in needs clientId and baseUrl, got %+v", req)
 	}
-	p, err := r.dial(req.BaseURL, r.dialTimeout)
+	p, err := r.dial(ctx, req.BaseURL, r.dialTimeout)
 	if err != nil {
 		return fmt.Errorf("fl: check-in dial-back %s: %w", req.BaseURL, err)
 	}
@@ -106,7 +112,7 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("decode check-in: %v", err), http.StatusBadRequest)
 			return
 		}
-		if err := r.CheckIn(body); err != nil {
+		if err := r.CheckInContext(req.Context(), body); err != nil {
 			writeJSON(w, CheckinResponse{Accepted: false, Message: err.Error()})
 			return
 		}
@@ -118,12 +124,24 @@ func (r *Registry) Handler() http.Handler {
 // CheckIn is the client-side call: announce this client's endpoint to the
 // server's registry.
 func CheckIn(serverURL string, req CheckinRequest, timeout time.Duration) error {
+	return CheckInContext(context.Background(), serverURL, req, timeout)
+}
+
+// CheckInContext is CheckIn honoring a caller context: cancellation or a
+// context deadline aborts the POST mid-flight — a client daemon retrying
+// against a dead or hung server stays responsive to shutdown.
+func CheckInContext(ctx context.Context, serverURL string, req CheckinRequest, timeout time.Duration) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("fl: encode check-in: %w", err)
 	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, serverURL+"/v1/checkin", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fl: build check-in request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", ContentTypeJSON)
 	hc := &http.Client{Timeout: timeout, Transport: flTransport}
-	resp, err := hc.Post(serverURL+"/v1/checkin", ContentTypeJSON, bytes.NewReader(body))
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("fl: check-in with %s: %w", serverURL, err)
 	}

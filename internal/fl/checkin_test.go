@@ -1,6 +1,9 @@
 package fl
 
 import (
+	"context"
+	"errors"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -78,10 +81,58 @@ func TestCheckinValidation(t *testing.T) {
 	}
 }
 
+// TestCheckinContextCancelsAgainstHungServer is the regression test for the
+// dead-server hang: a listener that accepts connections but never writes a
+// byte used to block CheckIn for its full client timeout (or forever with
+// timeout 0). With a context the call must return as soon as the context
+// expires.
+func TestCheckinContextCancelsAgainstHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		// Accept and hold connections open without ever responding.
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// Client timeout 0 = unbounded: only the context can end this call.
+	err = CheckInContext(ctx, "http://"+ln.Addr().String(), CheckinRequest{ClientID: "c", BaseURL: "http://x"}, 0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("check-in against a hung server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("check-in blocked %v past its context", elapsed)
+	}
+
+	// The registry dial-back path honors its context the same way.
+	reg := NewRegistry(0)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	err = reg.CheckInContext(ctx2, CheckinRequest{ClientID: "c", BaseURL: "http://" + ln.Addr().String()})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dial-back err %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestCheckinReplaceAndDrop(t *testing.T) {
 	reg := NewRegistry(30 * time.Second)
 	fake := &reportingParticipant{id: "edge-1"}
-	reg.dial = func(baseURL string, timeout time.Duration) (Participant, error) {
+	reg.dial = func(ctx context.Context, baseURL string, timeout time.Duration) (Participant, error) {
 		return fake, nil
 	}
 	if err := reg.CheckIn(CheckinRequest{ClientID: "edge-1", BaseURL: "http://a"}); err != nil {
@@ -101,7 +152,7 @@ func TestCheckinReplaceAndDrop(t *testing.T) {
 
 func TestRegistryFeedsServer(t *testing.T) {
 	reg := NewRegistry(time.Second)
-	reg.dial = func(baseURL string, timeout time.Duration) (Participant, error) {
+	reg.dial = func(ctx context.Context, baseURL string, timeout time.Duration) (Participant, error) {
 		return &reportingParticipant{id: baseURL}, nil
 	}
 	for _, u := range []string{"a", "b", "c"} {

@@ -36,6 +36,7 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -57,6 +58,13 @@ const (
 )
 
 var frameMagic = [4]byte{'B', 'F', 'L', '1'}
+
+// ErrCorruptFrame tags every structural decode failure — truncation, bad
+// magic, unknown flags, length-field lies, gzip damage, garbled metadata. The
+// serving plane's quarantine path matches it with errors.Is to tell a client
+// shipping damaged frames apart from a client that merely timed out, so the
+// decoder must never surface a raw io or gzip error for hostile input.
+var ErrCorruptFrame = errors.New("fl: corrupt frame")
 
 const (
 	flagGzip byte = 1 << 0 // payload section is gzip-compressed
@@ -222,40 +230,41 @@ func firstErr(a, b error) error {
 
 // decodeFrame reads one frame from r, unmarshals the metadata into meta and
 // returns the parameter vector. Truncated, oversized or malformed frames
-// return an error; decodeFrame never panics on hostile input.
+// return an error wrapping ErrCorruptFrame; decodeFrame never panics on
+// hostile input.
 func decodeFrame(r io.Reader, meta any) ([]float64, error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("fl: read frame header: %w", err)
+		return nil, fmt.Errorf("%w: read header: %w", ErrCorruptFrame, err)
 	}
 	if !bytes.Equal(hdr[:4], frameMagic[:]) {
-		return nil, fmt.Errorf("fl: bad frame magic %q", hdr[:4])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptFrame, hdr[:4])
 	}
 	flags := hdr[4]
 	if flags&^(flagGzip|flagF32) != 0 {
-		return nil, fmt.Errorf("fl: unknown frame flags %#x", flags)
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptFrame, flags)
 	}
 	metaLen := binary.LittleEndian.Uint32(hdr[5:9])
 	if metaLen > maxMetaBytes {
-		return nil, fmt.Errorf("fl: frame meta %d bytes exceeds %d", metaLen, maxMetaBytes)
+		return nil, fmt.Errorf("%w: meta %d bytes exceeds %d", ErrCorruptFrame, metaLen, maxMetaBytes)
 	}
 	mb := getBytes(int(metaLen))
 	defer putBytes(mb)
 	if _, err := io.ReadFull(r, *mb); err != nil {
-		return nil, fmt.Errorf("fl: read frame meta: %w", err)
+		return nil, fmt.Errorf("%w: read meta: %w", ErrCorruptFrame, err)
 	}
 	if err := json.Unmarshal(*mb, meta); err != nil {
-		return nil, fmt.Errorf("fl: decode frame meta: %w", err)
+		return nil, fmt.Errorf("%w: decode meta: %w", ErrCorruptFrame, err)
 	}
 
 	var tail [8]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return nil, fmt.Errorf("fl: read frame header: %w", err)
+		return nil, fmt.Errorf("%w: read header: %w", ErrCorruptFrame, err)
 	}
 	count := binary.LittleEndian.Uint32(tail[:4])
 	payloadLen := binary.LittleEndian.Uint32(tail[4:8])
 	if count > maxFrameParams {
-		return nil, fmt.Errorf("fl: frame claims %d params, limit %d", count, maxFrameParams)
+		return nil, fmt.Errorf("%w: claims %d params, limit %d", ErrCorruptFrame, count, maxFrameParams)
 	}
 	elem := 8
 	if flags&flagF32 != 0 {
@@ -264,35 +273,38 @@ func decodeFrame(r io.Reader, meta any) ([]float64, error) {
 	rawLen := int(count) * elem
 	if flags&flagGzip == 0 {
 		if int(payloadLen) != rawLen {
-			return nil, fmt.Errorf("fl: frame payload %d bytes, want %d", payloadLen, rawLen)
+			return nil, fmt.Errorf("%w: payload %d bytes, want %d", ErrCorruptFrame, payloadLen, rawLen)
 		}
 	} else if int64(payloadLen) > int64(rawLen)+(64<<10) {
 		// gzip never expands beyond a small framing overhead; anything
 		// bigger is a length-field lie.
-		return nil, fmt.Errorf("fl: gzip payload %d bytes for %d raw", payloadLen, rawLen)
+		return nil, fmt.Errorf("%w: gzip payload %d bytes for %d raw", ErrCorruptFrame, payloadLen, rawLen)
 	}
 
 	payload := getBytes(int(payloadLen))
 	defer putBytes(payload)
 	if _, err := io.ReadFull(r, *payload); err != nil {
-		return nil, fmt.Errorf("fl: read frame payload: %w", err)
+		return nil, fmt.Errorf("%w: read payload: %w", ErrCorruptFrame, err)
 	}
 
 	raw := *payload
 	if flags&flagGzip != 0 {
+		// Truncated or bit-flipped gzip sections surface here as gzip.Reset,
+		// short-inflate or checksum errors — all corrupt-frame conditions, so
+		// the quarantine path can count them.
 		zr := gzipReaderPool.Get().(*gzip.Reader)
 		defer gzipReaderPool.Put(zr)
 		if err := zr.Reset(bytes.NewReader(*payload)); err != nil {
-			return nil, fmt.Errorf("fl: gzip frame payload: %w", err)
+			return nil, fmt.Errorf("%w: gzip payload: %w", ErrCorruptFrame, err)
 		}
 		inflated := getBytes(rawLen)
 		defer putBytes(inflated)
 		if _, err := io.ReadFull(zr, *inflated); err != nil {
-			return nil, fmt.Errorf("fl: inflate frame payload: %w", err)
+			return nil, fmt.Errorf("%w: inflate payload: %w", ErrCorruptFrame, err)
 		}
 		var one [1]byte
 		if n, _ := zr.Read(one[:]); n != 0 {
-			return nil, fmt.Errorf("fl: frame payload inflates past %d declared params", count)
+			return nil, fmt.Errorf("%w: payload inflates past %d declared params", ErrCorruptFrame, count)
 		}
 		raw = *inflated
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -164,13 +166,30 @@ func TestCodecTruncatedFrames(t *testing.T) {
 	}
 	frame := buf.Bytes()
 	for cut := 0; cut < len(frame); cut++ {
-		if _, err := DecodeRoundRequest(bytes.NewReader(frame[:cut])); err == nil {
+		_, err := DecodeRoundRequest(bytes.NewReader(frame[:cut]))
+		if err == nil {
 			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(frame))
+		}
+		if !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("truncation at %d/%d bytes: error %v does not wrap ErrCorruptFrame", cut, len(frame), err)
 		}
 	}
 	// The full frame still decodes.
 	if _, err := DecodeRoundRequest(bytes.NewReader(frame)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// wantCorruptFrame asserts a decode failed with the typed corruption error,
+// so callers (retry classification, quarantine) can rely on errors.Is.
+func wantCorruptFrame(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Errorf("%s accepted", what)
+		return
+	}
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("%s: error %v does not wrap ErrCorruptFrame", what, err)
 	}
 }
 
@@ -186,39 +205,34 @@ func TestCodecMalformedFrames(t *testing.T) {
 	t.Run("bad magic", func(t *testing.T) {
 		f := valid()
 		f[0] = 'X'
-		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
-			t.Error("bad magic accepted")
-		}
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "bad magic")
 	})
 	t.Run("unknown flags", func(t *testing.T) {
 		f := valid()
 		f[4] |= 0x80
-		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
-			t.Error("unknown flag bits accepted")
-		}
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "unknown flag bits")
 	})
 	t.Run("oversized meta claim", func(t *testing.T) {
 		f := valid()
 		binary.LittleEndian.PutUint32(f[5:9], maxMetaBytes+1)
-		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
-			t.Error("oversized meta length accepted")
-		}
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "oversized meta length")
 	})
 	t.Run("oversized param claim", func(t *testing.T) {
 		f := valid()
 		metaLen := binary.LittleEndian.Uint32(f[5:9])
 		binary.LittleEndian.PutUint32(f[9+metaLen:], maxFrameParams+1)
-		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
-			t.Error("oversized param count accepted")
-		}
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "oversized param count")
 	})
 	t.Run("payload length mismatch", func(t *testing.T) {
 		f := valid()
 		metaLen := binary.LittleEndian.Uint32(f[5:9])
 		binary.LittleEndian.PutUint32(f[13+metaLen:], 1)
-		if _, err := DecodeRoundRequest(bytes.NewReader(f)); err == nil {
-			t.Error("payload/count mismatch accepted")
-		}
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "payload/count mismatch")
 	})
 	t.Run("non-json meta", func(t *testing.T) {
 		var buf bytes.Buffer
@@ -231,10 +245,42 @@ func TestCodecMalformedFrames(t *testing.T) {
 		binary.LittleEndian.PutUint32(lb[:], 0)
 		buf.Write(lb[:]) // count 0
 		buf.Write(lb[:]) // payload 0
-		if _, err := DecodeRoundRequest(&buf); err == nil {
-			t.Error("garbage meta accepted")
-		}
+		_, err := DecodeRoundRequest(&buf)
+		wantCorruptFrame(t, err, "garbage meta")
 	})
+}
+
+// TestCodecTruncatedGzip cuts a gzip-compressed frame inside the deflate
+// stream at every offset past the header: the inflater must surface a typed
+// corruption error, never a panic, hang, or silent short read.
+func TestCodecTruncatedGzip(t *testing.T) {
+	// Inexact values force the 8-byte element path so 8·n crosses the gzip
+	// threshold.
+	params := make([]float64, gzipThreshold/8+64)
+	for i := range params {
+		params[i] = 0.1 + float64(i%7)
+	}
+	var buf bytes.Buffer
+	if err := EncodeRoundRequest(&buf, sampleRequest(params)); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if frame[4]&flagGzip == 0 {
+		t.Fatalf("frame of %d params did not take the gzip path", len(params))
+	}
+	// Step through the compressed payload region in strides; every prefix
+	// must fail typed.
+	for cut := len(frame) / 2; cut < len(frame); cut += 97 {
+		_, err := DecodeRoundRequest(bytes.NewReader(frame[:cut]))
+		wantCorruptFrame(t, err, fmt.Sprintf("gzip truncation at %d/%d", cut, len(frame)))
+	}
+	// A bit flip inside the deflate stream must also surface typed: either
+	// the checksum or the payload-length check catches it.
+	flipped := bytes.Clone(frame)
+	flipped[len(flipped)/2] ^= 0x10
+	if _, err := DecodeRoundRequest(bytes.NewReader(flipped)); err != nil {
+		wantCorruptFrame(t, err, "gzip bit flip")
+	}
 }
 
 // TestCodecWireSavings pins the acceptance bar: on a CNN-sized vector of
@@ -296,6 +342,28 @@ func FuzzCodec(f *testing.F) {
 	}
 	f.Add([]byte("BFL1"))
 	f.Add([]byte{})
+	// Damaged-wire seeds: truncations (including mid-gzip) and single bit
+	// flips of otherwise valid frames, steering the fuzzer toward the
+	// corruption-detection paths the chaos harness depends on.
+	{
+		big := make([]float64, gzipThreshold/8+16)
+		for i := range big {
+			big[i] = 0.1 + float64(i%5) // inexact → 8-byte path → gzip frame
+		}
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, sampleRequest(big)); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		f.Add(frame[:len(frame)/2]) // cut inside the deflate stream
+		f.Add(frame[:9])            // cut inside the meta section
+		f.Add(frame[:len(frame)-1]) // one byte short
+		for _, off := range []int{0, 4, 9, len(frame) / 2, len(frame) - 1} {
+			flipped := bytes.Clone(frame)
+			flipped[off] ^= 0x01
+			f.Add(flipped)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRoundRequest(bytes.NewReader(data))

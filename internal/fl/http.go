@@ -2,6 +2,7 @@ package fl
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -221,6 +222,13 @@ func (p *HTTPParticipant) SetSink(s obs.Sink) { p.sink = obs.OrNop(s) }
 // codecs at dial time.
 func (p *HTTPParticipant) SetBinary(on bool) { p.binary = on }
 
+// SetTransport replaces the participant's HTTP round-tripper — the hook the
+// chaos harness uses to wrap the shared keep-alive transport in a
+// faultinject.Transport. The client's timeout is preserved.
+func (p *HTTPParticipant) SetTransport(rt http.RoundTripper) {
+	p.client = &http.Client{Timeout: p.client.Timeout, Transport: rt}
+}
+
 // Codec reports the negotiated round codec.
 func (p *HTTPParticipant) Codec() string {
 	if p.binary {
@@ -241,8 +249,24 @@ var _ Participant = (*HTTPParticipant)(nil)
 // participants share one keep-alive transport, so per-round requests reuse
 // established connections.
 func DialParticipant(baseURL string, timeout time.Duration) (*HTTPParticipant, error) {
+	return dialParticipant(context.Background(), baseURL, timeout)
+}
+
+// DialParticipantContext is DialParticipant honoring a caller context, so a
+// dial against a dead or hung endpoint aborts on cancellation instead of
+// waiting out the full client timeout. It returns the Participant interface
+// to match the Registry's dial hook.
+func DialParticipantContext(ctx context.Context, baseURL string, timeout time.Duration) (Participant, error) {
+	return dialParticipant(ctx, baseURL, timeout)
+}
+
+func dialParticipant(ctx context.Context, baseURL string, timeout time.Duration) (*HTTPParticipant, error) {
 	hc := &http.Client{Timeout: timeout, Transport: flTransport}
-	resp, err := hc.Get(baseURL + "/v1/info")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/info", nil)
+	if err != nil {
+		return nil, fmt.Errorf("fl: dial %s: %w", baseURL, err)
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("fl: dial %s: %w", baseURL, err)
 	}

@@ -1,0 +1,218 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bofl/internal/core"
+	"bofl/internal/faultinject"
+	"bofl/internal/obs"
+	"bofl/internal/simclock"
+)
+
+// stubParticipant counts invocations and returns a canned response, so retry
+// tests can see exactly how many real calls each policy allowed through.
+type stubParticipant struct {
+	id    string
+	calls int
+	err   error
+}
+
+func (p *stubParticipant) ID() string                        { return p.id }
+func (p *stubParticipant) TMinFor(jobs int) (float64, error) { return 1, nil }
+func (p *stubParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	p.calls++
+	if p.err != nil {
+		return RoundResponse{}, p.err
+	}
+	return RoundResponse{
+		ClientID:    p.id,
+		Params:      []float64{1, 2, 3},
+		NumExamples: 10,
+		Report:      core.RoundReport{Round: req.Round, DeadlineMet: true},
+	}, nil
+}
+
+func TestCallerDefaultIsBareCall(t *testing.T) {
+	c := newRoundCaller(RetryConfig{}, nil, nil)
+	p := &stubParticipant{id: "c0"}
+	resp, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.calls != 1 {
+		t.Errorf("default caller made %d calls, want 1", p.calls)
+	}
+	if resp.ClientID != "c0" || len(resp.Params) != 3 {
+		t.Errorf("response mangled: %+v", resp)
+	}
+}
+
+func TestCallerRetriesTransientDrop(t *testing.T) {
+	// Attempts 0 and 1 drop, attempt 2 is clean.
+	policy := &faultinject.Plan{Seed: 1, Default: faultinject.Profile{FlakyAttempts: 2}}
+	clock := simclock.NewSim(time.Unix(0, 0))
+	tel := obs.NewBoFL(obs.Real{})
+	c := newRoundCaller(RetryConfig{MaxAttempts: 4, Seed: 1}, policy, clock)
+	c.resetBudget()
+	p := &stubParticipant{id: "flaky"}
+
+	resp, err := c.call(p, RoundRequest{Round: 3}, tel)
+	if err != nil {
+		t.Fatalf("flaky client never recovered: %v", err)
+	}
+	if resp.ClientID != "flaky" {
+		t.Errorf("response %+v", resp)
+	}
+	if p.calls != 1 {
+		t.Errorf("dropped attempts reached the participant: %d calls", p.calls)
+	}
+	if got := tel.Registry.Counter(obs.MetricFLRetries, "").Value(); got != 2 {
+		t.Errorf("retries counter %v, want 2", got)
+	}
+	if clock.Now().Equal(time.Unix(0, 0)) {
+		t.Error("backoff advanced no virtual time")
+	}
+}
+
+func TestCallerCorruptFrameNotRetried(t *testing.T) {
+	policy := faultinject.Scripted{
+		{Layer: faultinject.LayerParticipant, Client: "c", Round: 1, Attempt: 0}: {Corrupt: true},
+	}
+	tel := obs.NewBoFL(obs.Real{})
+	c := newRoundCaller(RetryConfig{MaxAttempts: 5}, policy, simclock.NewSim(time.Unix(0, 0)))
+	p := &stubParticipant{id: "c"}
+	_, err := c.call(p, RoundRequest{Round: 1}, tel)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err %v, want ErrCorruptFrame", err)
+	}
+	if p.calls != 1 {
+		t.Errorf("corrupt frame retried: %d calls", p.calls)
+	}
+	if got := tel.Registry.Counter(obs.MetricFLRetries, "").Value(); got != 0 {
+		t.Errorf("retries counter %v, want 0", got)
+	}
+}
+
+func TestCallerRetryBudgetExhausts(t *testing.T) {
+	// Every attempt drops; budget allows only 2 retries for the whole round.
+	policy := &faultinject.Plan{Seed: 2, Default: faultinject.Profile{Drop: 1}}
+	c := newRoundCaller(RetryConfig{MaxAttempts: 10, Budget: 2, Seed: 2}, policy, simclock.NewSim(time.Unix(0, 0)))
+	c.resetBudget()
+	p := &stubParticipant{id: "dead"}
+	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	if !errors.Is(err, errBudget) {
+		t.Fatalf("err %v, want budget exhaustion", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("budget error lost the underlying cause: %v", err)
+	}
+	// A fresh round re-arms the budget.
+	c.resetBudget()
+	if !c.takeBudget() || !c.takeBudget() || c.takeBudget() {
+		t.Error("budget did not re-arm to exactly 2")
+	}
+}
+
+func TestCallerTimeoutStripsStraggler(t *testing.T) {
+	policy := faultinject.Scripted{
+		{Layer: faultinject.LayerParticipant, Client: "slow", Round: 1, Attempt: 0}: {Timeout: true},
+	}
+	clock := simclock.NewSim(time.Unix(0, 0))
+	c := newRoundCaller(RetryConfig{AttemptTimeout: 2 * time.Second}, policy, clock)
+	p := &stubParticipant{id: "slow"}
+	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	if !errors.Is(err, errStraggler) {
+		t.Fatalf("err %v, want straggler", err)
+	}
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != 2*time.Second {
+		t.Errorf("timeout charged %v of virtual time, want 2s", got)
+	}
+	if p.calls != 0 {
+		t.Errorf("timed-out attempt reached the participant: %d calls", p.calls)
+	}
+}
+
+func TestCallerDelayPastTimeoutIsStraggler(t *testing.T) {
+	policy := faultinject.Scripted{
+		{Layer: faultinject.LayerParticipant, Client: "s", Round: 1, Attempt: 0}: {Delay: 3 * time.Second},
+		{Layer: faultinject.LayerParticipant, Client: "s", Round: 2, Attempt: 0}: {Delay: 500 * time.Millisecond},
+	}
+	clock := simclock.NewSim(time.Unix(0, 0))
+	c := newRoundCaller(RetryConfig{AttemptTimeout: time.Second}, policy, clock)
+	p := &stubParticipant{id: "s"}
+
+	if _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop); !errors.Is(err, errStraggler) {
+		t.Fatalf("3s delay under 1s timeout: err %v, want straggler", err)
+	}
+	before := clock.Now()
+	if _, err := c.call(p, RoundRequest{Round: 2}, obs.Nop); err != nil {
+		t.Fatalf("500ms delay under 1s timeout failed: %v", err)
+	}
+	if got := clock.Now().Sub(before); got != 500*time.Millisecond {
+		t.Errorf("in-bound delay advanced %v, want 500ms", got)
+	}
+}
+
+func TestCallerCrashLosesCompletedWork(t *testing.T) {
+	policy := faultinject.Scripted{
+		{Layer: faultinject.LayerParticipant, Client: "c", Round: 1, Attempt: 0}: {Crash: true},
+	}
+	c := newRoundCaller(RetryConfig{}, policy, simclock.NewSim(time.Unix(0, 0)))
+	p := &stubParticipant{id: "c"}
+	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err %v, want injected crash", err)
+	}
+	if p.calls != 1 {
+		t.Errorf("crash-mid-round should still invoke the participant once, got %d", p.calls)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	c := newRoundCaller(RetryConfig{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 800 * time.Millisecond, Seed: 7}, nil, nil)
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := 100 * time.Millisecond << uint(attempt)
+		if ceil > 800*time.Millisecond {
+			ceil = 800 * time.Millisecond
+		}
+		d := c.backoff("cli", 4, attempt)
+		if d < 0 || d >= ceil {
+			t.Errorf("attempt %d: backoff %v outside [0, %v)", attempt, d, ceil)
+		}
+		if d != c.backoff("cli", 4, attempt) {
+			t.Errorf("attempt %d: backoff not deterministic", attempt)
+		}
+	}
+	// Different clients de-synchronize.
+	same := true
+	for attempt := 0; attempt < 8 && same; attempt++ {
+		if c.backoff("cli-a", 1, attempt) != c.backoff("cli-b", 1, attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two clients drew identical jitter on every attempt")
+	}
+}
+
+func TestCallerParticipantErrorRetries(t *testing.T) {
+	// Real (non-injected) participant failures are also retried — the error
+	// taxonomy only exempts corrupt frames.
+	p := &stubParticipant{id: "e", err: fmt.Errorf("transient network blip")}
+	c := newRoundCaller(RetryConfig{MaxAttempts: 3}, nil, simclock.NewSim(time.Unix(0, 0)))
+	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	if err == nil || p.calls != 3 {
+		t.Fatalf("calls=%d err=%v, want 3 attempts and the last error", p.calls, err)
+	}
+}
+
+func TestCorruptFrameGoesThroughRealCodec(t *testing.T) {
+	resp := RoundResponse{ClientID: "x", Params: []float64{1, 2}, NumExamples: 5}
+	err := corruptFrame(resp, faultinject.Point{Layer: faultinject.LayerCodec, Client: "x", Round: 9})
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corruptFrame returned %v, want ErrCorruptFrame", err)
+	}
+}

@@ -1,0 +1,141 @@
+package fl
+
+import (
+	"fmt"
+	"testing"
+
+	"bofl/internal/faultinject"
+)
+
+func mkStubPool(n int) []Participant {
+	pool := make([]Participant, n)
+	for i := range pool {
+		pool[i] = &stubParticipant{id: fmt.Sprintf("c%02d", i)}
+	}
+	return pool
+}
+
+// TestRandomSelectorDeterministicPerSeed pins selection reproducibility: two
+// selectors with the same seed pick identical sequences round after round —
+// the property chaos replays rely on — while a different seed diverges.
+func TestRandomSelectorDeterministicPerSeed(t *testing.T) {
+	pool := mkStubPool(20)
+	a, b := NewRandomSelector(13), NewRandomSelector(13)
+	other := NewRandomSelector(14)
+	diverged := false
+	for round := 1; round <= 50; round++ {
+		sa, sb := a.Select(round, pool, 7), b.Select(round, pool, 7)
+		so := other.Select(round, pool, 7)
+		if len(sa) != 7 {
+			t.Fatalf("round %d: selected %d, want 7", round, len(sa))
+		}
+		for i := range sa {
+			if sa[i].ID() != sb[i].ID() {
+				t.Fatalf("round %d: same seed diverged at slot %d: %s vs %s",
+					round, i, sa[i].ID(), sb[i].ID())
+			}
+			if i < len(so) && sa[i].ID() != so[i].ID() {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 13 and 14 produced identical selection streams")
+	}
+}
+
+// TestRandomSelectorSamplesWithoutReplacement checks every selection is
+// duplicate-free and clamped to the pool size, across shrinking pools.
+func TestRandomSelectorSamplesWithoutReplacement(t *testing.T) {
+	s := NewRandomSelector(3)
+	for n := 12; n >= 1; n-- {
+		pool := mkStubPool(n)
+		for _, k := range []int{1, n / 2, n, n + 5} {
+			if k < 1 {
+				k = 1
+			}
+			sel := s.Select(1, pool, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(sel) != want {
+				t.Fatalf("pool %d k %d: selected %d, want %d", n, k, len(sel), want)
+			}
+			seen := map[string]bool{}
+			for _, p := range sel {
+				if seen[p.ID()] {
+					t.Fatalf("pool %d k %d: %s selected twice", n, k, p.ID())
+				}
+				seen[p.ID()] = true
+			}
+		}
+	}
+}
+
+// TestServerNeverSelectsQuarantined is the property test for quarantine under
+// a shrinking healthy pool: one client is corrupted (and quarantined) per
+// round, and no quarantined client must ever appear in a later round's
+// responses or dropped list — across both selector implementations.
+func TestServerNeverSelectsQuarantined(t *testing.T) {
+	for name, mk := range map[string]func() Selector{
+		"random": func() Selector { return NewRandomSelector(5) },
+		"all":    func() Selector { return AllSelector{} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 10
+			// Round r corrupts client c(r-1)'s first attempt, quarantining
+			// one more client each round.
+			script := faultinject.Scripted{}
+			for r := 1; r < n; r++ {
+				script[faultinject.Point{
+					Layer:  faultinject.LayerParticipant,
+					Client: fmt.Sprintf("c%02d", r-1),
+					Round:  r,
+				}] = faultinject.Decision{Corrupt: true}
+			}
+			srv, err := NewServer(ServerConfig{
+				InitialParams:        []float64{0, 0, 0},
+				Jobs:                 5,
+				DeadlineRatio:        2,
+				Selector:             mk(),
+				ParticipantsPerRound: n, // ask for everyone still eligible
+				TolerateDropouts:     true,
+				FaultPolicy:          script,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range mkStubPool(n) {
+				srv.Register(p)
+			}
+
+			quarantined := map[string]bool{}
+			for r := 1; r < n; r++ {
+				res, err := srv.RunRound()
+				if err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+				for _, id := range append(res.Dropped, responseIDs(res)...) {
+					if quarantined[id] {
+						t.Fatalf("round %d: previously quarantined %s was selected", r, id)
+					}
+				}
+				for _, id := range res.Quarantined {
+					quarantined[id] = true
+				}
+			}
+			if got := len(srv.QuarantinedIDs()); got != n-1 {
+				t.Errorf("quarantined %d clients, want %d", got, n-1)
+			}
+		})
+	}
+}
+
+func responseIDs(res RoundResult) []string {
+	out := make([]string, 0, len(res.Responses))
+	for _, r := range res.Responses {
+		out = append(out, r.ClientID)
+	}
+	return out
+}

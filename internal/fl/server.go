@@ -3,12 +3,15 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
 	"bofl/internal/core"
+	"bofl/internal/faultinject"
 	"bofl/internal/obs"
 	"bofl/internal/parallel"
+	"bofl/internal/simclock"
 )
 
 // RoundRequest is the server → client message starting one training round
@@ -137,6 +140,20 @@ type ServerConfig struct {
 	// round's aggregation instead of aborting it. A round still fails when
 	// every selected participant drops.
 	TolerateDropouts bool
+	// Quorum is the fraction of selected participants whose updates must be
+	// aggregated for a round to commit: required = ⌈Quorum·n⌉. 0 keeps the
+	// legacy semantics (tolerant rounds need ≥ 1 survivor, strict rounds need
+	// all). Any positive quorum implies dropout tolerance. Must be ≤ 1.
+	Quorum float64
+	// Retry bounds the per-participant retry loop; the zero value disables
+	// retries (single attempt, unbounded).
+	Retry RetryConfig
+	// FaultPolicy injects deterministic faults into the participant call
+	// path; nil means no injection.
+	FaultPolicy faultinject.Policy
+	// Clock drives injected delays and retry backoff; defaults to the real
+	// clock. Tests pass a *simclock.Sim so chaos runs in virtual time.
+	Clock simclock.Clock
 }
 
 // Server orchestrates federated rounds: selection, deadline assignment,
@@ -151,6 +168,11 @@ type Server struct {
 	rng    *rand.Rand
 	round  int
 	sink   obs.Sink
+	caller *roundCaller
+
+	// quarantined holds clients excluded from selection after shipping a
+	// corrupt frame; they stay out until ClearQuarantine.
+	quarantined map[string]bool
 
 	// acc is the streaming FedAvg accumulator, reused across rounds.
 	acc []float64
@@ -176,15 +198,46 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Selector == nil {
 		cfg.Selector = AllSelector{}
 	}
+	if cfg.Quorum < 0 || cfg.Quorum > 1 {
+		return nil, fmt.Errorf("fl: quorum %v must be in [0, 1]", cfg.Quorum)
+	}
 	global := make([]float64, len(cfg.InitialParams))
 	copy(global, cfg.InitialParams)
 	return &Server{
-		cfg:    cfg,
-		global: global,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		sink:   obs.Nop,
+		cfg:         cfg,
+		global:      global,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		sink:        obs.Nop,
+		caller:      newRoundCaller(cfg.Retry, cfg.FaultPolicy, cfg.Clock),
+		quarantined: make(map[string]bool),
 	}, nil
 }
+
+// tolerant reports whether the server strips failed participants instead of
+// aborting the round. A positive quorum implies tolerance.
+func (s *Server) tolerant() bool {
+	return s.cfg.TolerateDropouts || s.cfg.Quorum > 0
+}
+
+// Quarantine excludes a client from all future selection (until cleared).
+func (s *Server) Quarantine(id string) {
+	if !s.quarantined[id] {
+		s.quarantined[id] = true
+		s.sink.Count(obs.MetricFLQuarantines, 1)
+	}
+}
+
+// QuarantinedIDs returns the currently quarantined client ids (unordered).
+func (s *Server) QuarantinedIDs() []string {
+	out := make([]string, 0, len(s.quarantined))
+	for id := range s.quarantined {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ClearQuarantine re-admits a client to the selection pool.
+func (s *Server) ClearQuarantine(id string) { delete(s.quarantined, id) }
 
 // Register adds a participant to the pool.
 func (s *Server) Register(p Participant) {
@@ -209,8 +262,15 @@ type RoundResult struct {
 	Responses []RoundResponse    `json:"responses"`
 	Reports   []core.RoundReport `json:"-"`
 	// Dropped lists the ids of selected participants that failed or missed
-	// the deadline this round (populated when TolerateDropouts is set).
+	// the deadline this round (populated in dropout-tolerant rounds). It is
+	// a superset of Stragglers and Quarantined.
 	Dropped []string `json:"dropped,omitempty"`
+	// Stragglers lists participants stripped for exceeding the attempt
+	// timeout.
+	Stragglers []string `json:"stragglers,omitempty"`
+	// Quarantined lists participants excluded this round for shipping a
+	// corrupt frame; they stay out of future selection.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // RunRound executes one full FL round: select participants, assign a
@@ -225,8 +285,23 @@ func (s *Server) RunRound() (RoundResult, error) {
 	endRound := s.sink.Span(obs.SpanFLRound)
 	defer endRound()
 
+	// Quarantined clients are filtered out before selection, so every
+	// Selector implementation stays quarantine-safe for free.
+	eligible := s.pool
+	if len(s.quarantined) > 0 {
+		eligible = make([]Participant, 0, len(s.pool))
+		for _, p := range s.pool {
+			if !s.quarantined[p.ID()] {
+				eligible = append(eligible, p)
+			}
+		}
+		if len(eligible) == 0 {
+			return RoundResult{}, fmt.Errorf("fl: round %d: every registered participant is quarantined", s.round)
+		}
+	}
+
 	endSelect := s.sink.Span(obs.SpanFLSelect)
-	selected := s.cfg.Selector.Select(s.round, s.pool, s.cfg.ParticipantsPerRound)
+	selected := s.cfg.Selector.Select(s.round, eligible, s.cfg.ParticipantsPerRound)
 	endSelect()
 	if len(selected) == 0 {
 		return RoundResult{}, fmt.Errorf("fl: selector chose no participants in round %d", s.round)
@@ -264,6 +339,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 	// response buffer of the old two-phase design is gone.
 	endExecute := s.sink.Span(obs.SpanFLExecute)
 	n := len(selected)
+	s.caller.resetBudget()
 	if len(s.acc) != len(s.global) {
 		s.acc = make([]float64, len(s.global))
 	}
@@ -295,12 +371,12 @@ func (s *Server) RunRound() (RoundResult, error) {
 				scratch = make([]float64, len(s.global))
 			}
 			copy(scratch, s.global)
-			resp, err := selected[i].Round(RoundRequest{
+			resp, err := s.caller.call(selected[i], RoundRequest{
 				Round:    s.round,
 				Params:   scratch,
 				Jobs:     s.cfg.Jobs,
 				Deadline: deadline,
-			})
+			}, s.sink)
 
 			foldMu.Lock()
 			for nextFold != i {
@@ -313,7 +389,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 				// update from aggregation; in strict rounds it is still
 				// aggregated (and only reported), matching the legacy
 				// batch behaviour.
-				if !s.cfg.TolerateDropouts || resp.Report.DeadlineMet {
+				if !s.tolerant() || resp.Report.DeadlineMet {
 					endFold := s.sink.Span(obs.SpanFLFold)
 					switch {
 					case len(resp.Params) != len(s.global):
@@ -352,24 +428,59 @@ func (s *Server) RunRound() (RoundResult, error) {
 		Deadline:  deadline,
 		Responses: make([]RoundResponse, 0, n),
 	}
-	if s.cfg.TolerateDropouts {
+	if s.tolerant() {
 		// Figure 1's dropout path: keep the survivors, record the rest.
+		// Dropped stays the catch-all list; stragglers and quarantines are
+		// additionally tagged (and, for quarantines, excluded from future
+		// selection).
 		for i := range slots {
 			switch {
 			case slots[i].err != nil:
-				result.Dropped = append(result.Dropped, selected[i].ID())
+				id := selected[i].ID()
+				result.Dropped = append(result.Dropped, id)
+				switch {
+				case errors.Is(slots[i].err, ErrCorruptFrame):
+					result.Quarantined = append(result.Quarantined, id)
+					s.Quarantine(id)
+				case errors.Is(slots[i].err, errStraggler):
+					result.Stragglers = append(result.Stragglers, id)
+					s.sink.Count(obs.MetricFLStragglerStrips, 1)
+				}
 			case !slots[i].resp.Report.DeadlineMet:
 				result.Dropped = append(result.Dropped, slots[i].resp.ClientID)
 			default:
 				result.Responses = append(result.Responses, slots[i].resp)
 			}
 		}
+		// Quorum: required = ⌈Quorum·n⌉ of the *selected* participants must
+		// have been folded. With Quorum unset the legacy floor (≥ 1
+		// survivor) applies.
+		required := 1
+		if s.cfg.Quorum > 0 {
+			required = int(math.Ceil(s.cfg.Quorum * float64(n)))
+			if required < 1 {
+				required = 1
+			}
+		}
 		if len(result.Responses) == 0 {
 			return RoundResult{}, fmt.Errorf("fl: round %d: every participant dropped", s.round)
+		}
+		if len(result.Responses) < required {
+			return RoundResult{}, fmt.Errorf("fl: round %d: quorum not met: %d of %d selected reported, need %d",
+				s.round, len(result.Responses), n, required)
+		}
+		if s.cfg.Quorum > 0 && len(result.Responses) < n {
+			// The round commits below full participation: the streaming
+			// fold's deferred normalization renormalizes the weights over
+			// the survivors automatically (see DESIGN.md §8).
+			s.sink.Count(obs.MetricFLQuorumRounds, 1)
 		}
 	} else {
 		for i := range slots {
 			if slots[i].err != nil {
+				if errors.Is(slots[i].err, ErrCorruptFrame) {
+					s.Quarantine(selected[i].ID())
+				}
 				return RoundResult{}, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), slots[i].err)
 			}
 		}

@@ -46,20 +46,25 @@ const (
 	MetricILPNodes      = "bofl_ilp_nodes_total"      // counter: branch-and-bound nodes expanded
 
 	// FL orchestration (internal/fl).
-	MetricFLRounds      = "bofl_fl_rounds_total"        // counter: orchestrated FL rounds
-	MetricFLDropouts    = "bofl_fl_dropouts_total"      // counter: participants dropped from aggregation
-	MetricFLRoundErrors = "bofl_fl_round_errors_total"  // counter: participant round failures seen by the server
-	MetricFLHTTPErrors  = "bofl_fl_http_errors_total"   // counter{endpoint,kind}: transport/decode/status failures
-	MetricFLWireTx      = "bofl_fl_wire_tx_bytes_total" // counter{codec}: serialized bytes sent on the FL wire
-	MetricFLWireRx      = "bofl_fl_wire_rx_bytes_total" // counter{codec}: serialized bytes received on the FL wire
-	SpanFLRound         = "fl_round"                    // span: one server-orchestrated round
-	SpanFLSelect        = "fl_select"                   // span: participant selection
-	SpanFLConfigure     = "fl_configure"                // span: deadline assignment + request build
-	SpanFLExecute       = "fl_execute"                  // span: parallel dispatch until last report
-	SpanFLReport        = "fl_report"                   // span: commit of the normalized global model
-	SpanFLFold          = "fl_fold"                     // span: one streaming FedAvg fold of an arriving update
-	SpanClientRound     = "fl_client_round"             // span: one client-side training round
-	SpanClientWindow    = "fl_client_config_window"     // span: client-side MBO window
+	MetricFLRounds          = "bofl_fl_rounds_total"           // counter: orchestrated FL rounds
+	MetricFLDropouts        = "bofl_fl_dropouts_total"         // counter: participants dropped from aggregation
+	MetricFLRoundErrors     = "bofl_fl_round_errors_total"     // counter: participant round failures seen by the server
+	MetricFLRetries         = "bofl_fl_retries_total"          // counter: participant attempt retries
+	MetricFLStragglerStrips = "bofl_fl_straggler_strips_total" // counter: stragglers stripped from aggregation
+	MetricFLQuorumRounds    = "bofl_fl_quorum_rounds_total"    // counter: rounds finalized below full participation via quorum
+	MetricFLQuarantines     = "bofl_fl_quarantines_total"      // counter: clients quarantined for corrupt frames
+	MetricFLHTTPErrors      = "bofl_fl_http_errors_total"      // counter{endpoint,kind}: transport/decode/status failures
+	MetricFLWireTx          = "bofl_fl_wire_tx_bytes_total"    // counter{codec}: serialized bytes sent on the FL wire
+	MetricFLWireRx          = "bofl_fl_wire_rx_bytes_total"    // counter{codec}: serialized bytes received on the FL wire
+	SpanFLRound             = "fl_round"                       // span: one server-orchestrated round
+	SpanFLSelect            = "fl_select"                      // span: participant selection
+	SpanFLConfigure         = "fl_configure"                   // span: deadline assignment + request build
+	SpanFLExecute           = "fl_execute"                     // span: parallel dispatch until last report
+	SpanFLReport            = "fl_report"                      // span: commit of the normalized global model
+	SpanFLFold              = "fl_fold"                        // span: one streaming FedAvg fold of an arriving update
+	SpanFLRetry             = "fl_retry"                       // span: one backoff wait before a retried attempt
+	SpanClientRound         = "fl_client_round"                // span: one client-side training round
+	SpanClientWindow        = "fl_client_config_window"        // span: client-side MBO window
 )
 
 // NewBoFL builds a Telemetry with every canonical BoFL instrument
@@ -111,10 +116,15 @@ func NewBoFL(clock Clock) *Telemetry {
 	r.Counter(MetricFLRounds, "Orchestrated FL rounds.")
 	r.Counter(MetricFLDropouts, "Participants dropped from aggregation.")
 	r.Counter(MetricFLRoundErrors, "Participant round failures observed by the server.")
+	r.Counter(MetricFLRetries, "Participant round attempts retried after a failure.")
+	r.Counter(MetricFLStragglerStrips, "Stragglers stripped from aggregation after the attempt timeout.")
+	r.Counter(MetricFLQuorumRounds, "Rounds finalized below full participation under a quorum.")
+	r.Counter(MetricFLQuarantines, "Clients quarantined for shipping corrupt frames.")
 	r.Counter(MetricFLHTTPErrors, "FL HTTP transport, decode and status failures.")
 	r.Counter(MetricFLWireTx, "Serialized bytes sent on the FL wire, labeled by codec.")
 	r.Counter(MetricFLWireRx, "Serialized bytes received on the FL wire, labeled by codec.")
 	r.Histogram(SpanFLFold+"_seconds", "Streaming FedAvg fold duration per arriving update.", DurationBuckets)
+	r.Histogram(SpanFLRetry+"_seconds", "Backoff wait before a retried participant attempt.", DurationBuckets)
 
 	return t
 }
