@@ -359,6 +359,89 @@ func BenchmarkGPPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkCholeskyBlocked and BenchmarkCholeskyScalar attribute the
+// factorization speedup layer by layer: same SPD input, blocked panel kernel
+// vs the historical scalar triple loop (which the blocked path matches
+// bit-for-bit; see internal/gp/linalg_test.go).
+func benchCholesky(b *testing.B, factor func(*gp.Matrix) error) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 70
+	spd := benchSPD(rng, n)
+	work := gp.NewMatrix(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.Data, spd.Data)
+		if err := factor(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSPD(rng *rand.Rand, n int) *gp.Matrix {
+	a := gp.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	spd := gp.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * a.At(j, k)
+			}
+			spd.Set(i, j, s)
+		}
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+func BenchmarkCholeskyBlocked(b *testing.B) {
+	benchCholesky(b, gp.CholeskyInPlace)
+}
+
+func BenchmarkCholeskyScalar(b *testing.B) {
+	benchCholesky(b, func(m *gp.Matrix) error {
+		_, err := gp.CholeskyScalar(m)
+		return err
+	})
+}
+
+// BenchmarkPredictBatchFused measures the fused batch predict (kernel sweep,
+// mean dot and variance solve in one pass, zero allocations in steady state)
+// over a candidate-scan-sized batch.
+func BenchmarkPredictBatchFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n, batch = 70, 256
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		ys[i] = rng.NormFloat64()
+	}
+	k, err := gp.NewMatern52(1, []float64{0.3, 0.3, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := gp.Fit(k, 0.05, xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([][]float64, batch)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	mus := make([]float64, batch)
+	sigmas := make([]float64, batch)
+	scratch := make([]float64, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PredictBatchInto(pts, mus, sigmas, scratch)
+	}
+}
+
 func BenchmarkILPSolve(b *testing.B) {
 	// The paper reports ≤ 20 ms per exploitation solve via Gurobi; this
 	// measures the branch-and-bound at realistic scale.
@@ -381,7 +464,7 @@ func BenchmarkILPSolve(b *testing.B) {
 // The default benchmark runs the no-op sink (the production default); the
 // Live variant quantifies the full-telemetry cost — BENCH snapshots compare
 // the two to enforce the <2% NopSink-overhead budget.
-func benchMBOSuggestBatch(b *testing.B, sink obs.Sink) {
+func benchMBOSuggestBatch(b *testing.B, sink obs.Sink, prescreen bool) {
 	dev := device.JetsonAGX()
 	space := dev.Space()
 	candidates := make([][]float64, space.Size())
@@ -403,7 +486,7 @@ func benchMBOSuggestBatch(b *testing.B, sink obs.Sink) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		opt, err := mobo.NewOptimizer(candidates, mobo.Options{Seed: int64(i), Restarts: 2, Iters: 5})
+		opt, err := mobo.NewOptimizer(candidates, mobo.Options{Seed: int64(i), Restarts: 2, Iters: 5, Float32Prescreen: prescreen})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -425,10 +508,17 @@ func benchMBOSuggestBatch(b *testing.B, sink obs.Sink) {
 	reportPoolStats(b, poolBefore)
 }
 
-func BenchmarkMBOSuggestBatch(b *testing.B) { benchMBOSuggestBatch(b, obs.Nop) }
+// The headline acquisition benchmark runs the production-recommended fast
+// configuration (float32 pre-screen on; selections stay bit-identical to the
+// float64 scan, enforced by TestFloat32PrescreenMatchesFloat64). The F64
+// variant scores every candidate with exact float64 arithmetic and isolates
+// the pre-screen's contribution.
+func BenchmarkMBOSuggestBatch(b *testing.B) { benchMBOSuggestBatch(b, obs.Nop, true) }
+
+func BenchmarkMBOSuggestBatchF64(b *testing.B) { benchMBOSuggestBatch(b, obs.Nop, false) }
 
 func BenchmarkMBOSuggestBatchLive(b *testing.B) {
-	benchMBOSuggestBatch(b, obs.NewBoFL(obs.Real{}))
+	benchMBOSuggestBatch(b, obs.NewBoFL(obs.Real{}), true)
 }
 
 func mustConfig(b *testing.B, s device.Space, i int) device.Config {

@@ -83,7 +83,10 @@ func TestFitHyperDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestSuggestBatchDeterministicAcrossWorkers(t *testing.T) {
+// runSuggestBatchModes replays one batch selection on the Jetson AGX space
+// under every execution mode and returns the per-mode suggestion lists.
+func runSuggestBatchModes(t *testing.T, prescreen bool) [][]mobo.Suggestion {
+	t.Helper()
 	dev := device.JetsonAGX()
 	space := dev.Space()
 	candidates := make([][]float64, space.Size())
@@ -104,7 +107,9 @@ func TestSuggestBatchDeterministicAcrossWorkers(t *testing.T) {
 	results := make([][]mobo.Suggestion, len(execModes))
 	for mi, mode := range execModes {
 		withExecMode(mode.procs, mode.workers, func() {
-			opt, err := mobo.NewOptimizer(candidates, mobo.Options{Seed: 5, Restarts: 2, Iters: 5})
+			opt, err := mobo.NewOptimizer(candidates, mobo.Options{
+				Seed: 5, Restarts: 2, Iters: 5, Float32Prescreen: prescreen,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -128,11 +133,30 @@ func TestSuggestBatchDeterministicAcrossWorkers(t *testing.T) {
 			results[mi] = sugg
 		})
 	}
+	return results
+}
+
+func TestSuggestBatchDeterministicAcrossWorkers(t *testing.T) {
+	exact := runSuggestBatchModes(t, false)
 	for mi := 1; mi < len(execModes); mi++ {
-		if !reflect.DeepEqual(results[0], results[mi]) {
+		if !reflect.DeepEqual(exact[0], exact[mi]) {
 			t.Errorf("SuggestBatch differs between %s and %s:\n  %v\nvs\n  %v",
-				execModes[0].name, execModes[mi].name, results[0], results[mi])
+				execModes[0].name, execModes[mi].name, exact[0], exact[mi])
 		}
+	}
+
+	// The float32 pre-screen must be deterministic across worker counts AND
+	// bit-identical to the pure-float64 scan on the real device space.
+	screened := runSuggestBatchModes(t, true)
+	for mi := 1; mi < len(execModes); mi++ {
+		if !reflect.DeepEqual(screened[0], screened[mi]) {
+			t.Errorf("pre-screened SuggestBatch differs between %s and %s",
+				execModes[0].name, execModes[mi].name)
+		}
+	}
+	if !reflect.DeepEqual(exact[0], screened[0]) {
+		t.Errorf("float32 pre-screen changed the selected batch:\n  float64: %v\n  prescreen: %v",
+			exact[0], screened[0])
 	}
 }
 

@@ -14,12 +14,13 @@ import (
 // work (O(C·n·d) kernel evaluations plus O(C·n²) triangular solves);
 // afterwards each posterior query is one O(n) dot product.
 //
-// Because a Kriging-believer ConditionFast update extends the Cholesky
-// factor without touching its first n rows, Extend carries the cache
-// through a fantasy in O(n) per candidate — one kernel evaluation, one dot
-// product against the new factor row and a rank-one update of ‖v‖² —
-// instead of re-solving the O(n²) triangular system. mobo.SuggestBatch
-// builds one cache per surrogate per Fit and extends it per fantasy.
+// Rows are stored in two flat slabs (one for k*, one for v) with a common
+// row stride ≥ n: a cache built with spare stride is extendable in place by
+// a CacheChain, which carries it through a Kriging-believer fantasy in O(n)
+// per candidate — one kernel evaluation, one dot product against the new
+// factor row and a rank-one update of ‖v‖² — with zero copying.
+// mobo.SuggestBatch builds one cache per surrogate per Fit and runs one
+// chain per batch selection.
 //
 // Determinism: the cached quantities are computed by exactly the code path
 // Predict uses, so a base cache reproduces Regressor.Predict bit-for-bit.
@@ -31,10 +32,12 @@ import (
 type KStarCache struct {
 	r          *Regressor
 	candidates [][]float64
-	kstars     [][]float64 // kstars[i] is k(candidates[i], ·) vs r's training set
-	vs         [][]float64 // vs[i] = L⁻¹·kstars[i]
-	dotvv      []float64   // dotvv[i] = ‖vs[i]‖²
-	kxx        []float64   // kxx[i] = k(candidates[i], candidates[i])
+	n          int       // valid row prefix (training-set size)
+	stride     int       // row stride of kstars/vs (≥ n)
+	kstars     []float64 // kstars[i*stride : i*stride+n] is k(candidates[i], ·)
+	vs         []float64 // vs[i*stride : i*stride+n] = L⁻¹·k*
+	dotvv      []float64 // dotvv[i] = ‖vs[i]‖²
+	kxx        []float64 // kxx[i] = k(candidates[i], candidates[i])
 }
 
 // NewKStarCache builds the cross-covariance cache for the given candidates
@@ -42,39 +45,36 @@ type KStarCache struct {
 // mutated. The kernel sweep and triangular solves fan out across the shared
 // worker pool.
 func (r *Regressor) NewKStarCache(candidates [][]float64) *KStarCache {
+	return r.newKStarCache(candidates, len(r.xs))
+}
+
+func (r *Regressor) newKStarCache(candidates [][]float64, stride int) *KStarCache {
 	n := len(r.xs)
 	c := &KStarCache{
 		r:          r,
 		candidates: candidates,
-		kstars:     make([][]float64, len(candidates)),
-		vs:         make([][]float64, len(candidates)),
+		n:          n,
+		stride:     stride,
+		kstars:     make([]float64, len(candidates)*stride),
+		vs:         make([]float64, len(candidates)*stride),
 		dotvv:      make([]float64, len(candidates)),
 		kxx:        make([]float64, len(candidates)),
 	}
 	parallel.ForChunk(len(candidates), func(lo, hi int) {
-		// One backing array per chunk and per field: the rows are
-		// read-only after construction, so sharing them is safe and cuts
-		// allocator traffic.
-		kbuf := make([]float64, (hi-lo)*n)
-		vbuf := make([]float64, (hi-lo)*n)
 		for i := lo; i < hi; i++ {
 			x := candidates[i]
-			ks := kbuf[(i-lo)*n : (i-lo+1)*n]
-			for j, xj := range r.xs {
-				ks[j] = r.kernel.Eval(x, xj)
-			}
-			v := SolveLowerInto(r.chol, ks, vbuf[(i-lo)*n:(i-lo+1)*n])
-			c.kstars[i] = ks
-			c.vs[i] = v
+			ks := c.kstars[i*stride : i*stride+n]
+			kernelRow(r.kernel, x, r.xs, ks)
+			v := SolveLowerInto(r.chol, ks, c.vs[i*stride:i*stride+n])
 			c.dotvv[i] = Dot(v, v)
-			c.kxx[i] = r.kernel.Eval(x, x)
+			c.kxx[i] = priorVariance(r.kernel, x)
 		}
 	})
 	return c
 }
 
 // N returns the training-set size the cached vectors cover.
-func (c *KStarCache) N() int { return len(c.r.xs) }
+func (c *KStarCache) N() int { return c.n }
 
 // Len returns the number of cached candidates.
 func (c *KStarCache) Len() int { return len(c.candidates) }
@@ -84,7 +84,7 @@ func (c *KStarCache) Len() int { return len(c.candidates) }
 // concurrent use.
 func (c *KStarCache) Predict(i int) (mu, sigma float64) {
 	r := c.r
-	muStd := Dot(c.kstars[i], r.alpha)
+	muStd := Dot(c.kstars[i*c.stride:i*c.stride+c.n], r.alpha)
 	varStd := c.kxx[i] - c.dotvv[i]
 	if varStd < 0 {
 		varStd = 0
@@ -92,45 +92,134 @@ func (c *KStarCache) Predict(i int) (mu, sigma float64) {
 	return muStd*r.std + r.mean, math.Sqrt(varStd) * r.std
 }
 
-// Extend returns a cache valid for cond, which must be the regressor
-// produced by c's regressor via ConditionFast(x, y). The extended Cholesky
-// factor shares its first n rows with the original, so each candidate's
-// solve grows by a single forward-substitution step:
+// Extend returns a new cache valid for cond, which must be the regressor
+// produced by c's regressor via ConditionFast(x, y) (or a Fantasy chain).
+// The extended Cholesky factor shares its first n rows with the original, so
+// each candidate's solve grows by a single forward-substitution step:
 //
 //	v'ₙ = (k(candidate, x) − l·v) / d
 //
 // where [lᵀ, d] is the factor's new row. The receiver stays valid for the
-// original regressor (fantasies are transient; the base cache is reused
-// across SuggestBatch calls).
+// original regressor. CacheChain performs the same step in place with zero
+// copying; Extend is the persistent (copying) form.
 func (c *KStarCache) Extend(cond *Regressor, x []float64) (*KStarCache, error) {
-	n := len(c.r.xs)
-	if len(cond.xs) != n+1 {
-		return nil, fmt.Errorf("gp: extend expects a one-point conditioning, got %d → %d training points", n, len(cond.xs))
+	if len(cond.xs) != c.n+1 {
+		return nil, fmt.Errorf("gp: extend expects a one-point conditioning, got %d → %d training points", c.n, len(cond.xs))
 	}
-	lrow := cond.chol.Data[n*cond.chol.Cols : n*cond.chol.Cols+n]
-	d := cond.chol.At(n, n)
+	n := c.n
 	out := &KStarCache{
 		r:          cond,
 		candidates: c.candidates,
-		kstars:     make([][]float64, len(c.candidates)),
-		vs:         make([][]float64, len(c.candidates)),
+		n:          n + 1,
+		stride:     n + 1,
+		kstars:     make([]float64, len(c.candidates)*(n+1)),
+		vs:         make([]float64, len(c.candidates)*(n+1)),
 		dotvv:      make([]float64, len(c.candidates)),
 		kxx:        c.kxx, // prior variances don't depend on the training set
 	}
+	lrow := cond.chol.Data[n*cond.chol.Cols : n*cond.chol.Cols+n]
+	d := cond.chol.At(n, n)
 	parallel.ForChunk(len(c.candidates), func(lo, hi int) {
-		kbuf := make([]float64, (hi-lo)*(n+1))
-		vbuf := make([]float64, (hi-lo)*(n+1))
 		for i := lo; i < hi; i++ {
-			ks := kbuf[(i-lo)*(n+1) : (i-lo+1)*(n+1)]
-			copy(ks, c.kstars[i])
-			ks[n] = cond.kernel.Eval(c.candidates[i], x)
-			v := vbuf[(i-lo)*(n+1) : (i-lo+1)*(n+1)]
-			copy(v, c.vs[i])
-			v[n] = (ks[n] - Dot(lrow, c.vs[i])) / d
-			out.kstars[i] = ks
-			out.vs[i] = v
+			ks := out.kstars[i*(n+1) : (i+1)*(n+1)]
+			copy(ks, c.kstars[i*c.stride:i*c.stride+n])
+			ks[n] = kernel1(cond.kernel, c.candidates[i], x)
+			v := out.vs[i*(n+1) : (i+1)*(n+1)]
+			vOld := c.vs[i*c.stride : i*c.stride+n]
+			copy(v, vOld)
+			v[n] = (ks[n] - Dot(lrow, vOld)) / d
 			out.dotvv[i] = c.dotvv[i] + v[n]*v[n]
 		}
 	})
 	return out, nil
+}
+
+// CacheChain extends a KStarCache through a Kriging-believer fantasy chain
+// in place: one slab copy up front, then each Extend appends a single column
+// to every candidate's cached solve and updates ‖v‖² incrementally — zero
+// copying and zero allocation per step. Only the most recently returned
+// cache view is valid. The base cache is never mutated.
+//
+// The per-candidate arithmetic is identical to KStarCache.Extend's, so a
+// chain of k extensions produces bit-identical cached values to k nested
+// Extend calls.
+type CacheChain struct {
+	base *KStarCache
+	cur  *KStarCache
+}
+
+// NewChain prepares an in-place extension chain with capacity for extra
+// appended observations. The cached rows are copied into pooled slabs once.
+func (c *KStarCache) NewChain(extra int) *CacheChain {
+	stride := c.n + extra
+	cc := &CacheChain{base: c}
+	cur := &KStarCache{
+		r:          c.r,
+		candidates: c.candidates,
+		n:          c.n,
+		stride:     stride,
+		kstars:     getF64(len(c.candidates) * stride),
+		vs:         getF64(len(c.candidates) * stride),
+		dotvv:      getF64(len(c.candidates)),
+		kxx:        c.kxx,
+	}
+	parallel.ForChunk(len(c.candidates), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(cur.kstars[i*stride:i*stride+c.n], c.kstars[i*c.stride:i*c.stride+c.n])
+			copy(cur.vs[i*stride:i*stride+c.n], c.vs[i*c.stride:i*c.stride+c.n])
+		}
+		copy(cur.dotvv[lo:hi], c.dotvv[lo:hi])
+	})
+	cc.cur = cur
+	return cc
+}
+
+// Cur returns the chain's current cache view.
+func (cc *CacheChain) Cur() *KStarCache { return cc.cur }
+
+// Extend advances the chain to cond (the current regressor conditioned on
+// one observation at x) and returns the updated cache view, invalidating the
+// previous one.
+func (cc *CacheChain) Extend(cond *Regressor, x []float64) (*KStarCache, error) {
+	cur := cc.cur
+	n := cur.n
+	if len(cond.xs) != n+1 {
+		return nil, fmt.Errorf("gp: extend expects a one-point conditioning, got %d → %d training points", n, len(cond.xs))
+	}
+	if n >= cur.stride {
+		return nil, fmt.Errorf("gp: cache chain capacity %d exhausted", cur.stride)
+	}
+	stride := cur.stride
+	lrow := cond.chol.Data[n*cond.chol.Cols : n*cond.chol.Cols+n]
+	d := cond.chol.At(n, n)
+	parallel.ForChunk(len(cur.candidates), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ks := cur.kstars[i*stride : i*stride+n+1]
+			ks[n] = kernel1(cond.kernel, cur.candidates[i], x)
+			v := cur.vs[i*stride : i*stride+n+1]
+			v[n] = (ks[n] - Dot(lrow, v[:n])) / d
+			cur.dotvv[i] += v[n] * v[n]
+		}
+	})
+	next := &KStarCache{
+		r:          cond,
+		candidates: cur.candidates,
+		n:          n + 1,
+		stride:     stride,
+		kstars:     cur.kstars,
+		vs:         cur.vs,
+		dotvv:      cur.dotvv,
+		kxx:        cur.kxx,
+	}
+	cc.cur = next
+	return next, nil
+}
+
+// Release returns the chain's slabs to the package pool. The chain and every
+// cache view it returned become invalid; the base cache is unaffected.
+func (cc *CacheChain) Release() {
+	putF64(cc.cur.kstars)
+	putF64(cc.cur.vs)
+	putF64(cc.cur.dotvv)
+	cc.cur, cc.base = nil, nil
 }

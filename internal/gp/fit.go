@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"bofl/internal/parallel"
 )
@@ -27,11 +28,98 @@ type HyperOptions struct {
 	UseRBF bool
 }
 
+// fitWS is the per-restart hyperparameter-search workspace: every
+// log-marginal-likelihood probe reuses the same Gram/factor matrix, solve
+// vectors, kernel structs and parameter buffers, so a full coordinate
+// descent allocates nothing per probe. Pooled across restarts and calls.
+type fitWS struct {
+	chol  *Matrix
+	sy    []float64
+	alpha []float64
+	mat   Matern52
+	rbf   RBF
+	p     []float64
+	cand  []float64
+}
+
+var fitWSPool sync.Pool
+
+func getFitWS(n, dim, nparams int) *fitWS {
+	ws, _ := fitWSPool.Get().(*fitWS)
+	if ws == nil {
+		ws = &fitWS{}
+	}
+	if ws.chol == nil || cap(ws.chol.Data) < n*n {
+		ws.chol = &Matrix{Data: make([]float64, n*n)}
+	}
+	ws.chol.Rows, ws.chol.Cols = n, n
+	ws.chol.Data = ws.chol.Data[:n*n]
+	if cap(ws.sy) < n {
+		ws.sy = make([]float64, n)
+		ws.alpha = make([]float64, n)
+	}
+	if cap(ws.mat.Lengthscales) < dim {
+		ws.mat.Lengthscales = make([]float64, dim)
+		ws.rbf.Lengthscales = make([]float64, dim)
+	}
+	ws.mat.Lengthscales = ws.mat.Lengthscales[:dim]
+	ws.rbf.Lengthscales = ws.rbf.Lengthscales[:dim]
+	if cap(ws.p) < nparams {
+		ws.p = make([]float64, nparams)
+		ws.cand = make([]float64, nparams)
+	}
+	ws.p = ws.p[:nparams]
+	ws.cand = ws.cand[:nparams]
+	return ws
+}
+
+func putFitWS(ws *fitWS) { fitWSPool.Put(ws) }
+
+// fitLL evaluates the log marginal likelihood of (xs, ys) under the given
+// kernel and noise without constructing a Regressor: the same
+// standardization, Gram build, jitter ladder and triangular solves as Fit,
+// into the workspace's reused buffers. Returns −Inf when the Gram matrix is
+// not positive definite even after jittering — exactly the cases where Fit
+// would fail. Bit-identical to Fit followed by LogMarginalLikelihood.
+func fitLL(kernel Kernel, noise float64, xs [][]float64, ys []float64, ws *fitWS) float64 {
+	n := len(xs)
+	mean, std := standardizeParams(ys)
+	sy := ws.sy[:n]
+	for i, y := range ys {
+		sy[i] = (y - mean) / std
+	}
+
+	chol := ws.chol
+	gramLowerInto(kernel, xs, noise, chol)
+	err := CholeskyInPlace(chol)
+	jitter, cumJitter := 1e-10, 0.0
+	for attempt := 0; err != nil && attempt < 7; attempt++ {
+		cumJitter += jitter
+		jitter *= 10
+		gramLowerInto(kernel, xs, noise, chol)
+		for i := 0; i < n; i++ {
+			chol.Set(i, i, chol.At(i, i)+cumJitter)
+		}
+		err = CholeskyInPlace(chol)
+	}
+	if err != nil {
+		return math.Inf(-1)
+	}
+	alpha := ws.alpha[:n]
+	CholeskySolveInto(chol, sy, alpha, alpha)
+	return -0.5*Dot(sy, alpha) - 0.5*LogDetFromCholesky(chol) - 0.5*float64(n)*math.Log(2*math.Pi)
+}
+
 // FitHyper fits a GP to (xs, ys) with kernel hyperparameters chosen by
 // maximizing the log marginal likelihood. Optimization is a multi-start
 // coordinate descent in log-space over signal variance, per-dimension
 // lengthscales and (optionally) observation noise — simple, dependency-free,
 // and reliable for the ≤ 4-D, ≤ 100-point problems BoFL encounters.
+//
+// Search probes evaluate the likelihood only (fitLL, allocation-free through
+// the pooled per-restart workspace); the winning parameter vector is refit
+// once at the end, producing a model bit-identical to the historical
+// fit-per-probe search at a fraction of the allocator traffic.
 func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, error) {
 	if opts.Dim <= 0 {
 		return nil, fmt.Errorf("gp: FitHyper requires positive Dim, got %d", opts.Dim)
@@ -60,31 +148,18 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 	}
 	lower[nparams-1], upper[nparams-1] = math.Log(1e-4), math.Log(0.5) // noise
 
-	eval := func(p []float64) (*Regressor, float64) {
-		variance := math.Exp(p[0])
-		ls := make([]float64, opts.Dim)
+	// paramsOf decodes a log-space parameter vector: fills ls with the
+	// lengthscales and returns variance and noise. Clamped log-space values
+	// are always strictly positive, so no validation is needed.
+	paramsOf := func(p, ls []float64) (variance, noise float64) {
 		for i := range ls {
 			ls[i] = math.Exp(p[1+i])
 		}
-		noise := math.Exp(p[nparams-1])
+		noise = math.Exp(p[nparams-1])
 		if opts.FixedNoise > 0 {
 			noise = opts.FixedNoise
 		}
-		var k Kernel
-		var err error
-		if opts.UseRBF {
-			k, err = NewRBF(variance, ls)
-		} else {
-			k, err = NewMatern52(variance, ls)
-		}
-		if err != nil {
-			return nil, math.Inf(-1)
-		}
-		r, err := Fit(k, noise, xs, ys)
-		if err != nil {
-			return nil, math.Inf(-1)
-		}
-		return r, r.LogMarginalLikelihood()
+		return math.Exp(p[0]), noise
 	}
 
 	// Starting points are drawn serially up front (restart 0 keeps the
@@ -114,11 +189,26 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 	// below is serial with lowest-restart-index tie-breaking on equal log
 	// marginal likelihood, so parallel and serial searches select the same
 	// model.
-	models := make([]*Regressor, restarts)
 	lls := make([]float64, restarts)
 	parallel.For(restarts, func(restart int) {
-		p := starts[restart]
-		r, ll := eval(p)
+		ws := getFitWS(len(xs), opts.Dim, nparams)
+		defer putFitWS(ws)
+		evalLL := func(p []float64) float64 {
+			var k Kernel
+			var noise float64
+			if opts.UseRBF {
+				ws.rbf.Variance, noise = paramsOf(p, ws.rbf.Lengthscales)
+				k = &ws.rbf
+			} else {
+				ws.mat.Variance, noise = paramsOf(p, ws.mat.Lengthscales)
+				k = &ws.mat
+			}
+			return fitLL(k, noise, xs, ys, ws)
+		}
+		p := ws.p
+		copy(p, starts[restart])
+		cand := ws.cand
+		ll := evalLL(p)
 		// Coordinate descent with shrinking step size.
 		step := 1.0
 		for it := 0; it < iters; it++ {
@@ -127,15 +217,15 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 				if opts.FixedNoise > 0 && i == nparams-1 {
 					continue
 				}
-				for _, dir := range []float64{1, -1} {
-					cand := make([]float64, nparams)
+				for _, dir := range [2]float64{1, -1} {
 					copy(cand, p)
 					cand[i] = clamp(cand[i]+dir*step, lower[i], upper[i])
 					if cand[i] == p[i] {
 						continue
 					}
-					if r2, ll2 := eval(cand); ll2 > ll {
-						p, r, ll = cand, r2, ll2
+					if ll2 := evalLL(cand); ll2 > ll {
+						p, cand = cand, p
+						ll = ll2
 						improved = true
 					}
 				}
@@ -147,18 +237,35 @@ func FitHyper(xs [][]float64, ys []float64, opts HyperOptions) (*Regressor, erro
 				}
 			}
 		}
-		models[restart], lls[restart] = r, ll
+		// Publish the winning parameters by overwriting the start vector
+		// (consumed above, dead afterwards).
+		copy(starts[restart], p)
+		lls[restart] = ll
 	})
 
-	var best *Regressor
+	bestRestart := -1
 	bestLL := math.Inf(-1)
-	for restart, r := range models {
-		if r != nil && lls[restart] > bestLL {
-			best, bestLL = r, lls[restart]
+	for restart, ll := range lls {
+		if !math.IsInf(ll, -1) && ll > bestLL {
+			bestRestart, bestLL = restart, ll
 		}
 	}
-	if best == nil {
+	if bestRestart == -1 {
 		return nil, fmt.Errorf("gp: hyperparameter search found no valid model")
+	}
+	// One final Fit of the winning parameters; Fit is deterministic, so
+	// this is the exact model the winning probe evaluated.
+	ls := make([]float64, opts.Dim)
+	variance, noise := paramsOf(starts[bestRestart], ls)
+	var k Kernel
+	if opts.UseRBF {
+		k = &RBF{Variance: variance, Lengthscales: ls}
+	} else {
+		k = &Matern52{Variance: variance, Lengthscales: ls}
+	}
+	best, err := Fit(k, noise, xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("gp: refit of selected hyperparameters: %w", err)
 	}
 	return best, nil
 }

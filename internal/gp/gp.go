@@ -17,7 +17,7 @@ type Regressor struct {
 	mean float64 // standardization offset of raw targets
 	std  float64 // standardization scale of raw targets
 
-	chol  *Matrix   // Cholesky factor of K + σₙ²I
+	chol  *Matrix   // Cholesky factor of K + σₙ²I (possibly a strided view)
 	alpha []float64 // (K + σₙ²I)⁻¹ · y (standardized)
 	ys    []float64 // standardized targets
 }
@@ -35,9 +35,10 @@ func Fit(kernel Kernel, noise float64, xs [][]float64, ys []float64) (*Regressor
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("gp: %d inputs but %d targets", len(xs), len(ys))
 	}
+	dim := kernel.Dim()
 	for i, x := range xs {
-		if len(x) != kernel.Dim() {
-			return nil, fmt.Errorf("gp: input %d has dim %d, kernel expects %d", i, len(x), kernel.Dim())
+		if len(x) != dim {
+			return nil, fmt.Errorf("gp: input %d has dim %d, kernel expects %d", i, len(x), dim)
 		}
 	}
 	if noise < 0 {
@@ -50,32 +51,42 @@ func Fit(kernel Kernel, noise float64, xs [][]float64, ys []float64) (*Regressor
 		sy[i] = (y - mean) / std
 	}
 
-	cxs := make([][]float64, len(xs))
+	// The retained input copies share one flat backing array: two
+	// allocations instead of n+1, and the Gram sweep walks contiguous
+	// memory.
+	n := len(xs)
+	backing := make([]float64, n*dim)
+	cxs := make([][]float64, n)
 	for i, x := range xs {
-		cx := make([]float64, len(x))
-		copy(cx, x)
-		cxs[i] = cx
+		row := backing[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(row, x)
+		cxs[i] = row
 	}
 
-	// Jitter the diagonal progressively if the Gram matrix is numerically
-	// singular (e.g. duplicated inputs with tiny noise).
-	gram := GramMatrix(kernel, cxs, noise)
-	var chol *Matrix
-	var err error
-	jitter := 1e-10
-	for attempt := 0; attempt < 8; attempt++ {
-		chol, err = Cholesky(gram)
-		if err == nil {
-			break
-		}
-		for i := 0; i < gram.Rows; i++ {
-			gram.Set(i, i, gram.At(i, i)+jitter)
-		}
+	// The Gram matrix is factored in place — no separate factor copy. If it
+	// is numerically singular (e.g. duplicated inputs with tiny noise), the
+	// failed attempt has clobbered the buffer, so rebuild it and retry with
+	// progressively larger diagonal jitter; the retry path is rare enough
+	// that the extra Gram sweeps don't matter.
+	chol := NewMatrix(n, n)
+	gramLowerInto(kernel, cxs, noise, chol)
+	err := CholeskyInPlace(chol)
+	jitter, cumJitter := 1e-10, 0.0
+	for attempt := 0; err != nil && attempt < 7; attempt++ {
+		cumJitter += jitter
 		jitter *= 10
+		gramLowerInto(kernel, cxs, noise, chol)
+		for i := 0; i < n; i++ {
+			chol.Set(i, i, chol.At(i, i)+cumJitter)
+		}
+		err = CholeskyInPlace(chol)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("gp: gram matrix factorization: %w", err)
 	}
+
+	alpha := make([]float64, n)
+	CholeskySolveInto(chol, sy, alpha, alpha)
 
 	return &Regressor{
 		kernel: kernel,
@@ -84,7 +95,7 @@ func Fit(kernel Kernel, noise float64, xs [][]float64, ys []float64) (*Regressor
 		mean:   mean,
 		std:    std,
 		chol:   chol,
-		alpha:  CholeskySolve(chol, sy),
+		alpha:  alpha,
 		ys:     sy,
 	}, nil
 }
@@ -120,15 +131,17 @@ func (r *Regressor) Predict(x []float64) (mu, sigma float64) {
 // len ≥ N()), for hot loops that evaluate many points without per-point
 // garbage (PredictBatch, and ad-hoc scans that bypass KStarCache). kstar
 // and v are overwritten and must not alias each other.
+//
+// The kernel sweep, the mean dot product and the variance solve are fused:
+// k*·α accumulates while k* is filled and ‖v‖² accumulates while the
+// triangular solve runs, in the same ascending order the separate passes
+// used — two passes over memory instead of four, bit-identical results.
 func (r *Regressor) PredictInto(x []float64, kstar, v []float64) (mu, sigma float64) {
 	n := len(r.xs)
 	kstar = kstar[:n]
-	for i, xi := range r.xs {
-		kstar[i] = r.kernel.Eval(x, xi)
-	}
-	muStd := Dot(kstar, r.alpha)
-	vv := SolveLowerInto(r.chol, kstar, v)
-	varStd := r.kernel.Eval(x, x) - Dot(vv, vv)
+	muStd := kernelRowMu(r.kernel, x, r.xs, kstar, r.alpha)
+	_, normVV := SolveLowerNormInto(r.chol, kstar, v)
+	varStd := priorVariance(r.kernel, x) - normVV
 	if varStd < 0 {
 		varStd = 0
 	}
@@ -140,13 +153,20 @@ func (r *Regressor) PredictInto(x []float64, kstar, v []float64) (mu, sigma floa
 func (r *Regressor) PredictBatch(xs [][]float64) (mus, sigmas []float64) {
 	mus = make([]float64, len(xs))
 	sigmas = make([]float64, len(xs))
+	r.PredictBatchInto(xs, mus, sigmas, make([]float64, 2*len(r.xs)))
+	return mus, sigmas
+}
+
+// PredictBatchInto is PredictBatch into caller-provided output slices (each
+// of len ≥ len(xs)) and scratch (len ≥ 2·N()): the fused, allocation-free
+// batch predict used in steady state. The allocation-regression suite pins
+// it at zero allocs per batch.
+func (r *Regressor) PredictBatchInto(xs [][]float64, mus, sigmas, scratch []float64) {
 	n := len(r.xs)
-	scratch := make([]float64, 2*n)
-	kstar, v := scratch[:n], scratch[n:]
+	kstar, v := scratch[:n], scratch[n:2*n]
 	for i, x := range xs {
 		mus[i], sigmas[i] = r.PredictInto(x, kstar, v)
 	}
-	return mus, sigmas
 }
 
 // LogMarginalLikelihood returns the log marginal likelihood of the

@@ -106,18 +106,229 @@ func (k *RBF) Eval(x, y []float64) float64 {
 	return k.Variance * math.Exp(-0.5*r2)
 }
 
+// The devirtualized sweeps below are the numeric hot paths: they strength-
+// reduce the per-dimension division to a multiplication by a precomputed
+// reciprocal lengthscale. That shifts individual covariance values by at most
+// an ulp per dimension relative to Eval, so every internal consumer (the Gram
+// build, predict rows, Cholesky row extension, candidate caches) goes through
+// these sweeps — they are all mutually bit-consistent, which is what the
+// exact-equivalence tests (rank-1 update vs refit) rely on. Eval remains the
+// division-based reference for external callers and the generic fallback.
+
+// maxStackDim bounds the reciprocal-lengthscale scratch that lives on the
+// stack; larger dimensionalities fall back to a heap allocation.
+const maxStackDim = 24
+
+func reciprocalsInto(ls []float64, buf []float64) []float64 {
+	var ils []float64
+	if len(ls) <= len(buf) {
+		ils = buf[:len(ls)]
+	} else {
+		ils = make([]float64, len(ls))
+	}
+	for d, l := range ls {
+		ils[d] = 1 / l
+	}
+	return ils
+}
+
+// priorVariance returns k(x, x). For the stationary kernels this is exactly
+// the signal variance (r = 0 makes every remaining factor exactly 1), so the
+// kernel sweep is skipped entirely.
+func priorVariance(k Kernel, x []float64) float64 {
+	switch kk := k.(type) {
+	case *Matern52:
+		return kk.Variance
+	case *RBF:
+		return kk.Variance
+	default:
+		return k.Eval(x, x)
+	}
+}
+
 // GramMatrix builds the n×n covariance matrix K with K_ij = k(xs[i], xs[j])
 // plus noise² on the diagonal.
 func GramMatrix(k Kernel, xs [][]float64, noise float64) *Matrix {
-	n := len(xs)
-	m := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := k.Eval(xs[i], xs[j])
-			m.Set(i, j, v)
-			m.Set(j, i, v)
-		}
-		m.Set(i, i, m.At(i, i)+noise*noise)
-	}
+	m := NewMatrix(len(xs), len(xs))
+	GramInto(k, xs, noise, m)
 	return m
+}
+
+// GramInto is GramMatrix into a caller-provided n×n matrix.
+func GramInto(k Kernel, xs [][]float64, noise float64, m *Matrix) {
+	gramLowerInto(k, xs, noise, m)
+	// Mirror the strictly-lower triangle into the upper one.
+	n := len(xs)
+	d, stride := m.Data, m.Cols
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d[j*stride+i] = d[i*stride+j]
+		}
+	}
+}
+
+// gramLowerInto fills the lower triangle (diagonal included, with noise²
+// added) of m with the covariance of xs against itself, leaving the strictly
+// upper triangle untouched. This is all the in-place Cholesky factorization
+// reads, so Fit skips the mirror pass.
+func gramLowerInto(k Kernel, xs [][]float64, noise float64, m *Matrix) {
+	n := len(xs)
+	data, stride := m.Data, m.Cols
+	diag := noise * noise
+	var ilsBuf [maxStackDim]float64
+	switch kk := k.(type) {
+	case *Matern52:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i := 0; i < n; i++ {
+			xi := xs[i]
+			row := data[i*stride : i*stride+i+1]
+			for j := 0; j < i; j++ {
+				xj := xs[j]
+				r2 := 0.0
+				for d := range ils {
+					dd := (xi[d] - xj[d]) * ils[d]
+					r2 += dd * dd
+				}
+				r := math.Sqrt(r2)
+				s5r := math.Sqrt(5) * r
+				row[j] = v * (1 + s5r + 5*r2/3) * math.Exp(-s5r)
+			}
+			row[i] = v + diag
+		}
+	case *RBF:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i := 0; i < n; i++ {
+			xi := xs[i]
+			row := data[i*stride : i*stride+i+1]
+			for j := 0; j < i; j++ {
+				xj := xs[j]
+				r2 := 0.0
+				for d := range ils {
+					dd := (xi[d] - xj[d]) * ils[d]
+					r2 += dd * dd
+				}
+				row[j] = v * math.Exp(-0.5*r2)
+			}
+			row[i] = v + diag
+		}
+	default:
+		for i := 0; i < n; i++ {
+			row := data[i*stride : i*stride+i+1]
+			for j := 0; j < i; j++ {
+				row[j] = k.Eval(xs[i], xs[j])
+			}
+			row[i] = k.Eval(xs[i], xs[i]) + diag
+		}
+	}
+}
+
+// kernel1 evaluates a single covariance k(x, y) with the same reciprocal-
+// lengthscale arithmetic as the sweeps, so mixing single evaluations with row
+// sweeps stays bit-consistent.
+func kernel1(k Kernel, x, y []float64) float64 {
+	switch kk := k.(type) {
+	case *Matern52:
+		r2 := 0.0
+		for d, l := range kk.Lengthscales {
+			dd := (x[d] - y[d]) * (1 / l)
+			r2 += dd * dd
+		}
+		r := math.Sqrt(r2)
+		s5r := math.Sqrt(5) * r
+		return kk.Variance * (1 + s5r + 5*r2/3) * math.Exp(-s5r)
+	case *RBF:
+		r2 := 0.0
+		for d, l := range kk.Lengthscales {
+			dd := (x[d] - y[d]) * (1 / l)
+			r2 += dd * dd
+		}
+		return kk.Variance * math.Exp(-0.5*r2)
+	default:
+		return k.Eval(x, y)
+	}
+}
+
+// kernelRow fills ks[i] = k(x, xs[i]) with the same devirtualized arithmetic
+// as gramLowerInto (reciprocal lengthscales), so a row computed here matches
+// the corresponding Gram row bit-for-bit. ks must have len ≥ len(xs).
+func kernelRow(k Kernel, x []float64, xs [][]float64, ks []float64) {
+	var ilsBuf [maxStackDim]float64
+	switch kk := k.(type) {
+	case *Matern52:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i, xi := range xs {
+			r2 := 0.0
+			for d := range ils {
+				dd := (x[d] - xi[d]) * ils[d]
+				r2 += dd * dd
+			}
+			r := math.Sqrt(r2)
+			s5r := math.Sqrt(5) * r
+			ks[i] = v * (1 + s5r + 5*r2/3) * math.Exp(-s5r)
+		}
+	case *RBF:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i, xi := range xs {
+			r2 := 0.0
+			for d := range ils {
+				dd := (x[d] - xi[d]) * ils[d]
+				r2 += dd * dd
+			}
+			ks[i] = v * math.Exp(-0.5*r2)
+		}
+	default:
+		for i, xi := range xs {
+			ks[i] = k.Eval(x, xi)
+		}
+	}
+}
+
+// kernelRowMu is kernelRow fused with the posterior-mean dot product: it
+// returns Σ ks[i]·alpha[i] accumulated in the same ascending order
+// Dot(ks, alpha) uses, while filling ks — one pass instead of two,
+// bit-identical to the separate sweep.
+func kernelRowMu(k Kernel, x []float64, xs [][]float64, ks, alpha []float64) float64 {
+	mu := 0.0
+	var ilsBuf [maxStackDim]float64
+	switch kk := k.(type) {
+	case *Matern52:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i, xi := range xs {
+			r2 := 0.0
+			for d := range ils {
+				dd := (x[d] - xi[d]) * ils[d]
+				r2 += dd * dd
+			}
+			r := math.Sqrt(r2)
+			s5r := math.Sqrt(5) * r
+			kv := v * (1 + s5r + 5*r2/3) * math.Exp(-s5r)
+			ks[i] = kv
+			mu += kv * alpha[i]
+		}
+	case *RBF:
+		v := kk.Variance
+		ils := reciprocalsInto(kk.Lengthscales, ilsBuf[:])
+		for i, xi := range xs {
+			r2 := 0.0
+			for d := range ils {
+				dd := (x[d] - xi[d]) * ils[d]
+				r2 += dd * dd
+			}
+			kv := v * math.Exp(-0.5*r2)
+			ks[i] = kv
+			mu += kv * alpha[i]
+		}
+	default:
+		for i, xi := range xs {
+			kv := k.Eval(x, xi)
+			ks[i] = kv
+			mu += kv * alpha[i]
+		}
+	}
+	return mu
 }

@@ -15,7 +15,10 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major matrix.
+// Matrix is a dense row-major matrix. Cols doubles as the row stride, so a
+// Matrix value with Rows < Cols is a valid leading-principal view into a
+// larger allocation (the fantasy-chain workspace grows its factor in place
+// this way).
 type Matrix struct {
 	Rows, Cols int
 	Data       []float64
@@ -43,10 +46,186 @@ func (m *Matrix) Clone() *Matrix {
 // (numerically) symmetric positive definite.
 var ErrNotPositiveDefinite = errors.New("gp: matrix is not positive definite")
 
+// cholBlock is the panel width of the blocked factorization. 32 keeps the
+// active panel (32·n floats) inside L1/L2 for the matrix sizes BoFL sees
+// while amortizing loop overhead; correctness does not depend on the value.
+const cholBlock = 32
+
 // Cholesky computes the lower-triangular factor L with A = L·Lᵀ. A must be
 // square and symmetric positive definite; only the lower triangle of A is
 // read. The result has zeros above the diagonal.
 func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("gp: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	l := a.Clone()
+	if err := CholeskyInPlace(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInPlace overwrites the lower triangle of a with its Cholesky factor
+// and zeroes the upper triangle. It is the blocked (panel-update) form of the
+// factorization: each panel of cholBlock columns is factored left-looking,
+// the rows below it are solved against the panel, and the trailing submatrix
+// absorbs the panel's rank-cholBlock update before the next panel starts.
+//
+// Determinism: every element L_ij accumulates its subtractions
+// a_ij − Σ_k l_ik·l_jk one product at a time in ascending k, split across
+// panels in ascending panel order — exactly the floating-point operation
+// sequence of the scalar triple loop (CholeskyScalar). The blocked factor is
+// therefore bit-identical to the scalar reference; the property suite in
+// linalg_test.go enforces equality, not closeness.
+func CholeskyInPlace(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("gp: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	d := a.Data
+	for p := 0; p < n; p += cholBlock {
+		pe := p + cholBlock
+		if pe > n {
+			pe = n
+		}
+		// Factor the diagonal block A[p:pe, p:pe] column by column
+		// (contributions of columns < p were already subtracted by earlier
+		// trailing updates). Each element's value and its ascending-k
+		// subtraction chain are exactly the scalar algorithm's — only the
+		// order in which independent elements are produced changes, which
+		// lets the rows below each pivot run as paired dependency chains.
+		for j := p; j < pe; j++ {
+			rowj := d[j*n : j*n+n]
+			s := rowj[j]
+			for k := p; k < j; k++ {
+				s -= rowj[k] * rowj[k]
+			}
+			if s <= 0 || math.IsNaN(s) {
+				return ErrNotPositiveDefinite
+			}
+			pivot := math.Sqrt(s)
+			rowj[j] = pivot
+			i := j + 1
+			for ; i+1 < pe; i += 2 {
+				rowa := d[i*n : i*n+n]
+				rowb := d[(i+1)*n : (i+1)*n+n]
+				sa := rowa[j]
+				sb := rowb[j]
+				for k := p; k < j; k++ {
+					ljk := rowj[k]
+					sa -= rowa[k] * ljk
+					sb -= rowb[k] * ljk
+				}
+				rowa[j] = sa / pivot
+				rowb[j] = sb / pivot
+			}
+			for ; i < pe; i++ {
+				rowi := d[i*n : i*n+n]
+				si := rowi[j]
+				for k := p; k < j; k++ {
+					si -= rowi[k] * rowj[k]
+				}
+				rowi[j] = si / pivot
+			}
+		}
+		// Panel solve: rows below the block against the freshly factored
+		// panel (forward substitution per row). Rows are independent of
+		// each other, so four are solved at once — each element still
+		// accumulates its own subtraction chain sequentially, the grouping
+		// only gives the CPU independent dependency chains to overlap.
+		i := pe
+		for ; i+3 < n; i += 4 {
+			rowa := d[i*n : i*n+n]
+			rowb := d[(i+1)*n : (i+1)*n+n]
+			rowc := d[(i+2)*n : (i+2)*n+n]
+			rowe := d[(i+3)*n : (i+3)*n+n]
+			for j := p; j < pe; j++ {
+				rowj := d[j*n : j*n+n]
+				sa := rowa[j]
+				sb := rowb[j]
+				sc := rowc[j]
+				se := rowe[j]
+				for k := p; k < j; k++ {
+					ljk := rowj[k]
+					sa -= rowa[k] * ljk
+					sb -= rowb[k] * ljk
+					sc -= rowc[k] * ljk
+					se -= rowe[k] * ljk
+				}
+				pivot := rowj[j]
+				rowa[j] = sa / pivot
+				rowb[j] = sb / pivot
+				rowc[j] = sc / pivot
+				rowe[j] = se / pivot
+			}
+		}
+		for ; i < n; i++ {
+			rowi := d[i*n : i*n+n]
+			for j := p; j < pe; j++ {
+				rowj := d[j*n : j*n+n]
+				s := rowi[j]
+				for k := p; k < j; k++ {
+					s -= rowi[k] * rowj[k]
+				}
+				rowi[j] = s / rowj[j]
+			}
+		}
+		// Trailing update: subtract the panel's contribution from the
+		// lower triangle of A[pe:, pe:], one product at a time in
+		// ascending k so the accumulation order matches the scalar loop.
+		// Four target elements run in parallel accumulator chains; each
+		// chain is still strictly sequential in k, so every element's
+		// value is bit-identical to the scalar loop's.
+		for i := pe; i < n; i++ {
+			rowi := d[i*n : i*n+n]
+			j := pe
+			for ; j+3 <= i; j += 4 {
+				rowj0 := d[j*n : j*n+n]
+				rowj1 := d[(j+1)*n : (j+1)*n+n]
+				rowj2 := d[(j+2)*n : (j+2)*n+n]
+				rowj3 := d[(j+3)*n : (j+3)*n+n]
+				s0 := rowi[j]
+				s1 := rowi[j+1]
+				s2 := rowi[j+2]
+				s3 := rowi[j+3]
+				for k := p; k < pe; k++ {
+					aik := rowi[k]
+					s0 -= aik * rowj0[k]
+					s1 -= aik * rowj1[k]
+					s2 -= aik * rowj2[k]
+					s3 -= aik * rowj3[k]
+				}
+				rowi[j] = s0
+				rowi[j+1] = s1
+				rowi[j+2] = s2
+				rowi[j+3] = s3
+			}
+			for ; j <= i; j++ {
+				rowj := d[j*n : j*n+n]
+				s := rowi[j]
+				for k := p; k < pe; k++ {
+					s -= rowi[k] * rowj[k]
+				}
+				rowi[j] = s
+			}
+		}
+	}
+	// Zero the upper triangle (the input's upper values are never read by
+	// the factorization, but Cholesky's contract is zeros above the
+	// diagonal).
+	for i := 0; i < n; i++ {
+		row := d[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			row[j] = 0
+		}
+	}
+	return nil
+}
+
+// CholeskyScalar is the historical scalar triple-loop factorization, kept as
+// the reference implementation for the blocked kernel's property tests and
+// benchmarks (BenchmarkCholeskyScalar vs BenchmarkCholeskyBlocked).
+func CholeskyScalar(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("gp: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
@@ -71,6 +250,29 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	return l, nil
 }
 
+// ExtendCholeskyRow computes the appended row [lᵀ, d] that extends a Cholesky
+// factor by one observation: L·l = k (forward substitution) and
+// d = √(kxx − lᵀl), with the same per-element accumulation order as a full
+// refactorization of the bordered matrix — row n of the scalar loop runs the
+// identical forward-substitution recurrence and the identical sequential
+// diagonal subtraction, so the rank-1 append is bit-identical to refactoring
+// from scratch (update_test.go pins exact equality). l must hold the current
+// n×n factor (possibly as a view with stride Cols ≥ n), k the new point's
+// covariance against the training set, and out a buffer of len ≥ n. The
+// returned diagonal is clamped to √1e-12 for (numerically) duplicated points,
+// mirroring the refit path's jitter.
+func ExtendCholeskyRow(l *Matrix, k []float64, kxx float64, out []float64) (row []float64, diag float64) {
+	row = SolveLowerInto(l, k, out)
+	d2 := kxx
+	for _, v := range row {
+		d2 -= v * v
+	}
+	if d2 < 1e-12 {
+		d2 = 1e-12
+	}
+	return row, math.Sqrt(d2)
+}
+
 // SolveLower solves L·x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) []float64 {
 	return SolveLowerInto(l, b, make([]float64, l.Rows))
@@ -88,22 +290,51 @@ func SolveLowerInto(l *Matrix, b, x []float64) []float64 {
 		for k, lik := range row {
 			sum -= lik * x[k]
 		}
-		x[i] = sum / l.At(i, i)
+		x[i] = sum / l.Data[i*l.Cols+i]
 	}
 	return x
+}
+
+// SolveLowerNormInto is SolveLowerInto fused with the squared norm of the
+// solution: ‖x‖² is accumulated as each component is produced, in the same
+// ascending order Dot(x, x) uses, so the result is bit-identical to a
+// separate solve followed by a dot product — at one pass over memory instead
+// of two. This is the kernel behind the fused predict-variance path.
+func SolveLowerNormInto(l *Matrix, b, x []float64) ([]float64, float64) {
+	n := l.Rows
+	x = x[:n]
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, lik := range row {
+			sum -= lik * x[k]
+		}
+		xi := sum / l.Data[i*l.Cols+i]
+		x[i] = xi
+		norm += xi * xi
+	}
+	return x, norm
 }
 
 // SolveUpperT solves Lᵀ·x = b for lower-triangular L (so Lᵀ is upper
 // triangular) by backward substitution.
 func SolveUpperT(l *Matrix, b []float64) []float64 {
+	return SolveUpperTInto(l, b, make([]float64, l.Rows))
+}
+
+// SolveUpperTInto is SolveUpperT with a caller-provided x (len ≥ L.Rows),
+// returning x[:L.Rows]. b and x may alias the same slice.
+func SolveUpperTInto(l *Matrix, b, x []float64) []float64 {
 	n := l.Rows
-	x := make([]float64, n)
+	stride := l.Cols
+	x = x[:n]
 	for i := n - 1; i >= 0; i-- {
 		sum := b[i]
 		for k := i + 1; k < n; k++ {
-			sum -= l.At(k, i) * x[k]
+			sum -= l.Data[k*stride+i] * x[k]
 		}
-		x[i] = sum / l.At(i, i)
+		x[i] = sum / l.Data[i*stride+i]
 	}
 	return x
 }
@@ -113,11 +344,17 @@ func CholeskySolve(l *Matrix, b []float64) []float64 {
 	return SolveUpperT(l, SolveLower(l, b))
 }
 
+// CholeskySolveInto is CholeskySolve with caller-provided scratch and output
+// buffers (each of len ≥ L.Rows). b, tmp and x may all alias.
+func CholeskySolveInto(l *Matrix, b, tmp, x []float64) []float64 {
+	return SolveUpperTInto(l, SolveLowerInto(l, b, tmp), x)
+}
+
 // LogDetFromCholesky returns log|A| = 2·Σ log L_ii given A's Cholesky factor.
 func LogDetFromCholesky(l *Matrix) float64 {
 	sum := 0.0
 	for i := 0; i < l.Rows; i++ {
-		sum += math.Log(l.At(i, i))
+		sum += math.Log(l.Data[i*l.Cols+i])
 	}
 	return 2 * sum
 }

@@ -171,3 +171,134 @@ func TestGramMatrixIsPSD(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCholeskyBlockedMatchesScalarBitwise is the property suite behind the
+// blocked factorization: across sizes below, straddling and well above the
+// panel width, CholeskyInPlace must reproduce the scalar triple loop
+// (CholeskyScalar) bit for bit — the blocking changes the schedule, never
+// any element's subtraction chain.
+func TestCholeskyBlockedMatchesScalarBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sizes := []int{1, 2, 3, 7, 15, 31, 32, 33, 47, 63, 64, 65, 70, 96}
+	for _, n := range sizes {
+		for trial := 0; trial < 3; trial++ {
+			a := randomSPD(n, rng)
+			blocked := a.Clone()
+			if err := CholeskyInPlace(blocked); err != nil {
+				t.Fatalf("n=%d trial=%d: blocked: %v", n, trial, err)
+			}
+			scalar, err := CholeskyScalar(a.Clone())
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: scalar: %v", n, trial, err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					if math.Float64bits(blocked.At(i, j)) != math.Float64bits(scalar.At(i, j)) {
+						t.Fatalf("n=%d trial=%d: L[%d,%d] = %v (blocked) vs %v (scalar)",
+							n, trial, i, j, blocked.At(i, j), scalar.At(i, j))
+					}
+				}
+				for j := i + 1; j < n; j++ {
+					if blocked.At(i, j) != 0 {
+						t.Fatalf("n=%d: upper triangle not zeroed at [%d,%d]: %v", n, i, j, blocked.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtendCholeskyRowMatchesScalarFactorization grows a factor one row at
+// a time inside a wide-stride slab (the fantasy chain's storage layout) and
+// checks every intermediate leading-principal factor bitwise against a fresh
+// scalar factorization of the corresponding submatrix: the incremental
+// update is a reordering of nothing — identical chains, identical bits.
+func TestExtendCholeskyRowMatchesScalarFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const n, stride = 24, 31
+	a := randomSPD(n, rng)
+
+	slab := make([]float64, n*stride)
+	slab[0] = math.Sqrt(a.At(0, 0))
+	kvec := make([]float64, n)
+	for m := 1; m < n; m++ {
+		view := &Matrix{Rows: m, Cols: stride, Data: slab}
+		for j := 0; j < m; j++ {
+			kvec[j] = a.At(m, j)
+		}
+		row := slab[m*stride : m*stride+m]
+		copy(row, kvec[:m])
+		_, d := ExtendCholeskyRow(view, row, a.At(m, m), row)
+		slab[m*stride+m] = d
+
+		full, err := CholeskyScalar(&Matrix{Rows: m + 1, Cols: m + 1, Data: submatrix(a, m+1)})
+		if err != nil {
+			t.Fatalf("m=%d: scalar factorization: %v", m, err)
+		}
+		for i := 0; i <= m; i++ {
+			for j := 0; j <= i; j++ {
+				got := slab[i*stride+j]
+				want := full.At(i, j)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("m=%d: L[%d,%d] = %v (incremental) vs %v (full refactorization)", m, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// submatrix copies the k×k leading principal block of a into a dense slice.
+func submatrix(a *Matrix, k int) []float64 {
+	out := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			out[i*k+j] = a.At(i, j)
+		}
+	}
+	return out
+}
+
+// TestStrideAwareSolvesMatchSquare embeds a factor in a wider-stride slab
+// (leading-principal view, Cols > Rows) and checks every solve routine and
+// the log-determinant against the square-layout results bitwise.
+func TestStrideAwareSolvesMatchSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	const n, stride = 20, 33
+	a := randomSPD(n, rng)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]float64, n*stride)
+	for i := 0; i < n; i++ {
+		copy(slab[i*stride:i*stride+i+1], l.Data[i*l.Cols:i*l.Cols+i+1])
+	}
+	view := &Matrix{Rows: n, Cols: stride, Data: slab}
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	wantLower := SolveLower(l, b)
+	gotLower := SolveLower(view, b)
+	wantUpper := SolveUpperT(l, wantLower)
+	gotUpper := SolveUpperT(view, gotLower)
+	wantFull := CholeskySolve(l, b)
+	gotFull := CholeskySolve(view, b)
+	_, wantNorm := SolveLowerNormInto(l, b, make([]float64, n))
+	_, gotNorm := SolveLowerNormInto(view, b, make([]float64, n))
+
+	for i := 0; i < n; i++ {
+		if wantLower[i] != gotLower[i] || wantUpper[i] != gotUpper[i] || wantFull[i] != gotFull[i] {
+			t.Fatalf("solve mismatch at %d: lower %v/%v upper %v/%v full %v/%v",
+				i, wantLower[i], gotLower[i], wantUpper[i], gotUpper[i], wantFull[i], gotFull[i])
+		}
+	}
+	if wantNorm != gotNorm {
+		t.Fatalf("fused norm differs: %v vs %v", wantNorm, gotNorm)
+	}
+	if LogDetFromCholesky(l) != LogDetFromCholesky(view) {
+		t.Fatalf("log-determinant differs between square and view layout")
+	}
+}

@@ -1,0 +1,28 @@
+package gp
+
+import "sync"
+
+// f64Pool recycles the large float64 scratch slabs behind fantasy chains and
+// hyperparameter-search workspaces, mirroring the codec's pooled wire
+// buffers: Get returns a slice of at least the requested length (contents
+// undefined), Put recycles it. Callers must fully overwrite every element
+// they read — the pool never zeroes, and the numeric kernels are written so
+// stale contents are unreachable (only explicitly written prefixes are read).
+var f64Pool = sync.Pool{}
+
+func getF64(n int) []float64 {
+	if v := f64Pool.Get(); v != nil {
+		s := v.([]float64)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putF64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	f64Pool.Put(s[:cap(s)]) //nolint:staticcheck // slice header boxing is fine here
+}

@@ -2,7 +2,6 @@ package gp
 
 import (
 	"fmt"
-	"math"
 )
 
 // ConditionFast returns a regressor conditioned on one extra observation in
@@ -12,36 +11,30 @@ import (
 // right trade-off for Kriging-believer fantasies: they are transient
 // hypotheses discarded after a batch is selected, so re-standardizing for
 // them is wasted work.
+//
+// The appended row is computed by ExtendCholeskyRow, whose accumulation
+// order matches a full refactorization of the bordered Gram matrix exactly —
+// the rank-1 update is bit-identical to refitting, not merely close
+// (update_test.go pins equality).
 func (r *Regressor) ConditionFast(x []float64, y float64) (*Regressor, error) {
 	if len(x) != r.kernel.Dim() {
 		return nil, fmt.Errorf("gp: point has dim %d, kernel expects %d", len(x), r.kernel.Dim())
 	}
 	n := len(r.xs)
 
-	// Covariance of the new point against the training set and itself.
+	// Covariance of the new point against the training set and itself,
+	// via the same devirtualized sweep the Gram build uses so the appended
+	// row matches what a full refactorization would see bit-for-bit.
 	kvec := make([]float64, n)
-	for i, xi := range r.xs {
-		kvec[i] = r.kernel.Eval(x, xi)
-	}
-	kxx := r.kernel.Eval(x, x) + r.noise*r.noise
-
-	// Extend L: the new row is [lᵀ, d] with L·l = k and d² = kxx − lᵀl.
-	l := SolveLower(r.chol, kvec)
-	d2 := kxx - Dot(l, l)
-	if d2 < 1e-12 {
-		d2 = 1e-12 // duplicate point: clamp like the refit path's jitter
-	}
-	d := math.Sqrt(d2)
+	kernelRow(r.kernel, x, r.xs, kvec)
+	kxx := priorVariance(r.kernel, x) + r.noise*r.noise
 
 	chol := NewMatrix(n+1, n+1)
 	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			chol.Set(i, j, r.chol.At(i, j))
-		}
+		copy(chol.Data[i*(n+1):i*(n+1)+i+1], r.chol.Data[i*r.chol.Cols:i*r.chol.Cols+i+1])
 	}
-	for j := 0; j < n; j++ {
-		chol.Set(n, j, l[j])
-	}
+	row, d := ExtendCholeskyRow(r.chol, kvec, kxx, chol.Data[n*(n+1):n*(n+1)+n])
+	_ = row // written in place into chol's last row
 	chol.Set(n, n, d)
 
 	// Extended dataset in standardized units.

@@ -139,3 +139,100 @@ func benchCondition(b *testing.B, f func(*Regressor, []float64, float64) error) 
 		}
 	}
 }
+
+// TestFantasyChainMatchesConditionFast pins the fantasy chain's determinism
+// contract: k chained Condition calls produce a regressor whose posterior is
+// bit-identical to k nested ConditionFast calls, which copy the factor at
+// every step.
+func TestFantasyChainMatchesConditionFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	k := mustMatern(t, 1, []float64{0.4, 0.6})
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 18; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(3*x[0])+x[1])
+	}
+	base, err := Fit(k, 0.05, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([][]float64, 20)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+
+	const steps = 5
+	fan := base.NewFantasy(steps)
+	defer fan.Release()
+	slow := base
+	for step := 0; step < steps; step++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0.5 + rng.NormFloat64()
+
+		fast, err := fan.Condition(x, y)
+		if err != nil {
+			t.Fatalf("step %d: chain: %v", step, err)
+		}
+		slow, err = slow.ConditionFast(x, y)
+		if err != nil {
+			t.Fatalf("step %d: nested: %v", step, err)
+		}
+		for _, q := range probes {
+			mf, sf := fast.Predict(q)
+			ms, ss := slow.Predict(q)
+			if math.Float64bits(mf) != math.Float64bits(ms) || math.Float64bits(sf) != math.Float64bits(ss) {
+				t.Fatalf("step %d: posterior at %v diverged: chain (%v, %v) vs nested (%v, %v)",
+					step, q, mf, sf, ms, ss)
+			}
+		}
+	}
+}
+
+// TestFantasyChainMatchesFullRefactorization is the rank-1-update-vs-refit
+// exact-equivalence property: after every chained extension, the in-place
+// grown factor must equal, bit for bit, a from-scratch scalar factorization
+// of the full Gram matrix over the extended training set.
+func TestFantasyChainMatchesFullRefactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	k := mustMatern(t, 1.3, []float64{0.5, 0.35})
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 15; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, rng.NormFloat64())
+	}
+	base, err := Fit(k, 0.08, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 4
+	fan := base.NewFantasy(steps)
+	defer fan.Release()
+	for step := 0; step < steps; step++ {
+		cur, err := fan.Condition([]float64{rng.Float64(), rng.Float64()}, rng.NormFloat64())
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		n := cur.N()
+		gram := NewMatrix(n, n)
+		gramLowerInto(cur.kernel, cur.xs, cur.noise, gram)
+		full, err := CholeskyScalar(gram)
+		if err != nil {
+			t.Fatalf("step %d: refactorization: %v", step, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				got := cur.chol.Data[i*cur.chol.Cols+j]
+				want := full.At(i, j)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("step %d: L[%d,%d] = %v (rank-1 chain) vs %v (full refactorization)",
+						step, i, j, got, want)
+				}
+			}
+		}
+	}
+}

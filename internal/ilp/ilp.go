@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Option is one candidate configuration's per-job cost.
@@ -149,12 +150,196 @@ func LPLowerBound(opts []Option, jobs int, budget float64) (float64, error) {
 	return v * float64(jobs), nil
 }
 
+// bbWS is a branch-and-bound solver workspace. Search nodes live on the
+// goroutine stack (the tree is explored depth-first), so the node state that
+// needs heap storage — the dominance-filtered option list, the per-depth
+// suffix hulls (all vertices packed in one slab), the hull-build staircase
+// scratch, and the current/incumbent count vectors — is gathered here and
+// recycled through a free list (bbPool). In steady state Solve's only
+// allocation is the returned Assignment.
+type bbWS struct {
+	work       []indexedOption
+	hullAt     []hull
+	hullSlab   []Option // backing storage for every suffix hull's vertices
+	stair      []Option
+	counts     []int
+	bestCounts []int
+
+	n          int // len(work) after dominance filtering
+	bestEnergy float64
+	nodes      uint64
+}
+
+var bbPool sync.Pool
+
+// getBB returns a workspace sized for up to n options with counts zeroed and
+// per-solve state reset.
+func getBB(n int) *bbWS {
+	s, _ := bbPool.Get().(*bbWS)
+	if s == nil {
+		s = &bbWS{}
+	}
+	if cap(s.work) < n {
+		s.work = make([]indexedOption, 0, n)
+		s.hullAt = make([]hull, n)
+		s.hullSlab = make([]Option, 0, n*(n+1)/2)
+		s.stair = make([]Option, 0, n)
+		s.counts = make([]int, n)
+		s.bestCounts = make([]int, n)
+	}
+	s.work = s.work[:0]
+	s.hullSlab = s.hullSlab[:0]
+	for i := range s.counts[:n] {
+		s.counts[i] = 0
+	}
+	s.bestEnergy = math.Inf(1)
+	s.nodes = 0
+	return s
+}
+
+func putBB(s *bbWS) { bbPool.Put(s) }
+
+// suffixHull builds the lower envelope of work[i:] into the shared vertex
+// slab. work is sorted by strictly increasing Time (dominance filtering
+// removes ties), so the suffix is already in buildHull's scan order and the
+// resulting vertices are identical to buildHull(work[i:]) — without the sort
+// or the per-suffix copies.
+func (s *bbWS) suffixHull(i int) hull {
+	stair := s.stair[:0]
+	bestE := math.Inf(1)
+	for _, w := range s.work[i:] {
+		if w.Energy < bestE {
+			stair = append(stair, w.Option)
+			bestE = w.Energy
+		}
+	}
+	base := len(s.hullSlab)
+	h := s.hullSlab[base:base]
+	for _, p := range stair {
+		for len(h) >= 2 {
+			a, b := h[len(h)-2], h[len(h)-1]
+			cross := (b.Time-a.Time)*(p.Energy-a.Energy) - (b.Energy-a.Energy)*(p.Time-a.Time)
+			if cross <= 0 {
+				h = h[:len(h)-1]
+			} else {
+				break
+			}
+		}
+		h = append(h, p)
+	}
+	s.hullSlab = s.hullSlab[:base+len(h)]
+	return hull{pts: h}
+}
+
+// childBound is the LP relaxation of the subtree where counts for configs
+// < i are fixed (accEnergy), counts[i] = c, and configs > i fill the
+// remainder fractionally. Returns +Inf when infeasible.
+func (s *bbWS) childBound(i, c, remJobs int, remBudget, accEnergy float64) float64 {
+	e := accEnergy + float64(c)*s.work[i].Energy
+	left := remJobs - c
+	if left == 0 {
+		return e
+	}
+	b := remBudget - float64(c)*s.work[i].Time
+	if i+1 >= s.n {
+		return math.Inf(1)
+	}
+	h := s.hullAt[i+1]
+	if float64(left)*h.minTime() > b+1e-9 {
+		return math.Inf(1)
+	}
+	return e + h.value(b/float64(left))*float64(left)
+}
+
+const bbEps = 1e-9
+
+func (s *bbWS) dfs(i, remJobs int, remBudget, accEnergy float64) {
+	s.nodes++
+	if remJobs == 0 {
+		if accEnergy < s.bestEnergy {
+			s.bestEnergy = accEnergy
+			copy(s.bestCounts[:s.n], s.counts[:s.n])
+		}
+		return
+	}
+	if i == s.n {
+		return
+	}
+	if i == s.n-1 {
+		// Last configuration must absorb all remaining jobs.
+		if float64(remJobs)*s.work[i].Time <= remBudget+1e-9 {
+			s.counts[i] = remJobs
+			total := accEnergy + float64(remJobs)*s.work[i].Energy
+			if total < s.bestEnergy {
+				s.bestEnergy = total
+				copy(s.bestCounts[:s.n], s.counts[:s.n])
+			}
+			s.counts[i] = 0
+		}
+		return
+	}
+
+	maxByBudget := remJobs
+	if byBudget := int(math.Floor((remBudget + 1e-9) / s.work[i].Time)); byBudget < maxByBudget {
+		maxByBudget = byBudget
+	}
+	if maxByBudget < 0 {
+		return
+	}
+	// The LP value with counts[i] pinned to c is convex in c
+	// (parametric-LP convexity). Locate the integer minimizer by ternary
+	// search, then expand outward: once a direction's bound crosses the
+	// incumbent, everything further out is at least as bad and the whole
+	// direction is pruned.
+	lo, hi := 0, maxByBudget
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		b1 := s.childBound(i, m1, remJobs, remBudget, accEnergy)
+		// Infeasibility (+Inf) occupies a lower interval of c — work[i]
+		// is the fastest remaining option, so more jobs on it never hurt
+		// feasibility. An infeasible left probe therefore always moves
+		// the bracket up.
+		if math.IsInf(b1, 1) {
+			lo = m1
+		} else if b1 <= s.childBound(i, m2, remJobs, remBudget, accEnergy) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	cMin := lo
+	bMin := s.childBound(i, cMin, remJobs, remBudget, accEnergy)
+	for c := lo + 1; c <= hi; c++ {
+		if bc := s.childBound(i, c, remJobs, remBudget, accEnergy); bc < bMin {
+			cMin, bMin = c, bc
+		}
+	}
+	for c := cMin; c <= maxByBudget; c++ {
+		if s.childBound(i, c, remJobs, remBudget, accEnergy) >= s.bestEnergy-bbEps {
+			break
+		}
+		s.counts[i] = c
+		s.dfs(i+1, remJobs-c, remBudget-float64(c)*s.work[i].Time, accEnergy+float64(c)*s.work[i].Energy)
+		s.counts[i] = 0
+	}
+	for c := cMin - 1; c >= 0; c-- {
+		if s.childBound(i, c, remJobs, remBudget, accEnergy) >= s.bestEnergy-bbEps {
+			break
+		}
+		s.counts[i] = c
+		s.dfs(i+1, remJobs-c, remBudget-float64(c)*s.work[i].Time, accEnergy+float64(c)*s.work[i].Energy)
+		s.counts[i] = 0
+	}
+}
+
 // Solve finds an exact integer-optimal assignment by branch-and-bound. Each
 // node fixes the count of one configuration; the LP envelope over the
 // remaining configurations provides the lower bound. Values are explored
 // around the LP-suggested count first, so the incumbent converges quickly
 // and pruning is effective; typical BoFL instances (≤ 30 Pareto options,
-// ≤ 400 jobs) solve in well under a millisecond.
+// ≤ 400 jobs) solve in well under a millisecond, and the workspace free
+// list keeps the steady-state allocation to the returned Assignment alone.
 func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 	if err := validate(opts, jobs, budget); err != nil {
 		return Assignment{}, err
@@ -164,10 +349,13 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 		return Assignment{Counts: make([]int, len(opts))}, nil
 	}
 
+	s := getBB(len(opts))
+	defer putBB(s)
+
 	// Integer optima may use off-hull points, so we cannot restrict to
 	// envelope vertices — but dominated options (some other option no
 	// slower and no hungrier) can always be replaced, so drop those.
-	work := make([]indexedOption, 0, len(opts))
+	work := s.work
 	for i, o := range opts {
 		dominated := false
 		for j, p := range opts {
@@ -183,32 +371,38 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 			work = append(work, indexedOption{Option: o, orig: i})
 		}
 	}
-	sort.Slice(work, func(i, j int) bool { return work[i].Time < work[j].Time })
+	// Insertion sort by time: the option count is small (≤ a few dozen
+	// Pareto points) and this avoids sort.Slice's closure allocations.
+	// Times are pairwise distinct after dominance filtering, so the order
+	// is the same one sort.Slice produced.
+	for i := 1; i < len(work); i++ {
+		w := work[i]
+		j := i - 1
+		for j >= 0 && work[j].Time > w.Time {
+			work[j+1] = work[j]
+			j--
+		}
+		work[j+1] = w
+	}
+	s.work = work
+	s.n = len(work)
 
 	if float64(jobs)*work[0].Time > budget+1e-9 {
 		recordSolve(0, true)
 		return Assignment{}, ErrInfeasible
 	}
 
-	n := len(work)
-	// Suffix hulls: hullAt[i] covers work[i:].
-	hullAt := make([]hull, n)
+	n := s.n
+	// Suffix hulls: hullAt[i] covers work[i:], all sharing one vertex slab.
+	hullAt := s.hullAt[:n]
 	for i := 0; i < n; i++ {
-		sub := make([]Option, 0, n-i)
-		for _, w := range work[i:] {
-			sub = append(sub, w.Option)
-		}
-		hullAt[i] = buildHull(sub)
+		hullAt[i] = s.suffixHull(i)
 	}
-
-	bestEnergy := math.Inf(1)
-	bestCounts := make([]int, n)
-	counts := make([]int, n)
-	const eps = 1e-9
 
 	// Seed the incumbent with the best two-configuration blend. The LP
 	// optimum mixes at most two options, so this is near-optimal and makes
 	// the branch-and-bound pruning effective from the first node.
+	bestCounts := s.bestCounts[:n]
 	for a := 0; a < n; a++ {
 		for b := a; b < n; b++ {
 			// jobs = ca + cb, time = ca·Ta + cb·Tb ≤ budget. With
@@ -233,8 +427,8 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 				continue
 			}
 			te := float64(ca)*work[a].Energy + float64(cb)*work[b].Energy
-			if te < bestEnergy {
-				bestEnergy = te
+			if te < s.bestEnergy {
+				s.bestEnergy = te
 				for k := range bestCounts {
 					bestCounts[k] = 0
 				}
@@ -244,119 +438,13 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 		}
 	}
 
-	// childBound is the LP relaxation of the subtree where counts for
-	// configs < i are fixed (accEnergy), counts[i] = c, and configs > i
-	// fill the remainder fractionally. Returns +Inf when infeasible.
-	childBound := func(i, c, remJobs int, remBudget, accEnergy float64) float64 {
-		e := accEnergy + float64(c)*work[i].Energy
-		left := remJobs - c
-		if left == 0 {
-			return e
-		}
-		b := remBudget - float64(c)*work[i].Time
-		if i+1 >= n {
-			return math.Inf(1)
-		}
-		h := hullAt[i+1]
-		if float64(left)*h.minTime() > b+1e-9 {
-			return math.Inf(1)
-		}
-		return e + h.value(b/float64(left))*float64(left)
-	}
+	s.dfs(0, jobs, budget, 0)
 
-	nodes := uint64(0)
-	var dfs func(i, remJobs int, remBudget, accEnergy float64)
-	dfs = func(i, remJobs int, remBudget, accEnergy float64) {
-		nodes++
-		if remJobs == 0 {
-			if accEnergy < bestEnergy {
-				bestEnergy = accEnergy
-				copy(bestCounts, counts)
-			}
-			return
-		}
-		if i == n {
-			return
-		}
-		if i == n-1 {
-			// Last configuration must absorb all remaining jobs.
-			if float64(remJobs)*work[i].Time <= remBudget+1e-9 {
-				counts[i] = remJobs
-				total := accEnergy + float64(remJobs)*work[i].Energy
-				if total < bestEnergy {
-					bestEnergy = total
-					copy(bestCounts, counts)
-				}
-				counts[i] = 0
-			}
-			return
-		}
-
-		maxByBudget := remJobs
-		if byBudget := int(math.Floor((remBudget + 1e-9) / work[i].Time)); byBudget < maxByBudget {
-			maxByBudget = byBudget
-		}
-		if maxByBudget < 0 {
-			return
-		}
-		// The LP value with counts[i] pinned to c is convex in c
-		// (parametric-LP convexity). Locate the integer minimizer by
-		// ternary search, then expand outward: once a direction's bound
-		// crosses the incumbent, everything further out is at least as
-		// bad and the whole direction is pruned.
-		bound := func(c int) float64 {
-			return childBound(i, c, remJobs, remBudget, accEnergy)
-		}
-		lo, hi := 0, maxByBudget
-		for hi-lo > 2 {
-			m1 := lo + (hi-lo)/3
-			m2 := hi - (hi-lo)/3
-			b1 := bound(m1)
-			// Infeasibility (+Inf) occupies a lower interval of c —
-			// work[i] is the fastest remaining option, so more jobs
-			// on it never hurt feasibility. An infeasible left probe
-			// therefore always moves the bracket up.
-			if math.IsInf(b1, 1) {
-				lo = m1
-			} else if b1 <= bound(m2) {
-				hi = m2
-			} else {
-				lo = m1
-			}
-		}
-		cMin := lo
-		for c := lo + 1; c <= hi; c++ {
-			if bound(c) < bound(cMin) {
-				cMin = c
-			}
-		}
-		visit := func(c int) bool {
-			if bound(c) >= bestEnergy-eps {
-				return false
-			}
-			counts[i] = c
-			dfs(i+1, remJobs-c, remBudget-float64(c)*work[i].Time, accEnergy+float64(c)*work[i].Energy)
-			counts[i] = 0
-			return true
-		}
-		for c := cMin; c <= maxByBudget; c++ {
-			if !visit(c) {
-				break
-			}
-		}
-		for c := cMin - 1; c >= 0; c-- {
-			if !visit(c) {
-				break
-			}
-		}
-	}
-	dfs(0, jobs, budget, 0)
-
-	if math.IsInf(bestEnergy, 1) {
-		recordSolve(nodes, true)
+	if math.IsInf(s.bestEnergy, 1) {
+		recordSolve(s.nodes, true)
 		return Assignment{}, ErrInfeasible
 	}
-	recordSolve(nodes, false)
+	recordSolve(s.nodes, false)
 	out := Assignment{Counts: make([]int, len(opts))}
 	for k, w := range work {
 		out.Counts[w.orig] += bestCounts[k]
@@ -372,62 +460,4 @@ func Solve(opts []Option, jobs int, budget float64) (Assignment, error) {
 type indexedOption struct {
 	Option
 	orig int
-}
-
-// lpGuess estimates how many of the remaining jobs the LP relaxation would
-// run under work[i], assuming the rest run at the cheapest-energy remaining
-// configuration.
-func lpGuess(work []indexedOption, i, remJobs int, remBudget float64) int {
-	// Cheapest-energy config among the suffix (the slow mixer).
-	slow := work[i].Option
-	for _, w := range work[i+1:] {
-		if w.Energy < slow.Energy {
-			slow = w.Option
-		}
-	}
-	if slow == work[i].Option {
-		return remJobs
-	}
-	// Solve n_fast·T_fast + (W−n_fast)·T_slow = B.
-	denom := work[i].Time - slow.Time
-	if denom == 0 {
-		return 0
-	}
-	nf := (remBudget - float64(remJobs)*slow.Time) / denom
-	guess := int(math.Round(nf))
-	if guess < 0 {
-		guess = 0
-	}
-	if guess > remJobs {
-		guess = remJobs
-	}
-	return guess
-}
-
-// valueOrder yields 0..max ordered by distance from guess.
-func valueOrder(guess, max int) []int {
-	if guess < 0 {
-		guess = 0
-	}
-	if guess > max {
-		guess = max
-	}
-	out := make([]int, 0, max+1)
-	out = append(out, guess)
-	for d := 1; ; d++ {
-		lo, hi := guess-d, guess+d
-		any := false
-		if hi <= max {
-			out = append(out, hi)
-			any = true
-		}
-		if lo >= 0 {
-			out = append(out, lo)
-			any = true
-		}
-		if !any {
-			break
-		}
-	}
-	return out
 }

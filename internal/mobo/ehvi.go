@@ -106,16 +106,27 @@ func NewEHVIStrips(front []pareto.Point, ref pareto.Point) *EHVIStrips {
 
 // Value evaluates the expected hypervolume improvement of a candidate with
 // predictive distribution g against the precomputed decomposition.
+//
+// Adjacent strips share a boundary whenever no empty strip was skipped
+// between them, so ψ₁ at a strip's lower bound is usually ψ₁ at the previous
+// strip's upper bound — ψ is a pure function, so reusing the memoized value
+// on bound equality is bitwise-identical to recomputing it and removes about
+// a third of the erfc/exp calls from the candidate scan's dominant term.
 func (s *EHVIStrips) Value(g Gaussian2) float64 {
-	psi1 := func(c float64) float64 { return psi(c, g.MuX, g.SigmaX) }
-	psi2 := func(c float64) float64 { return psi(c, g.MuY, g.SigmaY) }
-
 	if s.empty {
-		return psi1(s.ref.X) * psi2(s.ref.Y)
+		return psi(s.ref.X, g.MuX, g.SigmaX) * psi(s.ref.Y, g.MuY, g.SigmaY)
 	}
-	total := psi1(s.b0) * psi2(s.ref.Y)
+	prevB := s.b0
+	prevPsi1 := psi(s.b0, g.MuX, g.SigmaX)
+	total := prevPsi1 * psi(s.ref.Y, g.MuY, g.SigmaY)
 	for _, st := range s.strips {
-		total += (psi1(st.b) - psi1(st.a)) * psi2(st.c)
+		pa := prevPsi1
+		if st.a != prevB {
+			pa = psi(st.a, g.MuX, g.SigmaX)
+		}
+		pb := psi(st.b, g.MuX, g.SigmaX)
+		total += (pb - pa) * psi(st.c, g.MuY, g.SigmaY)
+		prevB, prevPsi1 = st.b, pb
 	}
 	if total < 0 {
 		// Guard against tiny negative values from floating cancellation.

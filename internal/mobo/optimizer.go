@@ -35,6 +35,12 @@ type Options struct {
 	Iters    int
 	// UseRBF switches the surrogate kernel (ablation).
 	UseRBF bool
+	// Float32Prescreen enables the float32 fast path for the EHVI candidate
+	// scan: candidates are scored with cheap float32 approximations first
+	// and only the top slice is re-scored with exact float64 arithmetic, so
+	// the selected candidates are bit-identical to the pure-float64 scan
+	// (see ehvi32.go for the soundness argument).
+	Float32Prescreen bool
 }
 
 // Optimizer is a multi-objective Bayesian optimizer over a fixed, finite
@@ -274,17 +280,29 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 		o.cacheT = o.modelT.NewKStarCache(o.candidates)
 	}
 
-	modelE, modelT := o.modelE, o.modelT
 	cacheE, cacheT := o.cacheE, o.cacheT
 	front := o.Front()
 	out := make([]Suggestion, 0, k)
 
-	vals := make([]float64, len(o.candidates))
-	gs := make([]Gaussian2, len(o.candidates))
-	live := make([]bool, len(o.candidates))
+	sc := getScanScratch(len(o.candidates))
+	defer putScanScratch(sc)
+	vals, gs, live := sc.vals, sc.gs, sc.live
 	for i := range o.candidates {
 		live[i] = !o.observed[i]
 	}
+
+	// Kriging-believer chains: the surrogate factors and the candidate
+	// caches grow in place inside preallocated slabs — one slab copy up
+	// front, zero copying per fantasy (k−1 fantasies per batch).
+	fanE := o.modelE.NewFantasy(k - 1)
+	defer fanE.Release()
+	fanT := o.modelT.NewFantasy(k - 1)
+	defer fanT.Release()
+	chainE := cacheE.NewChain(k - 1)
+	defer chainE.Release()
+	chainT := cacheT.NewChain(k - 1)
+	defer chainT.Release()
+	cacheE, cacheT = chainE.Cur(), chainT.Cur()
 
 	for pick := 0; pick < k; pick++ {
 		// The strip decomposition depends only on the working front, which
@@ -292,19 +310,17 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 		// every candidate in O(n) instead of re-sorting per candidate.
 		strips := NewEHVIStrips(front, ref)
 		// Concurrent scan: every live candidate's posterior and EHVI land
-		// in per-index slots; no cross-worker state.
-		parallel.ForChunk(len(o.candidates), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if !live[i] {
-					continue
-				}
-				muE, sE := cacheE.Predict(i)
-				muT, sT := cacheT.Predict(i)
-				g := lognormalMoments(muE, sE, muT, sT)
-				gs[i] = g
-				vals[i] = strips.Value(g)
-			}
-		})
+		// in per-index slots; no cross-worker state. The optional float32
+		// pre-screen narrows the exact float64 scoring to the top slice;
+		// either way vals holds exact float64 scores for every candidate
+		// that can win, so the serial reduction below is unaffected.
+		if o.opts.Float32Prescreen {
+			o.prescreenScan(sc, strips, cacheE, cacheT)
+		} else {
+			parallel.ForChunk(len(o.candidates), func(lo, hi int) {
+				scanEHVI(strips, cacheE, cacheT, live, vals, gs, lo, hi)
+			})
+		}
 		// Serial reduction, lowest candidate index wins on equal EHVI
 		// (including the all-zero-EHVI regime near pool exhaustion).
 		bestIdx, bestVal := -1, 0.0
@@ -331,25 +347,106 @@ func (o *Optimizer) SuggestBatch(k int) ([]Suggestion, error) {
 		}
 		// Kriging believer: fantasize the predicted mean observation
 		// and update both the surrogates and the working front. The
-		// O(n²) rank-one Cholesky extension keeps batch selection cheap,
-		// and the caches follow it with one kernel evaluation per
+		// in-place rank-one Cholesky extension keeps batch selection
+		// cheap, and the caches follow it with one kernel evaluation per
 		// candidate.
 		x := o.candidates[bestIdx]
 		muE, _ := cacheE.Predict(bestIdx)
 		muT, _ := cacheT.Predict(bestIdx)
-		condE, errE := modelE.ConditionFast(x, muE)
-		condT, errT := modelT.ConditionFast(x, muT)
-		if errE == nil && errT == nil {
-			extE, errE := cacheE.Extend(condE, x)
-			extT, errT := cacheT.Extend(condT, x)
-			if errE == nil && errT == nil {
-				modelE, modelT = condE, condT
-				cacheE, cacheT = extE, extT
-			}
+		condE, err := fanE.Condition(x, muE)
+		if err != nil {
+			return nil, fmt.Errorf("mobo: believer conditioning: %w", err)
+		}
+		condT, err := fanT.Condition(x, muT)
+		if err != nil {
+			return nil, fmt.Errorf("mobo: believer conditioning: %w", err)
+		}
+		if cacheE, err = chainE.Extend(condE, x); err != nil {
+			return nil, fmt.Errorf("mobo: believer cache extension: %w", err)
+		}
+		if cacheT, err = chainT.Extend(condT, x); err != nil {
+			return nil, fmt.Errorf("mobo: believer cache extension: %w", err)
 		}
 		front = pareto.Front(append(front, pareto.Point{X: bestG.MuX, Y: bestG.MuY}))
 	}
 	return out, nil
+}
+
+// scanEHVI is the fused float64 candidate scan over [lo, hi): cached
+// posterior dots, lognormal moment matching and the strip evaluation run
+// back to back with no intermediate storage beyond the per-index result
+// slots. Steady-state allocation-free (pinned by the allocation-regression
+// suite); safe for concurrent use on disjoint ranges.
+func scanEHVI(strips *EHVIStrips, cacheE, cacheT *gp.KStarCache, live []bool, vals []float64, gs []Gaussian2, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if !live[i] {
+			continue
+		}
+		muE, sE := cacheE.Predict(i)
+		muT, sT := cacheT.Predict(i)
+		g := lognormalMoments(muE, sE, muT, sT)
+		gs[i] = g
+		vals[i] = strips.Value(g)
+	}
+}
+
+// prescreenMin is the smallest float32 acquisition maximum the pre-screen
+// trusts. Below it the batch is deep into acquisition exhaustion, where
+// float32 resolution near zero could reorder candidates, so the scan falls
+// back to exact float64 for every candidate — that regime is cheap anyway.
+const prescreenMin = 1e-12
+
+// prescreenScan is the float32-pre-screened candidate scan: a cheap
+// approximate pass over all live candidates, then exact float64 re-scoring
+// of the slice whose approximate score is within half of the approximate
+// maximum. Candidates outside the slice get a sentinel below every exact
+// score, so the caller's reduction sees exact values wherever the winner can
+// be. See ehvi32.go for why the winner is always inside the slice.
+func (o *Optimizer) prescreenScan(sc *scanScratch, strips *EHVIStrips, cacheE, cacheT *gp.KStarCache) {
+	vals, gs, live, vals32 := sc.vals, sc.gs, sc.live, sc.vals32
+	sc.s32.fill(strips)
+	s32 := &sc.s32
+	parallel.ForChunk(len(vals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !live[i] {
+				continue
+			}
+			muE, sE := cacheE.Predict(i)
+			muT, sT := cacheT.Predict(i)
+			mx, sx, my, sy := lognormalMoments32(float32(muE), float32(sE), float32(muT), float32(sT))
+			vals32[i] = s32.value(mx, sx, my, sy)
+		}
+	})
+	best32 := float32(0)
+	for i, v := range vals32 {
+		if live[i] && v > best32 {
+			best32 = v
+		}
+	}
+	if best32 < prescreenMin {
+		// Degenerate regime: approximate scores are all ~0, run exact.
+		parallel.ForChunk(len(vals), func(lo, hi int) {
+			scanEHVI(strips, cacheE, cacheT, live, vals, gs, lo, hi)
+		})
+		return
+	}
+	thresh := 0.5 * best32
+	parallel.ForChunk(len(vals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !live[i] {
+				continue
+			}
+			if vals32[i] < thresh {
+				vals[i] = -1 // below every exact score; cannot win
+				continue
+			}
+			muE, sE := cacheE.Predict(i)
+			muT, sT := cacheT.Predict(i)
+			g := lognormalMoments(muE, sE, muT, sT)
+			gs[i] = g
+			vals[i] = strips.Value(g)
+		}
+	})
 }
 
 // PosteriorAt exposes the raw-space predictive distribution at a candidate

@@ -1,0 +1,73 @@
+package mobo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFloat32PrescreenMatchesFloat64 pins the pre-screen's soundness
+// contract: with Float32Prescreen enabled, SuggestBatch must return exactly
+// the suggestions of the pure-float64 scan — same indices, same coordinates,
+// same float64 EHVI values, across many synthetic problems.
+func TestFloat32PrescreenMatchesFloat64(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		const dim, nc = 3, 300
+		candidates := make([][]float64, nc)
+		for i := range candidates {
+			c := make([]float64, dim)
+			for d := range c {
+				c[d] = rng.Float64()
+			}
+			candidates[i] = c
+		}
+		// Synthetic positive objectives with multiplicative structure, like
+		// the energy/latency pair the optimizer models.
+		objE := func(x []float64) float64 {
+			return math.Exp(0.8*x[0] - 0.3*x[1] + 0.2*x[2]*x[2])
+		}
+		objT := func(x []float64) float64 {
+			return math.Exp(-0.5*x[0] + 0.9*x[1] + 0.1*x[2])
+		}
+
+		run := func(prescreen bool) []Suggestion {
+			opt, err := NewOptimizer(candidates, Options{
+				Seed:             seed,
+				Restarts:         2,
+				Iters:            5,
+				Float32Prescreen: prescreen,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obsRng := rand.New(rand.NewSource(2000 + seed))
+			for i := 0; i < 14; i++ {
+				idx := obsRng.Intn(nc)
+				x := candidates[idx]
+				if err := opt.Observe(Observation{
+					Index:   idx,
+					Energy:  objE(x) * (1 + 0.05*obsRng.NormFloat64()),
+					Latency: objT(x) * (1 + 0.05*obsRng.NormFloat64()),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sugg, err := opt.SuggestBatch(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sugg
+		}
+
+		exact := run(false)
+		screened := run(true)
+		if !reflect.DeepEqual(exact, screened) {
+			t.Fatalf("seed %d: prescreen diverged from float64 scan:\nfloat64:  %+v\nprescreen: %+v", seed, exact, screened)
+		}
+		if len(exact) == 0 {
+			t.Fatalf("seed %d: no suggestions produced", seed)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package mobo
+
+import "sync"
+
+// scanScratch is the per-call arena for SuggestBatch's candidate scan: the
+// per-candidate score/posterior/liveness slots plus the float32 pre-screen
+// buffers. One arena serves a whole batch selection and returns to the pool
+// afterwards, mirroring the codec's pooled wire buffers — in steady state a
+// SuggestBatch call allocates no per-candidate storage at all.
+type scanScratch struct {
+	vals   []float64
+	gs     []Gaussian2
+	live   []bool
+	vals32 []float32
+	s32    ehviStrips32
+}
+
+var scanScratchPool sync.Pool
+
+func getScanScratch(nc int) *scanScratch {
+	sc, _ := scanScratchPool.Get().(*scanScratch)
+	if sc == nil {
+		sc = &scanScratch{}
+	}
+	if cap(sc.vals) < nc {
+		sc.vals = make([]float64, nc)
+		sc.gs = make([]Gaussian2, nc)
+		sc.live = make([]bool, nc)
+		sc.vals32 = make([]float32, nc)
+	}
+	sc.vals = sc.vals[:nc]
+	sc.gs = sc.gs[:nc]
+	sc.live = sc.live[:nc]
+	sc.vals32 = sc.vals32[:nc]
+	return sc
+}
+
+func putScanScratch(sc *scanScratch) {
+	scanScratchPool.Put(sc)
+}

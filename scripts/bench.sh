@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Snapshot the acquisition hot-path benchmarks into BENCH_<n>.json, seeding
-# the repo's perf trajectory. Each snapshot records ns/op for the three
-# hot-path benchmarks (best of -count runs, to damp scheduler noise) plus
-# the environment they ran in.
+# the repo's perf trajectory. Each snapshot records ns/op, B/op and
+# allocs/op for the hot-path benchmarks and numeric-core microbenchmarks
+# (best of -count runs, to damp scheduler noise) plus the environment they
+# ran in.
 #
 # Usage:
 #   scripts/bench.sh [n]        # writes BENCH_<n>.json at the repo root
@@ -13,7 +14,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkMBOSuggestBatchLive|BenchmarkGPFit|BenchmarkFigure9|BenchmarkFLScale)$'
+BENCHES='^(BenchmarkMBOSuggestBatch|BenchmarkMBOSuggestBatchF64|BenchmarkMBOSuggestBatchLive|BenchmarkGPFit|BenchmarkFigure9|BenchmarkFLScale|BenchmarkCholeskyBlocked|BenchmarkCholeskyScalar|BenchmarkPredictBatchFused|BenchmarkILPSolve)$'
 COUNT="${BENCH_COUNT:-3}"
 
 n="${1:-}"
@@ -32,7 +33,7 @@ out="BENCH_${n}.json"
 export GO_VERSION="$(go env GOVERSION)"
 export BENCH_GOMAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
 
-raw="$(go test -run='^$' -bench="$BENCHES" -benchtime=1x -count="$COUNT" . 2>&1)"
+raw="$(go test -run='^$' -bench="$BENCHES" -benchmem -benchtime=1x -count="$COUNT" . 2>&1)"
 echo "$raw"
 
 echo "$raw" | awk -v out="$out" -v count="$COUNT" '
