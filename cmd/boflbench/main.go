@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		par    = fs.Int("parallel", 0, "worker pool width for the acquisition scans and the tasks × ratios × seeds experiment fan-out (0 = GOMAXPROCS, 1 = serial)")
 		trace  = fs.String("telemetry", "", "write the suite's span trace as JSONL to this path")
 		chrome = fs.String("telemetry-chrome", "", "write the suite's span trace as Chrome trace_event JSON to this path")
+		tid    = fs.String("telemetry-trace", "", "narrow -telemetry/-telemetry-chrome output to one stitched trace ID")
 		pprofA = fs.String("pprof", "", "serve net/http/pprof on this address during the run (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,16 +80,21 @@ func run(args []string, out io.Writer) error {
 		// event across the suite lands in the same trace buffer.
 		tel = obs.NewBoFL(obs.Real{})
 		experiment.SetSink(tel)
+		writeJSONL, writeChrome := tel.Tracer.WriteJSONL, tel.Tracer.WriteChromeTrace
+		if *tid != "" {
+			writeJSONL = func(w io.Writer) error { return tel.Tracer.WriteTraceJSONL(w, *tid) }
+			writeChrome = func(w io.Writer) error { return tel.Tracer.WriteTraceChrome(w, *tid) }
+		}
 		defer func() {
 			if *trace != "" {
-				if err := writeFile(*trace, tel.Tracer.WriteJSONL); err != nil {
+				if err := writeFile(*trace, writeJSONL); err != nil {
 					fmt.Fprintln(os.Stderr, "boflbench: telemetry:", err)
 				} else {
 					fmt.Fprintf(out, "wrote %d trace events to %s\n", tel.Tracer.Len(), *trace)
 				}
 			}
 			if *chrome != "" {
-				if err := writeFile(*chrome, tel.Tracer.WriteChromeTrace); err != nil {
+				if err := writeFile(*chrome, writeChrome); err != nil {
 					fmt.Fprintln(os.Stderr, "boflbench: telemetry:", err)
 				} else {
 					fmt.Fprintf(out, "wrote Chrome trace to %s\n", *chrome)

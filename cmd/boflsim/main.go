@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		saveSnap = fs.String("save-snapshot", "", "write the BoFL controller's final state to this file")
 		tracePth = fs.String("telemetry", "", "write the run's span trace as JSONL to this path")
 		chromePt = fs.String("telemetry-chrome", "", "write the run's span trace as Chrome trace_event JSON to this path")
+		traceID  = fs.String("telemetry-trace", "", "narrow -telemetry/-telemetry-chrome output to one stitched trace ID")
 		pprofFlg = fs.String("pprof", "", "serve net/http/pprof on this address during the run (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -108,14 +109,22 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var writeJSONL, writeChrome func(io.Writer) error
+	if tel != nil {
+		writeJSONL, writeChrome = tel.Tracer.WriteJSONL, tel.Tracer.WriteChromeTrace
+		if *traceID != "" {
+			writeJSONL = func(w io.Writer) error { return tel.Tracer.WriteTraceJSONL(w, *traceID) }
+			writeChrome = func(w io.Writer) error { return tel.Tracer.WriteTraceChrome(w, *traceID) }
+		}
+	}
 	if *tracePth != "" {
-		if err := writeTrace(*tracePth, tel.Tracer.WriteJSONL); err != nil {
+		if err := writeTrace(*tracePth, writeJSONL); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %d trace events to %s\n", tel.Tracer.Len(), *tracePth)
 	}
 	if *chromePt != "" {
-		if err := writeTrace(*chromePt, tel.Tracer.WriteChromeTrace); err != nil {
+		if err := writeTrace(*chromePt, writeChrome); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote Chrome trace to %s\n", *chromePt)

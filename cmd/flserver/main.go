@@ -20,6 +20,7 @@ import (
 	"bofl/internal/fl"
 	"bofl/internal/ml"
 	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
 	"bofl/internal/parallel"
 )
 
@@ -42,7 +43,7 @@ func run(args []string) error {
 		perRound = fs.Int("per-round", 0, "participants per round (0 = all)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 5*time.Minute, "per-round HTTP timeout")
-		admin    = fs.String("admin", "", "serve /metrics, /healthz and /v1/telemetry on this address (empty = off)")
+		admin    = fs.String("admin", "", "serve /metrics, /healthz, /v1/telemetry and /v1/ledger on this address (empty = off)")
 		hold     = fs.Duration("hold", 0, "keep the process (and admin endpoints) alive this long after the last round")
 		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 		fanout   = fs.Int("fanout", 0, "round dispatch width: max concurrent participant requests (0 = GOMAXPROCS)")
@@ -61,6 +62,9 @@ func run(args []string) error {
 		chaosStragMin = fs.Duration("chaos-straggle-min", 0, "minimum injected straggler delay")
 		chaosStragMax = fs.Duration("chaos-straggle-max", 30*time.Second, "maximum injected straggler delay")
 		chaosFlaky    = fs.Int("chaos-flaky", 0, "every client fails its first N attempts per round, then recovers")
+
+		ledgerPath = fs.String("ledger", "", "journal every round's ledger events to this JSONL file (empty = off)")
+		ledgerMax  = fs.Int("ledger-max", 0, "in-memory ledger ring size in events (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +98,22 @@ func run(args []string) error {
 	if *perRound > 0 {
 		selector = fl.NewRandomSelector(*seed)
 	}
+	// The round ledger is always on: it is cheap (structured appends into a
+	// bounded ring) and it is the artifact the post-mortem tooling
+	// (boflprofile -ledger, GET /v1/ledger) reads.
+	led := ledger.New(*ledgerMax)
+	if *ledgerPath != "" {
+		f, err := os.Create(*ledgerPath)
+		if err != nil {
+			return fmt.Errorf("ledger sink: %w", err)
+		}
+		defer func() {
+			_ = led.Flush()
+			_ = f.Close()
+		}()
+		led.SetSink(f)
+		fmt.Printf("ledger journal -> %s\n", *ledgerPath)
+	}
 	srv, err := fl.NewServer(fl.ServerConfig{
 		InitialParams:        global.Params(),
 		Jobs:                 *jobs,
@@ -109,6 +129,7 @@ func run(args []string) error {
 			Seed:           *seed,
 		},
 		FaultPolicy: policy,
+		Ledger:      led,
 	})
 	if err != nil {
 		return err
@@ -121,12 +142,13 @@ func run(args []string) error {
 	if *admin != "" {
 		mux := http.NewServeMux()
 		tel.Mount(mux)
+		mux.Handle("GET /v1/ledger", led.Handler())
 		go func() {
 			if err := http.ListenAndServe(*admin, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "flserver: admin listener:", err)
 			}
 		}()
-		fmt.Printf("admin endpoints on %s (/metrics /healthz /v1/telemetry)\n", *admin)
+		fmt.Printf("admin endpoints on %s (/metrics /healthz /v1/telemetry /v1/ledger)\n", *admin)
 	}
 	if *pprofFlg != "" {
 		obs.ServePprof(*pprofFlg)
@@ -178,6 +200,11 @@ func run(args []string) error {
 	if err := orchestrate(srv, *rounds, os.Stdout); err != nil {
 		return err
 	}
+	// Make the journal durable before any hold period: a scraper (or a CI
+	// smoke kill) must find every committed round on disk already.
+	if err := led.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flserver: ledger sink: %v\n", err)
+	}
 	if *hold > 0 {
 		// Leave the admin endpoints scrapeable after the run — the CI smoke
 		// test curls /metrics once the rounds are done.
@@ -208,8 +235,8 @@ func orchestrate(srv *fl.Server, rounds int, out io.Writer) error {
 			casualties = fmt.Sprintf(", %d dropped (%d stragglers, %d quarantined)",
 				len(res.Dropped), len(res.Stragglers), len(res.Quarantined))
 		}
-		fmt.Fprintf(out, "round %3d: deadline %6.1fs, %d participants, %8.1f J, %d misses%s\n",
-			res.Round, res.Deadline, len(res.Responses), energy, misses, casualties)
+		fmt.Fprintf(out, "round %3d: deadline %6.1fs, %d participants, %8.1f J, %d misses%s, trace %s\n",
+			res.Round, res.Deadline, len(res.Responses), energy, misses, casualties, res.TraceID)
 	}
 	fmt.Fprintln(out, "done; global model aggregated over", rounds, "rounds")
 	return nil

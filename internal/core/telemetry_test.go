@@ -76,7 +76,7 @@ func TestControllerTelemetry(t *testing.T) {
 		if ev.Name != "bofl_phase_transition" {
 			continue
 		}
-		switch ev.Labels["to"] {
+		switch ev.Labels.Get("to") {
 		case PhaseParetoConstruct.String():
 			sawConstruct = true
 		case PhaseExploit.String():

@@ -85,6 +85,11 @@ func (d Decision) Faulty() bool {
 	return d.Drop || d.Crash || d.Timeout || d.Corrupt || d.Delay > 0
 }
 
+// Kind names the dominant injected behaviour ("drop", "crash", "timeout",
+// "corrupt", "delay" or "none") — the verdict vocabulary the round ledger
+// records for injected failures.
+func (d Decision) Kind() string { return d.kind() }
+
 // kind names the dominant injected behaviour for error messages.
 func (d Decision) kind() string {
 	switch {

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"bofl/internal/core"
 	"bofl/internal/faultinject"
 	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
 	"bofl/internal/simclock"
 )
 
@@ -442,5 +444,159 @@ func TestChaosServerRestartMidSequence(t *testing.T) {
 				t.Fatal("post-restart model is not finite")
 			}
 		}
+	}
+}
+
+// runLedgerStorm replays the acceptance storm with a round ledger attached
+// and returns the journal's exact JSONL bytes.
+func runLedgerStorm(t *testing.T, seed int64, rounds int) []byte {
+	t.Helper()
+	led := ledger.New(0)
+	plan := &faultinject.Plan{Seed: seed, Default: faultinject.Profile{Drop: 0.3}}
+	srv := chaosServer(t, 20, func(cfg *ServerConfig) {
+		cfg.Seed = seed
+		cfg.Quorum = 0.6
+		cfg.Retry = RetryConfig{MaxAttempts: 3, Seed: seed}
+		cfg.FaultPolicy = plan
+		cfg.Ledger = led
+	})
+	for r := 1; r <= rounds; r++ {
+		if _, err := srv.RunRound(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := led.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosLedgerReplayByteIdentical is the ledger's replay guarantee: two
+// storms at the same seed journal byte-identical JSONL (no wall-clock or
+// scheduling nondeterminism leaks into any event), and a different seed
+// journals a different history.
+func TestChaosLedgerReplayByteIdentical(t *testing.T) {
+	seed := chaosSeed(t)
+	const rounds = 6
+	a := runLedgerStorm(t, seed, rounds)
+	b := runLedgerStorm(t, seed, rounds)
+	if !bytes.Equal(a, b) {
+		// Find the first divergent line for the failure message.
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("seed %d: ledgers diverged at line %d:\n a: %s\n b: %s", seed, i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("seed %d: ledgers diverged in length: %d vs %d bytes", seed, len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("storm journaled no events")
+	}
+	c := runLedgerStorm(t, seed+1, rounds)
+	if bytes.Equal(a, c) {
+		t.Errorf("seeds %d and %d journaled identical ledgers", seed, seed+1)
+	}
+	// Sanity on content: the journal must hold every structural kind.
+	evs, err := ledger.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds[ledger.KindRoundBegin] != rounds || kinds[ledger.KindCommit] != rounds {
+		t.Errorf("journal kinds %v, want %d round_begin and commit", kinds, rounds)
+	}
+	if kinds[ledger.KindAttempt] == 0 {
+		t.Error("journal holds no attempt events")
+	}
+}
+
+// spanningParticipant wraps a chaos participant and reports a client-side
+// span summary when the request carries a trace — the in-process stand-in
+// for a remote client stamping its local spans.
+type spanningParticipant struct{ *chaosParticipant }
+
+func (p *spanningParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	resp, err := p.chaosParticipant.Round(req)
+	if err == nil && req.Trace.Valid() {
+		resp.Spans = []obs.SpanSummary{{Name: obs.SpanClientRound, StartNs: 0, DurNs: 1_000_000}}
+	}
+	return resp, err
+}
+
+// TestChaosStitchedRoundTrace runs one faulty round against a live Telemetry
+// sink and asserts the stitched trace is complete: the fl_round root span,
+// per-attempt child spans, the fault event with its verdict, and the
+// client-grafted span joined by trace ID under its attempt.
+func TestChaosStitchedRoundTrace(t *testing.T) {
+	seed := chaosSeed(t)
+	script := faultinject.Scripted{
+		{Layer: faultinject.LayerParticipant, Client: "edge-01", Round: 1, Attempt: 0}: {Drop: true},
+	}
+	srv := chaosServer(t, 0, func(cfg *ServerConfig) {
+		cfg.Quorum = 0.6
+		cfg.Retry = RetryConfig{MaxAttempts: 2, Seed: seed}
+		cfg.FaultPolicy = script
+	})
+	for _, p := range chaosPool(4) {
+		srv.Register(&spanningParticipant{p.(*chaosParticipant)})
+	}
+	tel := obs.NewBoFL(obs.Real{})
+	srv.SetSink(tel)
+
+	res, err := srv.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := obs.MintTrace(17, 1)
+	if res.TraceID != want.TraceID {
+		t.Fatalf("result trace ID %q, want deterministic %q", res.TraceID, want.TraceID)
+	}
+	evs := tel.Tracer.EventsFor(res.TraceID)
+	if len(evs) == 0 {
+		t.Fatal("no events stitched under the round trace")
+	}
+	var rootSpans, attemptSpans, faultEvents, grafted int
+	var faultVerdict string
+	for _, ev := range evs {
+		switch ev.Name {
+		case obs.SpanFLRound:
+			rootSpans++
+			if ev.Labels.Get(obs.LabelSpanID) != want.SpanID {
+				t.Errorf("root span ID %q, want %q", ev.Labels.Get(obs.LabelSpanID), want.SpanID)
+			}
+		case obs.SpanFLAttempt:
+			attemptSpans++
+			if ev.Labels.Get("client") == "" || ev.Labels.Get("attempt") == "" {
+				t.Errorf("attempt span missing client/attempt labels: %v", ev.Labels)
+			}
+		case obs.EventFLFault:
+			faultEvents++
+			faultVerdict = ev.Labels.Get("verdict")
+		case obs.SpanClientRound:
+			if ev.Labels.Get("clock") == "client-local" {
+				grafted++
+				if ev.Labels.Get(obs.LabelParentID) == "" {
+					t.Error("grafted client span has no parent span")
+				}
+			}
+		}
+	}
+	if rootSpans != 1 {
+		t.Errorf("%d fl_round root spans, want 1", rootSpans)
+	}
+	// 4 clients; edge-01's first attempt drops and its retry lands: 5 total.
+	if attemptSpans != 5 {
+		t.Errorf("%d fl_attempt spans, want 5", attemptSpans)
+	}
+	if faultEvents != 1 || faultVerdict != "drop" {
+		t.Errorf("fault events %d (verdict %q), want exactly one drop", faultEvents, faultVerdict)
+	}
+	if grafted != 4 {
+		t.Errorf("%d grafted client spans, want 4", grafted)
 	}
 }

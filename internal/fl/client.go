@@ -162,7 +162,15 @@ func (c *Client) executor() core.Executor {
 // TrainRound runs one FL round of `jobs` minibatch jobs under the round
 // deadline, driven by the client's pace controller.
 func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport, error) {
-	defer c.sink.Span(obs.SpanClientRound)()
+	return c.TrainRoundCtx(round, jobs, deadline, obs.TraceContext{})
+}
+
+// TrainRoundCtx is TrainRound carrying the server-propagated round trace
+// context: when tc is valid the client's round span is stamped with the
+// distributed trace/span IDs, so a client-side scrape shows which round
+// trace each local span belongs to.
+func (c *Client) TrainRoundCtx(round, jobs int, deadline float64, tc obs.TraceContext) (core.RoundReport, error) {
+	defer c.sink.Span(obs.SpanClientRound, traceLabels(tc)...)()
 	rep, err := c.controller.RunRound(jobs, deadline, c.executor())
 	if err != nil {
 		return core.RoundReport{}, fmt.Errorf("fl: client %q round %d: %w", c.id, round, err)
@@ -174,8 +182,22 @@ func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport
 // ConfigWindow runs the controller's between-round work (MBO) during the
 // configuration/reporting window, as §4.3 prescribes.
 func (c *Client) ConfigWindow() (core.MBOReport, error) {
-	defer c.sink.Span(obs.SpanClientWindow)()
+	return c.ConfigWindowCtx(obs.TraceContext{})
+}
+
+// ConfigWindowCtx is ConfigWindow stamped with the propagated trace context.
+func (c *Client) ConfigWindowCtx(tc obs.TraceContext) (core.MBOReport, error) {
+	defer c.sink.Span(obs.SpanClientWindow, traceLabels(tc)...)()
 	return c.controller.BetweenRounds()
+}
+
+// traceLabels turns a propagated context into span labels; an invalid or
+// absent context contributes none, keeping untraced runs label-free.
+func traceLabels(tc obs.TraceContext) []obs.Label {
+	if !tc.Valid() {
+		return nil
+	}
+	return tc.ChildLabels()
 }
 
 // Clock exposes the client's virtual clock (for harnesses that account

@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"bofl/internal/core"
+	"bofl/internal/obs"
 )
 
 // Codec and content-type identifiers used by the negotiation layer.
@@ -81,18 +82,24 @@ const (
 	maxFrameParams = 1 << 26
 )
 
-// roundRequestMeta is RoundRequest minus the parameter vector.
+// roundRequestMeta is RoundRequest minus the parameter vector. The trace
+// fields carry the server-minted round trace context in-band, so JSON-only
+// clients (and any transport that strips custom headers) still join the
+// stitched round trace.
 type roundRequestMeta struct {
 	Round    int     `json:"round"`
 	Jobs     int     `json:"jobs"`
 	Deadline float64 `json:"deadlineSeconds"`
+	TraceID  string  `json:"traceId,omitempty"`
+	SpanID   string  `json:"spanId,omitempty"`
 }
 
 // roundResponseMeta is RoundResponse minus the parameter vector.
 type roundResponseMeta struct {
-	ClientID    string           `json:"clientId"`
-	NumExamples int              `json:"numExamples"`
-	Report      core.RoundReport `json:"report"`
+	ClientID    string            `json:"clientId"`
+	NumExamples int               `json:"numExamples"`
+	Report      core.RoundReport  `json:"report"`
+	Spans       []obs.SpanSummary `json:"spans,omitempty"`
 }
 
 // Pooled scratch: frame assembly and payload staging reuse buffers across
@@ -324,22 +331,33 @@ func decodeFrame(r io.Reader, meta any) ([]float64, error) {
 
 // EncodeRoundRequest writes req to w as one binary frame.
 func EncodeRoundRequest(w io.Writer, req RoundRequest) error {
-	return encodeFrame(w, roundRequestMeta{Round: req.Round, Jobs: req.Jobs, Deadline: req.Deadline}, req.Params)
+	return encodeFrame(w, roundRequestMeta{
+		Round: req.Round, Jobs: req.Jobs, Deadline: req.Deadline,
+		TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID,
+	}, req.Params)
 }
 
-// DecodeRoundRequest reads one binary frame from r.
+// DecodeRoundRequest reads one binary frame from r. Trace fields are decoded
+// faithfully (the codec roundtrips whatever was framed); ingress validation
+// against hostile values is the handler's job via TraceContext.Sanitized.
 func DecodeRoundRequest(r io.Reader) (RoundRequest, error) {
 	var meta roundRequestMeta
 	params, err := decodeFrame(r, &meta)
 	if err != nil {
 		return RoundRequest{}, err
 	}
-	return RoundRequest{Round: meta.Round, Params: params, Jobs: meta.Jobs, Deadline: meta.Deadline}, nil
+	return RoundRequest{
+		Round: meta.Round, Params: params, Jobs: meta.Jobs, Deadline: meta.Deadline,
+		Trace: obs.TraceContext{TraceID: meta.TraceID, SpanID: meta.SpanID},
+	}, nil
 }
 
 // EncodeRoundResponse writes resp to w as one binary frame.
 func EncodeRoundResponse(w io.Writer, resp RoundResponse) error {
-	return encodeFrame(w, roundResponseMeta{ClientID: resp.ClientID, NumExamples: resp.NumExamples, Report: resp.Report}, resp.Params)
+	return encodeFrame(w, roundResponseMeta{
+		ClientID: resp.ClientID, NumExamples: resp.NumExamples,
+		Report: resp.Report, Spans: resp.Spans,
+	}, resp.Params)
 }
 
 // DecodeRoundResponse reads one binary frame from r.
@@ -349,5 +367,8 @@ func DecodeRoundResponse(r io.Reader) (RoundResponse, error) {
 	if err != nil {
 		return RoundResponse{}, err
 	}
-	return RoundResponse{ClientID: meta.ClientID, Params: params, NumExamples: meta.NumExamples, Report: meta.Report}, nil
+	return RoundResponse{
+		ClientID: meta.ClientID, Params: params, NumExamples: meta.NumExamples,
+		Report: meta.Report, Spans: meta.Spans,
+	}, nil
 }

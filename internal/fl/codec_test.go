@@ -8,13 +8,18 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"bofl/internal/core"
+	"bofl/internal/obs"
 )
 
 func sampleRequest(params []float64) RoundRequest {
-	return RoundRequest{Round: 7, Params: params, Jobs: 40, Deadline: 61.5}
+	return RoundRequest{
+		Round: 7, Params: params, Jobs: 40, Deadline: 61.5,
+		Trace: obs.MintTrace(11, 7),
+	}
 }
 
 func sampleResponse(params []float64) RoundResponse {
@@ -29,6 +34,10 @@ func sampleResponse(params []float64) RoundResponse {
 			DeadlineMet: true,
 			Phase:       2,
 			FrontSize:   5,
+		},
+		Spans: []obs.SpanSummary{
+			{Name: obs.SpanClientRound, StartNs: 0, DurNs: 3_250_000_000},
+			{Name: obs.SpanClientWindow, StartNs: 3_250_000_000, DurNs: 1_000},
 		},
 	}
 }
@@ -67,6 +76,9 @@ func TestCodecRoundTrip(t *testing.T) {
 			if got.Round != req.Round || got.Jobs != req.Jobs || got.Deadline != req.Deadline {
 				t.Errorf("meta mismatch: %+v vs %+v", got, req)
 			}
+			if got.Trace != req.Trace {
+				t.Errorf("trace context mismatch: %+v vs %+v", got.Trace, req.Trace)
+			}
 			if !paramsEqual(got.Params, req.Params) {
 				t.Errorf("params mismatch: %v vs %v", got.Params, req.Params)
 			}
@@ -87,6 +99,14 @@ func TestCodecRoundTrip(t *testing.T) {
 			}
 			if !paramsEqual(gotR.Params, resp.Params) {
 				t.Errorf("params mismatch")
+			}
+			if len(gotR.Spans) != len(resp.Spans) {
+				t.Fatalf("span summaries lost: %+v vs %+v", gotR.Spans, resp.Spans)
+			}
+			for i := range resp.Spans {
+				if gotR.Spans[i] != resp.Spans[i] {
+					t.Errorf("span %d mismatch: %+v vs %+v", i, gotR.Spans[i], resp.Spans[i])
+				}
 			}
 		})
 	}
@@ -364,6 +384,22 @@ func FuzzCodec(f *testing.F) {
 			f.Add(flipped)
 		}
 	}
+	// Hostile trace-context seeds: the codec is deliberately faithful to
+	// whatever trace strings were framed (sanitization is the HTTP handler's
+	// job), so an oversized or injection-laden trace must still round-trip
+	// byte-exactly without panicking or corrupting the frame.
+	for _, hostile := range []obs.TraceContext{
+		{TraceID: strings.Repeat("a", 4096), SpanID: strings.Repeat("f", 4096)},
+		{TraceID: "\"}\n# HELP evil 1\nBFL1\x00\x01", SpanID: "-"},
+	} {
+		req := sampleRequest([]float64{1.5})
+		req.Trace = hostile
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRoundRequest(bytes.NewReader(data))
@@ -380,6 +416,9 @@ func FuzzCodec(f *testing.F) {
 		}
 		if again.Round != req.Round || again.Jobs != req.Jobs || again.Deadline != req.Deadline {
 			t.Fatalf("meta drift: %+v vs %+v", again, req)
+		}
+		if again.Trace != req.Trace {
+			t.Fatalf("trace drift: %+v vs %+v", again.Trace, req.Trace)
 		}
 		if !paramsEqual(again.Params, req.Params) {
 			t.Fatalf("param drift after round trip")

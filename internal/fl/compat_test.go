@@ -161,3 +161,129 @@ func TestBinaryFrameRejectedByJSONOnlyDaemon(t *testing.T) {
 		t.Errorf("codec error count = %v, want 1", got)
 	}
 }
+
+// TestTraceRoundtripBinary: over the negotiated BFL1 codec, a valid trace
+// context rides out in both the header and the frame meta, the daemon stamps
+// its client spans with it, and the span summaries come back in the binary
+// response.
+func TestTraceRoundtripBinary(t *testing.T) {
+	h := NewClientHandler(newTestClient(t, "traced-bin", 41))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p, err := DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codec() != CodecBinary {
+		t.Fatalf("negotiated %q, want %q", p.Codec(), CodecBinary)
+	}
+	tc := obs.MintTrace(7, 1)
+	resp, err := p.Round(RoundRequest{Round: 1, Params: h.client.Params(), Jobs: 20, Deadline: 60, Trace: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClientSpans(t, resp)
+}
+
+// TestTraceRoundtripJSONFallback: a JSON-only daemon (the negotiated-fallback
+// path) still receives the trace via header and JSON meta, and still reports
+// its spans in the JSON response.
+func TestTraceRoundtripJSONFallback(t *testing.T) {
+	h := NewClientHandler(newTestClient(t, "traced-json", 42))
+	h.SetJSONOnly(true)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p, err := DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codec() != CodecJSON {
+		t.Fatalf("negotiated %q, want %q", p.Codec(), CodecJSON)
+	}
+	resp, err := p.Round(RoundRequest{Round: 1, Params: h.client.Params(), Jobs: 20, Deadline: 60, Trace: obs.MintTrace(7, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClientSpans(t, resp)
+}
+
+// TestTraceInBandFallbackAndSanitization: with no X-Bofl-Trace header the
+// daemon falls back to the in-band meta trace — and sanitizes it, so a valid
+// body trace yields spans while a hostile one degrades to untraced.
+func TestTraceInBandFallbackAndSanitization(t *testing.T) {
+	c := newTestClient(t, "traced-raw", 43)
+	ts := httptest.NewServer(NewClientHandler(c))
+	defer ts.Close()
+
+	post := func(tc obs.TraceContext) RoundResponse {
+		t.Helper()
+		var body bytes.Buffer
+		req := RoundRequest{Round: 1, Params: c.Params(), Jobs: 20, Deadline: 60, Trace: tc}
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		hr, err := http.Post(ts.URL+"/v1/round", ContentTypeJSON, &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(hr.Body)
+			t.Fatalf("status %d: %s", hr.StatusCode, msg)
+		}
+		var resp RoundResponse
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	assertClientSpans(t, post(obs.MintTrace(7, 3)))
+	if resp := post(obs.TraceContext{TraceID: `"}# HELP evil`, SpanID: "tooshort"}); len(resp.Spans) != 0 {
+		t.Errorf("hostile in-band trace produced spans: %+v", resp.Spans)
+	}
+}
+
+// TestTraceNoSpanReportOptOut: a daemon with span reporting disabled ignores
+// the inbound trace entirely and returns no span summaries.
+func TestTraceNoSpanReportOptOut(t *testing.T) {
+	h := NewClientHandler(newTestClient(t, "opted-out", 44))
+	h.SetNoSpanReport(true)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p, err := DialParticipant(ts.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Round(RoundRequest{Round: 1, Params: h.client.Params(), Jobs: 20, Deadline: 60, Trace: obs.MintTrace(7, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) != 0 {
+		t.Errorf("opted-out daemon reported spans: %+v", resp.Spans)
+	}
+}
+
+// assertClientSpans checks a traced response carries the client-side round
+// span with a plausible duration.
+func assertClientSpans(t *testing.T, resp RoundResponse) {
+	t.Helper()
+	if len(resp.Spans) == 0 {
+		t.Fatal("traced round returned no client spans")
+	}
+	found := false
+	for _, ss := range resp.Spans {
+		if ss.Name == obs.SpanClientRound {
+			found = true
+			if ss.DurNs < 0 {
+				t.Errorf("client span has negative duration %d", ss.DurNs)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no %s span in %+v", obs.SpanClientRound, resp.Spans)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"slices"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bofl/internal/obs"
@@ -78,10 +79,11 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // ClientHandler exposes a *Client over HTTP.
 type ClientHandler struct {
-	client   *Client
-	mux      *http.ServeMux
-	sink     obs.Sink
-	jsonOnly bool
+	client       *Client
+	mux          *http.ServeMux
+	sink         obs.Sink
+	jsonOnly     bool
+	noSpanReport bool
 }
 
 var _ http.Handler = (*ClientHandler)(nil)
@@ -99,6 +101,11 @@ func NewClientHandler(c *Client) *ClientHandler {
 // wire behaviour. Used as an operational escape hatch (flclient -json-only)
 // and by the cross-compatibility tests to stand in for an old daemon.
 func (h *ClientHandler) SetJSONOnly(on bool) { h.jsonOnly = on }
+
+// SetNoSpanReport opts the daemon out of distributed tracing: incoming trace
+// contexts are dropped at ingress, so local spans carry no trace labels and
+// round responses return no span summaries (flclient -no-span-report).
+func (h *ClientHandler) SetNoSpanReport(on bool) { h.noSpanReport = on }
 
 // SetTelemetry installs a live telemetry backend: error counters flow into
 // its registry and the introspection endpoints (/metrics, /healthz,
@@ -161,6 +168,19 @@ func (h *ClientHandler) handleRound(w http.ResponseWriter, r *http.Request) {
 	}
 	h.sink.Count(obs.MetricFLWireRx, float64(body.n), obs.L("codec", codec))
 
+	// Trace-context ingress: the X-Bofl-Trace header wins (it survives even
+	// proxies that re-encode the body); the codec meta fields are the in-band
+	// fallback. Either way the value is sanitized here — a hostile or
+	// oversized wire value degrades to "untraced", never into the span labels
+	// or the exposition.
+	if h.noSpanReport {
+		req.Trace = obs.TraceContext{}
+	} else if hdr, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); ok {
+		req.Trace = hdr
+	} else {
+		req.Trace = req.Trace.Sanitized()
+	}
+
 	p := &LocalParticipant{Client: h.client}
 	resp, err := p.Round(req)
 	if err != nil {
@@ -211,6 +231,19 @@ type HTTPParticipant struct {
 	client  *http.Client
 	sink    obs.Sink
 	binary  bool
+
+	// attemptTx/attemptRx record the serialized bytes the most recent Round
+	// call moved, for per-attempt ledger attribution. The server calls one
+	// participant sequentially within a round (retries are serial), so
+	// last-write-wins is exact; atomics only guard cross-round races.
+	attemptTx atomic.Int64
+	attemptRx atomic.Int64
+}
+
+// lastWire reports the bytes moved by the most recent Round call,
+// implementing the wireAccounter extension the round ledger reads.
+func (p *HTTPParticipant) lastWire() (tx, rx int64) {
+	return p.attemptTx.Load(), p.attemptRx.Load()
 }
 
 // SetSink installs a telemetry sink counting transport, status and decode
@@ -304,6 +337,8 @@ func (p *HTTPParticipant) TMinFor(jobs int) (float64, error) {
 
 // Round posts the round request to the daemon in the negotiated codec.
 func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
+	p.attemptTx.Store(0)
+	p.attemptRx.Store(0)
 	buf := getBuf()
 	defer putBuf(buf)
 	codec, contentType := CodecJSON, ContentTypeJSON
@@ -324,6 +359,9 @@ func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
 	}
 	hreq.Header.Set("Content-Type", contentType)
 	hreq.Header.Set("Accept", contentType)
+	if req.Trace.Valid() {
+		hreq.Header.Set(obs.TraceHeader, req.Trace.String())
+	}
 	resp, err := p.client.Do(hreq)
 	if err != nil {
 		p.countErr("transport")
@@ -336,6 +374,7 @@ func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
 		return RoundResponse{}, fmt.Errorf("fl: round on %s: %s: %s", p.id, resp.Status, bytes.TrimSpace(msg))
 	}
 	p.sink.Count(obs.MetricFLWireTx, float64(buf.Len()), obs.L("codec", codec))
+	p.attemptTx.Store(int64(buf.Len()))
 
 	body := &countingReader{r: io.LimitReader(resp.Body, 64<<20)}
 	respCodec := CodecJSON
@@ -351,5 +390,6 @@ func (p *HTTPParticipant) Round(req RoundRequest) (RoundResponse, error) {
 		return RoundResponse{}, fmt.Errorf("fl: decode round response: %w", err)
 	}
 	p.sink.Count(obs.MetricFLWireRx, float64(body.n), obs.L("codec", respCodec))
+	p.attemptRx.Store(body.n)
 	return out, nil
 }

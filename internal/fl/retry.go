@@ -3,11 +3,13 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"bofl/internal/faultinject"
 	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
 	"bofl/internal/simclock"
 )
 
@@ -124,51 +126,117 @@ func (c *roundCaller) backoff(client string, round, attempt int) time.Duration {
 	return faultinject.UnitDuration(c.cfg.Seed, pt, ceil)
 }
 
+// attemptRecord is one attempt's ledger-facing verdict, produced by call()
+// and journaled by the server inside the fold turnstile so record order is
+// deterministic. Every quantity here is derived from the seeded fault plane
+// or the deterministic simulation — never from the wall clock.
+type attemptRecord struct {
+	attempt   int
+	verdict   string // ledger.Verdict* vocabulary
+	spanID    string // the attempt span in the round trace
+	delayNs   int64  // injected straggle / timeout charge
+	backoffNs int64  // seeded backoff wait that followed a failed attempt
+	wireTx    int64  // serialized bytes sent for the attempt (HTTP only)
+	wireRx    int64  // serialized bytes received for the attempt
+	detail    string // failure message, empty for ok
+}
+
+// verdictOf maps an attempt error onto the ledger verdict vocabulary.
+func verdictOf(err error) (verdict, detail string) {
+	switch {
+	case err == nil:
+		return ledger.VerdictOK, ""
+	case errors.Is(err, errBudget):
+		return ledger.VerdictBudget, err.Error()
+	case errors.Is(err, errStraggler):
+		return ledger.VerdictStraggler, err.Error()
+	case errors.Is(err, ErrCorruptFrame):
+		return ledger.VerdictCorrupt, err.Error()
+	}
+	var fe *faultinject.FaultError
+	if errors.As(err, &fe) {
+		return fe.Decision.Kind(), err.Error()
+	}
+	return ledger.VerdictError, err.Error()
+}
+
+// wireAccounter is the optional Participant extension reporting the
+// serialized bytes the last Round call moved (implemented by
+// HTTPParticipant); in-process participants move no wire bytes.
+type wireAccounter interface {
+	lastWire() (tx, rx int64)
+}
+
 // call runs one participant's round with fault injection and retries.
-// Returns the successful response, or the last attempt's error once attempts,
-// budget, or retryability run out.
-func (c *roundCaller) call(p Participant, req RoundRequest, sink obs.Sink) (RoundResponse, error) {
+// Returns the successful response plus the per-attempt verdict records, or
+// the last attempt's error once attempts, budget, or retryability run out.
+// Each attempt is dispatched under its own child span of the round trace, so
+// retries are individually visible in the stitched trace.
+func (c *roundCaller) call(p Participant, req RoundRequest, sink obs.Sink) (RoundResponse, []attemptRecord, error) {
 	id := p.ID()
 	max := c.cfg.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
+	root := req.Trace
+	var recs []attemptRecord
 	var lastErr error
 	for attempt := 0; attempt < max; attempt++ {
-		resp, err := c.attempt(p, req, id, attempt)
-		if err == nil {
-			return resp, nil
+		an := strconv.Itoa(attempt)
+		atc := root.Child("attempt", id, an)
+		req.Trace = atc
+		endAttempt := sink.Span(obs.SpanFLAttempt,
+			atc.SpanLabels(obs.L("client", id), obs.L("attempt", an))...)
+		resp, delay, err := c.attempt(p, req, id, attempt)
+		endAttempt()
+
+		rec := attemptRecord{attempt: attempt, spanID: atc.SpanID, delayNs: delay.Nanoseconds()}
+		rec.verdict, rec.detail = verdictOf(err)
+		if wa, ok := p.(wireAccounter); ok {
+			rec.wireTx, rec.wireRx = wa.lastWire()
 		}
+		if err == nil {
+			recs = append(recs, rec)
+			return resp, recs, nil
+		}
+		sink.Event(obs.EventFLFault,
+			atc.SpanLabels(obs.L("client", id), obs.L("verdict", rec.verdict))...)
 		lastErr = err
 		if !retryable(err) || attempt+1 >= max {
+			recs = append(recs, rec)
 			break
 		}
 		if !c.takeBudget() {
-			return RoundResponse{}, fmt.Errorf("%w after attempt %d: %w", errBudget, attempt+1, lastErr)
+			recs = append(recs, rec)
+			return RoundResponse{}, recs, fmt.Errorf("%w after attempt %d: %w", errBudget, attempt+1, lastErr)
 		}
 		sink.Count(obs.MetricFLRetries, 1)
-		endRetry := sink.Span(obs.SpanFLRetry)
-		c.clock.Sleep(c.backoff(id, req.Round, attempt))
+		endRetry := sink.Span(obs.SpanFLRetry, atc.SpanLabels(obs.L("client", id))...)
+		b := c.backoff(id, req.Round, attempt)
+		rec.backoffNs = b.Nanoseconds()
+		recs = append(recs, rec)
+		c.clock.Sleep(b)
 		endRetry()
 	}
-	return RoundResponse{}, lastErr
+	return RoundResponse{}, recs, lastErr
 }
 
 // attempt performs one bounded attempt: consult the fault policy, apply
 // injected behaviour, run the participant, and push the response through the
-// codec-corruption path when demanded.
-func (c *roundCaller) attempt(p Participant, req RoundRequest, id string, attempt int) (RoundResponse, error) {
+// codec-corruption path when demanded. The returned duration is the virtual
+// time charged to the attempt by injection (delay or timeout).
+func (c *roundCaller) attempt(p Participant, req RoundRequest, id string, attempt int) (RoundResponse, time.Duration, error) {
 	pt := faultinject.Point{Layer: faultinject.LayerParticipant, Client: id, Round: req.Round, Attempt: attempt}
 	d := c.policy.Decide(pt)
 	switch {
 	case d.Drop:
 		// The device vanished before doing any work.
-		return RoundResponse{}, d.Errorf(pt)
+		return RoundResponse{}, 0, d.Errorf(pt)
 	case d.Timeout, c.cfg.AttemptTimeout > 0 && d.Delay >= c.cfg.AttemptTimeout:
 		// The device hangs past the attempt bound: charge the full timeout
 		// (virtual or real) and strip the attempt as a straggler.
 		c.clock.Sleep(c.cfg.AttemptTimeout)
-		return RoundResponse{}, fmt.Errorf("%w: %w", errStraggler, d.Errorf(pt))
+		return RoundResponse{}, c.cfg.AttemptTimeout, fmt.Errorf("%w: %w", errStraggler, d.Errorf(pt))
 	}
 	if d.Delay > 0 {
 		// A straggler that still answers inside the bound.
@@ -177,20 +245,20 @@ func (c *roundCaller) attempt(p Participant, req RoundRequest, id string, attemp
 
 	resp, err := c.invoke(p, req)
 	if err != nil {
-		return RoundResponse{}, err
+		return RoundResponse{}, d.Delay, err
 	}
 	if d.Crash {
 		// The device trained (the work above really ran) but died before its
 		// report arrived: the update is lost, the energy is spent.
-		return RoundResponse{}, d.Errorf(pt)
+		return RoundResponse{}, d.Delay, d.Errorf(pt)
 	}
 	if d.Corrupt {
 		// Push the real response through the real codec with one bit of the
 		// frame magic flipped: the decoder must reject it, and the resulting
 		// ErrCorruptFrame drives the quarantine path end to end.
-		return RoundResponse{}, corruptFrame(resp, pt)
+		return RoundResponse{}, d.Delay, corruptFrame(resp, pt)
 	}
-	return resp, nil
+	return resp, d.Delay, nil
 }
 
 // invoke runs the participant, bounding wall time under the real clock. Under

@@ -38,7 +38,7 @@ func (p *stubParticipant) Round(req RoundRequest) (RoundResponse, error) {
 func TestCallerDefaultIsBareCall(t *testing.T) {
 	c := newRoundCaller(RetryConfig{}, nil, nil)
 	p := &stubParticipant{id: "c0"}
-	resp, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	resp, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestCallerRetriesTransientDrop(t *testing.T) {
 	c.resetBudget()
 	p := &stubParticipant{id: "flaky"}
 
-	resp, err := c.call(p, RoundRequest{Round: 3}, tel)
+	resp, _, err := c.call(p, RoundRequest{Round: 3}, tel)
 	if err != nil {
 		t.Fatalf("flaky client never recovered: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestCallerCorruptFrameNotRetried(t *testing.T) {
 	tel := obs.NewBoFL(obs.Real{})
 	c := newRoundCaller(RetryConfig{MaxAttempts: 5}, policy, simclock.NewSim(time.Unix(0, 0)))
 	p := &stubParticipant{id: "c"}
-	_, err := c.call(p, RoundRequest{Round: 1}, tel)
+	_, _, err := c.call(p, RoundRequest{Round: 1}, tel)
 	if !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("err %v, want ErrCorruptFrame", err)
 	}
@@ -102,7 +102,7 @@ func TestCallerRetryBudgetExhausts(t *testing.T) {
 	c := newRoundCaller(RetryConfig{MaxAttempts: 10, Budget: 2, Seed: 2}, policy, simclock.NewSim(time.Unix(0, 0)))
 	c.resetBudget()
 	p := &stubParticipant{id: "dead"}
-	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	_, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
 	if !errors.Is(err, errBudget) {
 		t.Fatalf("err %v, want budget exhaustion", err)
 	}
@@ -123,7 +123,7 @@ func TestCallerTimeoutStripsStraggler(t *testing.T) {
 	clock := simclock.NewSim(time.Unix(0, 0))
 	c := newRoundCaller(RetryConfig{AttemptTimeout: 2 * time.Second}, policy, clock)
 	p := &stubParticipant{id: "slow"}
-	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	_, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
 	if !errors.Is(err, errStraggler) {
 		t.Fatalf("err %v, want straggler", err)
 	}
@@ -144,11 +144,11 @@ func TestCallerDelayPastTimeoutIsStraggler(t *testing.T) {
 	c := newRoundCaller(RetryConfig{AttemptTimeout: time.Second}, policy, clock)
 	p := &stubParticipant{id: "s"}
 
-	if _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop); !errors.Is(err, errStraggler) {
+	if _, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop); !errors.Is(err, errStraggler) {
 		t.Fatalf("3s delay under 1s timeout: err %v, want straggler", err)
 	}
 	before := clock.Now()
-	if _, err := c.call(p, RoundRequest{Round: 2}, obs.Nop); err != nil {
+	if _, _, err := c.call(p, RoundRequest{Round: 2}, obs.Nop); err != nil {
 		t.Fatalf("500ms delay under 1s timeout failed: %v", err)
 	}
 	if got := clock.Now().Sub(before); got != 500*time.Millisecond {
@@ -162,7 +162,7 @@ func TestCallerCrashLosesCompletedWork(t *testing.T) {
 	}
 	c := newRoundCaller(RetryConfig{}, policy, simclock.NewSim(time.Unix(0, 0)))
 	p := &stubParticipant{id: "c"}
-	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	_, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("err %v, want injected crash", err)
 	}
@@ -203,7 +203,7 @@ func TestCallerParticipantErrorRetries(t *testing.T) {
 	// taxonomy only exempts corrupt frames.
 	p := &stubParticipant{id: "e", err: fmt.Errorf("transient network blip")}
 	c := newRoundCaller(RetryConfig{MaxAttempts: 3}, nil, simclock.NewSim(time.Unix(0, 0)))
-	_, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
+	_, _, err := c.call(p, RoundRequest{Round: 1}, obs.Nop)
 	if err == nil || p.calls != 3 {
 		t.Fatalf("calls=%d err=%v, want 3 attempts and the last error", p.calls, err)
 	}

@@ -6,10 +6,12 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"bofl/internal/core"
 	"bofl/internal/faultinject"
 	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
 	"bofl/internal/parallel"
 	"bofl/internal/simclock"
 )
@@ -22,6 +24,11 @@ type RoundRequest struct {
 	Params   []float64 `json:"params"`
 	Jobs     int       `json:"jobs"`
 	Deadline float64   `json:"deadlineSeconds"`
+	// Trace is the server-minted trace context for this dispatch: the round
+	// trace ID plus the per-attempt span the client's work hangs under. It
+	// rides both the X-Bofl-Trace header and the codec meta section, so every
+	// negotiated codec path carries it.
+	Trace obs.TraceContext `json:"trace"`
 }
 
 // RoundResponse is the client → server report (step 3 of Figure 1).
@@ -30,6 +37,11 @@ type RoundResponse struct {
 	Params      []float64        `json:"params"`
 	NumExamples int              `json:"numExamples"`
 	Report      core.RoundReport `json:"report"`
+	// Spans are the client's span summaries for this round (training round,
+	// config window), timed on the client's local clock. The server grafts
+	// them under the attempt span so /v1/telemetry serves one stitched trace
+	// per round.
+	Spans []obs.SpanSummary `json:"spans,omitempty"`
 }
 
 // Participant abstracts a reachable FL client — in-process or across HTTP.
@@ -57,23 +69,40 @@ func (p *LocalParticipant) ID() string { return p.Client.ID() }
 func (p *LocalParticipant) TMinFor(jobs int) (float64, error) { return p.Client.TMin(jobs) }
 
 // Round installs the global parameters, trains, runs the configuration
-// window, and returns the updated parameters.
+// window, and returns the updated parameters. When the request carries a
+// valid trace context the client's round and config-window phases are
+// reported back as span summaries (timed on this process's monotonic clock)
+// so the server can stitch them under the attempt span.
 func (p *LocalParticipant) Round(req RoundRequest) (RoundResponse, error) {
 	if err := p.Client.SetParams(req.Params); err != nil {
 		return RoundResponse{}, err
 	}
-	rep, err := p.Client.TrainRound(req.Round, req.Jobs, req.Deadline)
+	var spans []obs.SpanSummary
+	t0 := time.Now()
+	rep, err := p.Client.TrainRoundCtx(req.Round, req.Jobs, req.Deadline, req.Trace)
 	if err != nil {
 		return RoundResponse{}, err
 	}
-	if _, err := p.Client.ConfigWindow(); err != nil {
+	if req.Trace.Valid() {
+		spans = append(spans, obs.SpanSummary{
+			Name: obs.SpanClientRound, StartNs: 0, DurNs: time.Since(t0).Nanoseconds(),
+		})
+	}
+	t1 := time.Now()
+	if _, err := p.Client.ConfigWindowCtx(req.Trace); err != nil {
 		return RoundResponse{}, err
+	}
+	if req.Trace.Valid() {
+		spans = append(spans, obs.SpanSummary{
+			Name: obs.SpanClientWindow, StartNs: t1.Sub(t0).Nanoseconds(), DurNs: time.Since(t1).Nanoseconds(),
+		})
 	}
 	return RoundResponse{
 		ClientID:    p.Client.ID(),
 		Params:      p.Client.Params(),
 		NumExamples: p.Client.NumExamples(),
 		Report:      rep,
+		Spans:       spans,
 	}, nil
 }
 
@@ -154,6 +183,10 @@ type ServerConfig struct {
 	// Clock drives injected delays and retry backoff; defaults to the real
 	// clock. Tests pass a *simclock.Sim so chaos runs in virtual time.
 	Clock simclock.Clock
+	// Ledger, when set, journals every attempt verdict, quarantine, quorum
+	// and commit/abort decision the round produces — appended in fold order
+	// under the turnstile, so replays at a fixed seed are byte-identical.
+	Ledger *ledger.Ledger
 }
 
 // Server orchestrates federated rounds: selection, deadline assignment,
@@ -255,6 +288,10 @@ func (s *Server) GlobalParams() []float64 {
 type RoundResult struct {
 	Round    int     `json:"round"`
 	Deadline float64 `json:"deadlineSeconds"`
+	// TraceID identifies the round's stitched distributed trace — minted
+	// deterministically from (server seed, round), so it doubles as the
+	// replay-stable join key between /v1/telemetry and /v1/ledger.
+	TraceID string `json:"traceId,omitempty"`
 	// Responses holds each aggregated participant's round metadata. The
 	// parameter vectors are folded into the global model as they arrive and
 	// then released, so Params is nil on every entry — retaining them would
@@ -282,7 +319,11 @@ func (s *Server) RunRound() (RoundResult, error) {
 		return RoundResult{}, errors.New("fl: no registered participants")
 	}
 	s.round++
-	endRound := s.sink.Span(obs.SpanFLRound)
+	// The round trace context is minted from (seed, round) — not from a
+	// random source — so replaying a seeded scenario reproduces the same
+	// trace IDs and the ledger journal stays byte-identical.
+	tc := obs.MintTrace(s.cfg.Seed, s.round)
+	endRound := s.sink.Span(obs.SpanFLRound, tc.SpanLabels()...)
 	defer endRound()
 
 	// Quarantined clients are filtered out before selection, so every
@@ -300,7 +341,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 		}
 	}
 
-	endSelect := s.sink.Span(obs.SpanFLSelect)
+	endSelect := s.sink.Span(obs.SpanFLSelect, tc.ChildLabels()...)
 	selected := s.cfg.Selector.Select(s.round, eligible, s.cfg.ParticipantsPerRound)
 	endSelect()
 	if len(selected) == 0 {
@@ -309,7 +350,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 
 	// Deadline: the slowest selected client's T_min scaled by a uniform
 	// draw from [1, ratio].
-	endConfigure := s.sink.Span(obs.SpanFLConfigure)
+	endConfigure := s.sink.Span(obs.SpanFLConfigure, tc.ChildLabels()...)
 	tmin := 0.0
 	for _, p := range selected {
 		t, err := p.TMinFor(s.cfg.Jobs)
@@ -328,6 +369,10 @@ func (s *Server) RunRound() (RoundResult, error) {
 	deadline := tmin * (lo + s.rng.Float64()*(s.cfg.DeadlineRatio-lo))
 
 	endConfigure()
+	s.ledgerAppend(ledger.Event{
+		Kind: ledger.KindRoundBegin, TraceID: tc.TraceID, SpanID: tc.SpanID,
+		Deadline: deadline, Selected: len(selected),
+	})
 
 	// Execute phase: dispatch through the shared bounded worker pool and
 	// stream each arriving update into the FedAvg accumulator. Folds happen
@@ -337,7 +382,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 	// turn has not come waits holding only its own response, so at most
 	// pool-width parameter vectors are alive at once; the O(clients×params)
 	// response buffer of the old two-phase design is gone.
-	endExecute := s.sink.Span(obs.SpanFLExecute)
+	endExecute := s.sink.Span(obs.SpanFLExecute, tc.ChildLabels()...)
 	n := len(selected)
 	s.caller.resetBudget()
 	if len(s.acc) != len(s.global) {
@@ -348,9 +393,10 @@ func (s *Server) RunRound() (RoundResult, error) {
 		acc[j] = 0
 	}
 	type slot struct {
-		resp   RoundResponse // Params stripped after folding
-		err    error         // participant Round failure
-		valErr error         // aggregation-fatal validation failure
+		resp   RoundResponse   // Params stripped after folding
+		err    error           // participant Round failure
+		valErr error           // aggregation-fatal validation failure
+		recs   []attemptRecord // per-attempt verdicts for ledger + trace graft
 	}
 	slots := make([]slot, n)
 	var (
@@ -371,16 +417,37 @@ func (s *Server) RunRound() (RoundResult, error) {
 				scratch = make([]float64, len(s.global))
 			}
 			copy(scratch, s.global)
-			resp, err := s.caller.call(selected[i], RoundRequest{
+			resp, recs, err := s.caller.call(selected[i], RoundRequest{
 				Round:    s.round,
 				Params:   scratch,
 				Jobs:     s.cfg.Jobs,
 				Deadline: deadline,
+				Trace:    tc,
 			}, s.sink)
 
 			foldMu.Lock()
 			for nextFold != i {
 				foldCond.Wait()
+			}
+			// Ledger appends happen inside the turnstile, so attempt events
+			// land in participant index order regardless of which goroutine
+			// finished first — the property the byte-identical replay
+			// guarantee rests on.
+			slots[i].recs = recs
+			clientID := selected[i].ID()
+			for _, rec := range recs {
+				ev := ledger.Event{
+					Kind: ledger.KindAttempt, TraceID: tc.TraceID, SpanID: rec.spanID,
+					Client: clientID, Attempt: rec.attempt, Verdict: rec.verdict,
+					DelayNs: rec.delayNs, BackoffNs: rec.backoffNs,
+					WireTxBytes: rec.wireTx, WireRxBytes: rec.wireRx,
+					Detail: rec.detail,
+				}
+				if rec.verdict == ledger.VerdictOK && err == nil {
+					ev.EnergyJoules = resp.Report.Energy
+					ev.LatencySeconds = resp.Report.Duration
+				}
+				s.ledgerAppend(ev)
 			}
 			if err != nil {
 				slots[i].err = err
@@ -390,7 +457,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 				// aggregated (and only reported), matching the legacy
 				// batch behaviour.
 				if !s.tolerant() || resp.Report.DeadlineMet {
-					endFold := s.sink.Span(obs.SpanFLFold)
+					endFold := s.sink.Span(obs.SpanFLFold, tc.ChildLabels()...)
 					switch {
 					case len(resp.Params) != len(s.global):
 						slots[i].valErr = fmt.Errorf("fl: client %s returned %d params, want %d",
@@ -426,6 +493,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 	result := RoundResult{
 		Round:     s.round,
 		Deadline:  deadline,
+		TraceID:   tc.TraceID,
 		Responses: make([]RoundResponse, 0, n),
 	}
 	if s.tolerant() {
@@ -442,6 +510,11 @@ func (s *Server) RunRound() (RoundResult, error) {
 				case errors.Is(slots[i].err, ErrCorruptFrame):
 					result.Quarantined = append(result.Quarantined, id)
 					s.Quarantine(id)
+					s.sink.Event(obs.EventFLQuarantine,
+						tc.SpanLabels(obs.L("client", id))...)
+					s.ledgerAppend(ledger.Event{
+						Kind: ledger.KindQuarantine, TraceID: tc.TraceID, Client: id,
+					})
 				case errors.Is(slots[i].err, errStraggler):
 					result.Stragglers = append(result.Stragglers, id)
 					s.sink.Count(obs.MetricFLStragglerStrips, 1)
@@ -463,25 +536,35 @@ func (s *Server) RunRound() (RoundResult, error) {
 			}
 		}
 		if len(result.Responses) == 0 {
-			return RoundResult{}, fmt.Errorf("fl: round %d: every participant dropped", s.round)
+			return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: every participant dropped", s.round))
 		}
 		if len(result.Responses) < required {
-			return RoundResult{}, fmt.Errorf("fl: round %d: quorum not met: %d of %d selected reported, need %d",
-				s.round, len(result.Responses), n, required)
+			return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: quorum not met: %d of %d selected reported, need %d",
+				s.round, len(result.Responses), n, required))
 		}
 		if s.cfg.Quorum > 0 && len(result.Responses) < n {
 			// The round commits below full participation: the streaming
 			// fold's deferred normalization renormalizes the weights over
 			// the survivors automatically (see DESIGN.md §8).
 			s.sink.Count(obs.MetricFLQuorumRounds, 1)
+			s.ledgerAppend(ledger.Event{
+				Kind: ledger.KindQuorum, TraceID: tc.TraceID,
+				Survivors: len(result.Responses), Selected: n,
+			})
 		}
 	} else {
 		for i := range slots {
 			if slots[i].err != nil {
 				if errors.Is(slots[i].err, ErrCorruptFrame) {
-					s.Quarantine(selected[i].ID())
+					id := selected[i].ID()
+					s.Quarantine(id)
+					s.sink.Event(obs.EventFLQuarantine,
+						tc.SpanLabels(obs.L("client", id))...)
+					s.ledgerAppend(ledger.Event{
+						Kind: ledger.KindQuarantine, TraceID: tc.TraceID, Client: id,
+					})
 				}
-				return RoundResult{}, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), slots[i].err)
+				return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: participant %s: %w", selected[i].ID(), slots[i].err))
 			}
 		}
 		for i := range slots {
@@ -492,21 +575,51 @@ func (s *Server) RunRound() (RoundResult, error) {
 	// round-fatal, exactly as the batch aggregate treated them.
 	for i := range slots {
 		if slots[i].valErr != nil {
-			return RoundResult{}, slots[i].valErr
+			return RoundResult{}, s.abortRound(tc, slots[i].valErr)
 		}
 	}
 
 	// Report phase: commit the deferred normalization. Nothing before this
 	// line mutated the global model, so a failed round leaves it untouched.
-	endReport := s.sink.Span(obs.SpanFLReport)
+	endReport := s.sink.Span(obs.SpanFLReport, tc.ChildLabels()...)
 	if totalWeight <= 0 {
 		endReport()
-		return RoundResult{}, fmt.Errorf("fl: round %d: zero aggregate weight", s.round)
+		return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: zero aggregate weight", s.round))
 	}
 	for j := range s.global {
 		s.global[j] = acc[j] / totalWeight
 	}
 	endReport()
+
+	// Stitch client-returned span summaries under their attempt spans. The
+	// timestamps are client-local (no cross-process clock alignment is
+	// attempted); the trace ID is the join key, so grafted spans still land
+	// in the right round trace.
+	if g, ok := s.sink.(obs.SpanGrafter); ok {
+		for i := range slots {
+			spans := slots[i].resp.Spans
+			if len(spans) == 0 {
+				continue
+			}
+			parent := tc.SpanID
+			if nr := len(slots[i].recs); nr > 0 {
+				parent = slots[i].recs[nr-1].spanID
+			}
+			for _, ss := range spans {
+				g.Graft(obs.SpanEvent{
+					Name:  ss.Name,
+					Start: ss.StartNs,
+					Dur:   ss.DurNs,
+					Labels: obs.Labels{
+						obs.L(obs.LabelTraceID, tc.TraceID),
+						obs.L(obs.LabelParentID, parent),
+						obs.L("client", slots[i].resp.ClientID),
+						obs.L("clock", "client-local"),
+					},
+				})
+			}
+		}
+	}
 
 	result.Reports = make([]core.RoundReport, 0, len(result.Responses))
 	for _, r := range result.Responses {
@@ -514,25 +627,77 @@ func (s *Server) RunRound() (RoundResult, error) {
 	}
 	s.sink.Count(obs.MetricFLRounds, 1)
 	s.sink.Count(obs.MetricFLDropouts, float64(len(result.Dropped)))
-	s.recordReports(result.Reports)
+	s.recordReports(result.Reports, tc)
+	s.ledgerAppend(ledger.Event{
+		Kind: ledger.KindCommit, TraceID: tc.TraceID,
+		Survivors: len(result.Responses), Selected: n,
+	})
 	return result, nil
 }
 
+// abortRound journals a failed round's terminal event and passes the error
+// through, so every post-selection exit leaves a ledger trail.
+func (s *Server) abortRound(tc obs.TraceContext, err error) error {
+	s.ledgerAppend(ledger.Event{Kind: ledger.KindAbort, TraceID: tc.TraceID, Detail: err.Error()})
+	return err
+}
+
+// ledgerAppend stamps the current round onto ev and journals it. Safe with a
+// nil ledger, so call sites need no enabled/disabled branching.
+func (s *Server) ledgerAppend(ev ledger.Event) {
+	if s.cfg.Ledger == nil {
+		return
+	}
+	ev.Round = s.round
+	s.cfg.Ledger.Append(ev)
+}
+
 // recordReports folds the round's client reports into the BoFL domain
-// instruments, mirroring what each client's controller records locally.
-func (s *Server) recordReports(reports []core.RoundReport) {
+// instruments, mirroring what each client's controller records locally. When
+// the sink supports exemplars, the round energy/duration observations carry
+// the round's trace ID so an outlier histogram sample can be jumped straight
+// to its stitched trace.
+func (s *Server) recordReports(reports []core.RoundReport, tc obs.TraceContext) {
+	if len(reports) == 0 {
+		return
+	}
+	// Counters are additive and gauges are last-wins, so everything except the
+	// histogram observations aggregates locally first: at fleet scale a
+	// per-report labeled Count would re-render the series key a thousand times
+	// a round, and that lookup churn — not the arithmetic — was the dominant
+	// cost of the live sink.
+	eo, hasExemplars := s.sink.(obs.ExemplarObserver)
+	misses := 0
+	var phaseEnergy, phaseLatency map[core.Phase]float64
 	for _, rep := range reports {
-		s.sink.Count(obs.MetricRounds, 1)
-		s.sink.Observe(obs.MetricRoundEnergy, rep.Energy)
-		s.sink.Observe(obs.MetricRoundDuration, rep.Duration)
-		if !rep.DeadlineMet {
-			s.sink.Count(obs.MetricDeadlineMisses, 1)
+		if hasExemplars {
+			eo.ObserveExemplar(obs.MetricRoundEnergy, rep.Energy, tc)
+			eo.ObserveExemplar(obs.MetricRoundDuration, rep.Duration, tc)
+		} else {
+			s.sink.Observe(obs.MetricRoundEnergy, rep.Energy)
+			s.sink.Observe(obs.MetricRoundDuration, rep.Duration)
 		}
-		s.sink.SetGauge(obs.MetricControllerPhase, float64(rep.Phase))
-		s.sink.SetGauge(obs.MetricFrontSize, float64(rep.FrontSize))
-		phase := obs.L("phase", rep.Phase.String())
-		s.sink.Count(obs.MetricPhaseEnergy, rep.Energy, phase)
-		s.sink.Count(obs.MetricPhaseLatency, rep.Duration, phase)
+		if !rep.DeadlineMet {
+			misses++
+		}
+		if phaseEnergy == nil {
+			phaseEnergy = make(map[core.Phase]float64, 2)
+			phaseLatency = make(map[core.Phase]float64, 2)
+		}
+		phaseEnergy[rep.Phase] += rep.Energy
+		phaseLatency[rep.Phase] += rep.Duration
+	}
+	s.sink.Count(obs.MetricRounds, float64(len(reports)))
+	if misses > 0 {
+		s.sink.Count(obs.MetricDeadlineMisses, float64(misses))
+	}
+	last := reports[len(reports)-1]
+	s.sink.SetGauge(obs.MetricControllerPhase, float64(last.Phase))
+	s.sink.SetGauge(obs.MetricFrontSize, float64(last.FrontSize))
+	for ph, e := range phaseEnergy {
+		phase := obs.L("phase", ph.String())
+		s.sink.Count(obs.MetricPhaseEnergy, e, phase)
+		s.sink.Count(obs.MetricPhaseLatency, phaseLatency[ph], phase)
 	}
 }
 

@@ -63,8 +63,12 @@ const (
 	SpanFLReport            = "fl_report"                      // span: commit of the normalized global model
 	SpanFLFold              = "fl_fold"                        // span: one streaming FedAvg fold of an arriving update
 	SpanFLRetry             = "fl_retry"                       // span: one backoff wait before a retried attempt
+	SpanFLAttempt           = "fl_attempt"                     // span: one fault-injected participant attempt
 	SpanClientRound         = "fl_client_round"                // span: one client-side training round
 	SpanClientWindow        = "fl_client_config_window"        // span: client-side MBO window
+	EventFLFault            = "fl_fault"                       // event: one failed attempt's verdict, trace-annotated
+	EventFLQuarantine       = "fl_quarantine"                  // event: a client excluded for shipping a corrupt frame
+	EventExemplar           = "exemplar"                       // event: histogram observation ↔ trace-ID jump link
 )
 
 // NewBoFL builds a Telemetry with every canonical BoFL instrument
@@ -125,6 +129,9 @@ func NewBoFL(clock Clock) *Telemetry {
 	r.Counter(MetricFLWireRx, "Serialized bytes received on the FL wire, labeled by codec.")
 	r.Histogram(SpanFLFold+"_seconds", "Streaming FedAvg fold duration per arriving update.", DurationBuckets)
 	r.Histogram(SpanFLRetry+"_seconds", "Backoff wait before a retried participant attempt.", DurationBuckets)
+	r.Histogram(SpanFLAttempt+"_seconds", "One fault-injected participant attempt, retries excluded.", DurationBuckets)
+
+	RegisterRuntime(r)
 
 	return t
 }

@@ -43,6 +43,22 @@ type Sink interface {
 	Event(name string, labels ...Label)
 }
 
+// SpanGrafter is the optional Sink extension for pre-timed span events
+// recorded in another process: the FL server type-asserts its sink against it
+// to stitch client-returned span summaries into the round trace. NopSink does
+// not implement it, so the nop path pays one failed assertion per round.
+type SpanGrafter interface {
+	Graft(ev SpanEvent)
+}
+
+// ExemplarObserver is the optional Sink extension pairing a histogram
+// observation with the trace it came from, so a bad round spotted in
+// bofl_round_energy_joules can be jumped to its stitched trace via the
+// exemplar events in /v1/telemetry.
+type ExemplarObserver interface {
+	ObserveExemplar(name string, v float64, tc TraceContext, labels ...Label)
+}
+
 // NopSink discards everything. It is the default sink everywhere a Sink is
 // optional, so telemetry-off call sites cost one interface dispatch.
 type NopSink struct{}

@@ -123,6 +123,36 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    floatAtom
 	count  atomic.Uint64
+
+	// exemplar is the most recent trace-linked observation (may be nil).
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the distributed trace it was
+// recorded under, so an outlier bucket can be jumped to its stitched trace.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+}
+
+// SetExemplar records v as the histogram's latest trace-linked observation.
+func (h *Histogram) SetExemplar(v float64, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	h.exemplar.Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// Exemplar returns the latest trace-linked observation, or false when none
+// was ever recorded.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	if e := h.exemplar.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 func newHistogram(bounds []float64) *Histogram {

@@ -1,0 +1,54 @@
+package obs
+
+import "runtime"
+
+// Go runtime health metrics, computed at scrape time so /metrics covers
+// process health (scheduler pressure, heap, GC) alongside the domain catalog.
+// Names follow the bofl_go_* prefix to keep them distinct from the runtime/
+// metrics the standard Prometheus Go collector would export.
+const (
+	MetricGoGoroutines = "bofl_go_goroutines"             // gauge: live goroutines
+	MetricGoHeapAlloc  = "bofl_go_heap_alloc_bytes"       // gauge: live heap bytes
+	MetricGoHeapSys    = "bofl_go_heap_sys_bytes"         // gauge: heap bytes obtained from the OS
+	MetricGoGCPause    = "bofl_go_gc_last_pause_seconds"  // gauge: most recent stop-the-world pause
+	MetricGoGCCycles   = "bofl_go_gc_cycles_total"        // counter: completed GC cycles
+	MetricGoMaxProcs   = "bofl_go_gomaxprocs"             // gauge: scheduler width
+	MetricGoTotalAlloc = "bofl_go_heap_alloc_bytes_total" // counter: cumulative heap allocations
+)
+
+// memStats snapshots runtime.MemStats once per scrape-time read. ReadMemStats
+// briefly stops the world, so the gauges below share one snapshot helper
+// instead of each paying it.
+func memStats() runtime.MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m
+}
+
+// lastGCPauseSeconds extracts the most recent pause from the 256-entry ring.
+func lastGCPauseSeconds(m *runtime.MemStats) float64 {
+	if m.NumGC == 0 {
+		return 0
+	}
+	return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+}
+
+// RegisterRuntime installs the Go runtime gauges on r as read-on-scrape
+// series — nothing is sampled between scrapes, so an idle process pays
+// nothing. Called by NewBoFL; exported for registries assembled by hand.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc(MetricGoGoroutines, "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(MetricGoMaxProcs, "GOMAXPROCS scheduler width.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc(MetricGoHeapAlloc, "Live heap bytes (runtime.MemStats.HeapAlloc).",
+		func() float64 { m := memStats(); return float64(m.HeapAlloc) })
+	r.GaugeFunc(MetricGoHeapSys, "Heap bytes obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { m := memStats(); return float64(m.HeapSys) })
+	r.GaugeFunc(MetricGoGCPause, "Most recent GC stop-the-world pause in seconds.",
+		func() float64 { m := memStats(); return lastGCPauseSeconds(&m) })
+	r.CounterFunc(MetricGoGCCycles, "Completed GC cycles.",
+		func() float64 { m := memStats(); return float64(m.NumGC) })
+	r.CounterFunc(MetricGoTotalAlloc, "Cumulative bytes allocated on the heap.",
+		func() float64 { m := memStats(); return float64(m.TotalAlloc) })
+}

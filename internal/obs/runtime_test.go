@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		MetricGoGoroutines, MetricGoHeapAlloc, MetricGoHeapSys,
+		MetricGoGCPause, MetricGoGCCycles, MetricGoMaxProcs, MetricGoTotalAlloc,
+	} {
+		if !strings.Contains(out, "\n"+name+" ") && !strings.HasPrefix(out, name+" ") {
+			t.Errorf("exposition missing runtime series %s", name)
+		}
+	}
+	// The values are read live at scrape time, so a running test process must
+	// report at least one goroutine and a positive scheduler width and heap.
+	for _, name := range []string{MetricGoGoroutines, MetricGoMaxProcs, MetricGoHeapAlloc, MetricGoTotalAlloc} {
+		v, ok := sampleValue(out, name)
+		if !ok {
+			t.Fatalf("no sample for %s", name)
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+}
+
+// sampleValue extracts the unlabeled sample for a family from exposition text.
+func sampleValue(exposition, name string) (float64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

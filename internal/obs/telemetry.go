@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -19,6 +20,11 @@ type Telemetry struct {
 	// histBuckets maps metric family → bucket bounds used on first
 	// registration; families not listed use DurationBuckets.
 	histBuckets map[string][]float64
+
+	// spanHists caches span name → its "_seconds" histogram so the
+	// per-attempt dispatch path skips the name concatenation and registry
+	// lookup on every span close.
+	spanHists sync.Map
 }
 
 var _ Sink = (*Telemetry)(nil)
@@ -81,16 +87,57 @@ func (t *Telemetry) Span(name string, labels ...Label) func() {
 			Name:   name,
 			Start:  start.Sub(t.Tracer.epoch).Nanoseconds(),
 			Dur:    d.Nanoseconds(),
-			Labels: labelMap(labels),
+			Labels: labels,
 		})
-		t.Registry.Histogram(name+"_seconds", "", t.buckets(name+"_seconds")).Observe(d.Seconds())
+		t.spanHist(name).Observe(d.Seconds())
 	}
+}
+
+// spanHist resolves (and caches) the duration histogram backing a span name.
+func (t *Telemetry) spanHist(name string) *Histogram {
+	if h, ok := t.spanHists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	hn := name + "_seconds"
+	h := t.Registry.Histogram(hn, "", t.buckets(hn))
+	t.spanHists.Store(name, h)
+	return h
 }
 
 // Event records an instant trace event.
 func (t *Telemetry) Event(name string, labels ...Label) {
 	t.Tracer.Instant(name, labels...)
 }
+
+// Graft appends a pre-timed span event (a client-side span summary) to the
+// tracer, implementing SpanGrafter.
+func (t *Telemetry) Graft(ev SpanEvent) { t.Tracer.Graft(ev) }
+
+var _ SpanGrafter = (*Telemetry)(nil)
+
+// ObserveExemplar records v into the named histogram and, when tc is valid,
+// pins it as the family's exemplar plus an instant "exemplar" event in the
+// trace buffer — the jump link from a histogram outlier to its stitched round
+// trace in /v1/telemetry.
+func (t *Telemetry) ObserveExemplar(name string, v float64, tc TraceContext, labels ...Label) {
+	h := t.Registry.Histogram(name, "", t.buckets(name), labels...)
+	h.Observe(v)
+	if !tc.Valid() {
+		return
+	}
+	// One exemplar pin and one instant event per (family, trace), not per
+	// observation: a round's reports all share one trace, so the family keeps
+	// the trace's first sample and a per-report update would only churn
+	// allocations (and the trace buffer) at fleet scale.
+	if prev, had := h.Exemplar(); had && prev.TraceID == tc.TraceID {
+		return
+	}
+	h.SetExemplar(v, tc.TraceID)
+	t.Tracer.Instant(EventExemplar,
+		L("metric", name), L("value", formatValue(v)), L(LabelTraceID, tc.TraceID))
+}
+
+var _ ExemplarObserver = (*Telemetry)(nil)
 
 // healthState is the /healthz payload.
 type healthState struct {
@@ -115,16 +162,23 @@ func (t *Telemetry) HealthzHandler() http.Handler {
 
 // TraceHandler serves the trace buffer: JSONL by default (one SpanEvent per
 // line), or Chrome trace_event JSON with ?format=chrome for direct loading in
-// about:tracing / Perfetto.
+// about:tracing / Perfetto. ?trace_id=<id> narrows the export to one stitched
+// distributed trace (e.g. a single FL round across server and clients).
 func (t *Telemetry) TraceHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var events []SpanEvent
+		if id := r.URL.Query().Get(LabelTraceID); id != "" {
+			events = t.Tracer.EventsFor(id)
+		} else {
+			events = t.Tracer.Events()
+		}
 		if r.URL.Query().Get("format") == "chrome" {
 			w.Header().Set("Content-Type", "application/json")
-			_ = t.Tracer.WriteChromeTrace(w)
+			_ = WriteEventsChrome(w, events)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = t.Tracer.WriteJSONL(w)
+		_ = WriteEventsJSONL(w, events)
 	})
 }
 

@@ -3,9 +3,63 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
+
+// Labels is a span's attribute set, stored as the flat label slice the
+// instrumented call site built rather than a map: the tracer retains every
+// event until export, and at fleet scale a map per buffered event is exactly
+// the pointer-dense heap the garbage collector ends up re-scanning on the
+// serving hot path. On the wire it marshals as the same JSON object a
+// map[string]string produced (keys sorted, duplicate keys last-wins), so the
+// trace schema is unchanged.
+type Labels []Label
+
+// Get returns the value of key, last occurrence winning (map semantics), or
+// "" when absent. Nil-safe.
+func (ls Labels) Get(key string) string {
+	for i := len(ls) - 1; i >= 0; i-- {
+		if ls[i].Key == key {
+			return ls[i].Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the labels as a JSON object with sorted keys —
+// byte-identical to the map[string]string encoding this type replaced.
+func (ls Labels) MarshalJSON() ([]byte, error) {
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON parses the JSON-object form back into a key-sorted slice.
+func (ls *Labels) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if len(m) == 0 {
+		*ls = nil
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(Labels, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Label{Key: k, Value: m[k]})
+	}
+	*ls = out
+	return nil
+}
 
 // SpanEvent is one recorded trace event: a completed span (Dur > 0 or a
 // timed region that happened to be instantaneous) or an instant event
@@ -20,8 +74,9 @@ type SpanEvent struct {
 	Dur int64 `json:"durNs"`
 	// Instant marks zero-duration point events.
 	Instant bool `json:"instant,omitempty"`
-	// Labels carries the span's attributes.
-	Labels map[string]string `json:"labels,omitempty"`
+	// Labels carries the span's attributes. The tracer stores the slice it is
+	// handed without copying; callers must not mutate it afterwards.
+	Labels Labels `json:"labels,omitempty"`
 }
 
 // Tracer records span events into a bounded in-memory buffer. It is safe for
@@ -60,17 +115,6 @@ func (t *Tracer) SetMaxEvents(n int) {
 	}
 }
 
-func labelMap(labels []Label) map[string]string {
-	if len(labels) == 0 {
-		return nil
-	}
-	m := make(map[string]string, len(labels))
-	for _, l := range labels {
-		m[l.Key] = l.Value
-	}
-	return m
-}
-
 func (t *Tracer) add(ev SpanEvent) {
 	t.mu.Lock()
 	if len(t.events) >= t.max {
@@ -91,7 +135,7 @@ func (t *Tracer) Begin(name string, labels ...Label) func() {
 			Name:   name,
 			Start:  start.Sub(t.epoch).Nanoseconds(),
 			Dur:    end.Sub(start).Nanoseconds(),
-			Labels: labelMap(labels),
+			Labels: labels,
 		})
 	}
 }
@@ -102,7 +146,7 @@ func (t *Tracer) Instant(name string, labels ...Label) {
 		Name:    name,
 		Start:   t.clock.Now().Sub(t.epoch).Nanoseconds(),
 		Instant: true,
-		Labels:  labelMap(labels),
+		Labels:  labels,
 	})
 }
 
@@ -127,12 +171,42 @@ func (t *Tracer) Events() []SpanEvent {
 	return append([]SpanEvent(nil), t.events...)
 }
 
+// Graft appends a pre-timed span event recorded elsewhere — the hook the FL
+// server uses to stitch client-returned span summaries into its own round
+// trace. The event is buffered verbatim (same bound and drop accounting as
+// locally recorded spans).
+func (t *Tracer) Graft(ev SpanEvent) { t.add(ev) }
+
+// EventsFor returns the buffered events carrying the given trace_id label, in
+// record order — one stitched distributed trace.
+func (t *Tracer) EventsFor(traceID string) []SpanEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanEvent
+	for _, ev := range t.events {
+		if ev.Labels.Get(LabelTraceID) == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // WriteJSONL streams the buffer as one JSON object per line — the repo's
 // portable trace format; convert with WriteChromeTrace (or the boflsim
 // -telemetry-chrome flag) for about:tracing.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteEventsJSONL(w, t.Events())
+}
+
+// WriteTraceJSONL streams only the events of one stitched trace as JSONL.
+func (t *Tracer) WriteTraceJSONL(w io.Writer, traceID string) error {
+	return WriteEventsJSONL(w, t.EventsFor(traceID))
+}
+
+// WriteEventsJSONL writes events as one JSON object per line.
+func WriteEventsJSONL(w io.Writer, events []SpanEvent) error {
 	enc := json.NewEncoder(w)
-	for _, ev := range t.Events() {
+	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
@@ -143,14 +217,14 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 // chromeEvent is the Chrome trace_event wire form ("X" complete events and
 // "i" instants, timestamps in microseconds).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	S    string            `json:"s,omitempty"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	Args Labels  `json:"args,omitempty"`
 }
 
 func toChrome(events []SpanEvent) []chromeEvent {
@@ -176,10 +250,20 @@ func toChrome(events []SpanEvent) []chromeEvent {
 // WriteChromeTrace writes the buffer as Chrome trace_event JSON, loadable in
 // about:tracing / Perfetto.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteEventsChrome(w, t.Events())
+}
+
+// WriteTraceChrome writes one stitched trace as Chrome trace_event JSON.
+func (t *Tracer) WriteTraceChrome(w io.Writer, traceID string) error {
+	return WriteEventsChrome(w, t.EventsFor(traceID))
+}
+
+// WriteEventsChrome writes events as Chrome trace_event JSON.
+func WriteEventsChrome(w io.Writer, events []SpanEvent) error {
 	payload := struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 		Unit        string        `json:"displayTimeUnit"`
-	}{toChrome(t.Events()), "ms"}
+	}{toChrome(events), "ms"}
 	return json.NewEncoder(w).Encode(payload)
 }
 
@@ -197,9 +281,5 @@ func ConvertJSONLToChrome(r io.Reader, w io.Writer) error {
 		}
 		events = append(events, ev)
 	}
-	payload := struct {
-		TraceEvents []chromeEvent `json:"traceEvents"`
-		Unit        string        `json:"displayTimeUnit"`
-	}{toChrome(events), "ms"}
-	return json.NewEncoder(w).Encode(payload)
+	return WriteEventsChrome(w, events)
 }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Cross-process trace propagation. The FL server mints one TraceContext per
+// round and carries it to every client — in an HTTP header and in the wire
+// frame's meta section — so client-side spans stitch under the server's round
+// trace even though the two processes share no tracer.
+//
+// IDs are minted deterministically from (seed, round) with the same
+// order-independent FNV construction the fault plane uses: a seeded chaos run
+// replays with identical trace IDs, so the round ledger (which records them)
+// stays byte-identical across replays.
+
+// Canonical label keys for trace-context span attribution.
+const (
+	// LabelTraceID tags every span/event of one distributed round trace.
+	LabelTraceID = "trace_id"
+	// LabelSpanID is the span's own identifier within its trace.
+	LabelSpanID = "span_id"
+	// LabelParentID is the identifier of the span this one nests under.
+	LabelParentID = "parent_id"
+)
+
+// TraceHeader is the HTTP header carrying a TraceContext between FL
+// processes, formatted by TraceContext.String.
+const TraceHeader = "X-Bofl-Trace"
+
+// idHexLen is the length of one ID: 64 bits as lowercase hex.
+const idHexLen = 16
+
+// TraceContext names a position in a distributed trace: the trace an event
+// belongs to and the span new children nest under. The zero value means "no
+// tracing" and is what every consumer must treat a malformed context as.
+type TraceContext struct {
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
+}
+
+// hashID folds parts into one 16-hex-char identifier. FNV-64a is inlined
+// (identical stream to hash/fnv over the same bytes) so the per-attempt
+// Child derivations on the dispatch hot path cost one allocation — the
+// returned string — instead of a hasher plus a []byte copy per part.
+func hashID(seed int64, parts ...string) string {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037) // FNV-64a offset basis
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime64
+	}
+	for _, p := range parts {
+		h *= prime64 // separator byte 0: ("ab","c") ≠ ("a","bc")
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * prime64
+		}
+	}
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], h)
+	var dst [2 * 8]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:])
+}
+
+// MintTrace derives the root trace context for one FL round. Pure in
+// (seed, round), so replays of a seeded run mint identical IDs.
+func MintTrace(seed int64, round int) TraceContext {
+	tid := hashID(seed, "bofl-round-trace", itoa(round))
+	return TraceContext{TraceID: tid, SpanID: hashID(seed, tid, "root")}
+}
+
+// Child derives a deterministic child context: same trace, a span ID hashed
+// from this span's ID and the given parts (e.g. "attempt", client, "2").
+func (c TraceContext) Child(parts ...string) TraceContext {
+	if !c.Valid() {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: c.TraceID, SpanID: hashID(0, append([]string{c.SpanID}, parts...)...)}
+}
+
+// Valid reports whether both IDs are well-formed (exactly 16 lowercase hex
+// characters). Anything else — including hostile oversized strings arriving
+// off the wire — is invalid and must be treated as "no trace".
+func (c TraceContext) Valid() bool {
+	return validID(c.TraceID) && validID(c.SpanID)
+}
+
+func validID(s string) bool {
+	if len(s) != idHexLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanitized returns the context unchanged when valid and the zero context
+// otherwise — the one call every wire ingress must make before trusting a
+// peer-supplied trace field.
+func (c TraceContext) Sanitized() TraceContext {
+	if c.Valid() {
+		return c
+	}
+	return TraceContext{}
+}
+
+// String renders the context for the wire header: "traceID-spanID", or ""
+// for an invalid context.
+func (c TraceContext) String() string {
+	if !c.Valid() {
+		return ""
+	}
+	return c.TraceID + "-" + c.SpanID
+}
+
+// ParseTraceContext parses the header form. Malformed input yields the zero
+// context and false.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	if len(s) != 2*idHexLen+1 || s[idHexLen] != '-' {
+		return TraceContext{}, false
+	}
+	c := TraceContext{TraceID: s[:idHexLen], SpanID: s[idHexLen+1:]}
+	if !c.Valid() {
+		return TraceContext{}, false
+	}
+	return c, true
+}
+
+// SpanLabels returns the labels stamping a span recorded *at* this context
+// (trace_id + span_id), or nil when tracing is off.
+func (c TraceContext) SpanLabels(extra ...Label) []Label {
+	if !c.Valid() {
+		return extra
+	}
+	return append([]Label{L(LabelTraceID, c.TraceID), L(LabelSpanID, c.SpanID)}, extra...)
+}
+
+// ChildLabels returns the labels stamping a span recorded *under* this
+// context (trace_id + parent_id), or nil when tracing is off.
+func (c TraceContext) ChildLabels(extra ...Label) []Label {
+	if !c.Valid() {
+		return extra
+	}
+	return append([]Label{L(LabelTraceID, c.TraceID), L(LabelParentID, c.SpanID)}, extra...)
+}
+
+// itoa is a tiny strconv.Itoa clone kept local so the hot MintTrace path
+// avoids pulling strconv into the obs dependency surface for one call.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// SpanSummary is the compact, wire-portable record of one completed
+// client-side span: what a client returns in its round report so the server
+// can graft remote spans into the stitched round trace. StartNs is the offset
+// from the client's round-handling start (client-local time — FL clients run
+// on virtual clocks, so cross-process timestamp alignment is explicitly not
+// attempted; stitching is by trace ID).
+type SpanSummary struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"startNs"`
+	DurNs   int64  `json:"durNs"`
+}
