@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFleetSmoke(t *testing.T) {
+	err := run([]string{
+		"-clients", "500", "-dim", "16", "-fanout", "8",
+		"-jobs", "1", "-rounds", "2", "-tier-quorum", "0.5",
+		"-chaos-drop", "0.05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLedgerCap(t *testing.T) {
+	path := t.TempDir() + "/fleet.jsonl"
+	err := run([]string{
+		"-clients", "256", "-dim", "8", "-fanout", "4",
+		"-jobs", "1", "-rounds", "1",
+		"-ledger", path, "-ledger-cap", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "nonesuch"},
+		{"-clients", "0"},
+		{"-fanout", "1"},
+		{"-quorum", "1.5"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("args %v: unhelpful error %q", args, err)
+		}
+	}
+}

@@ -48,6 +48,9 @@ func run(args []string) error {
 		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 		fanout   = fs.Int("fanout", 0, "round dispatch width: max concurrent participant requests (0 = GOMAXPROCS)")
 
+		treeFanout = fs.Int("tree-fanout", 0, "hierarchical aggregation: children per tree aggregator node (0 = flat fold, ≥2 = tree)")
+		tierQuorum = fs.Float64("tier-quorum", 0, "with -tree-fanout: fraction of an aggregator's children that must deliver or its whole subtree drops (0 = off)")
+
 		quorum      = fs.Float64("quorum", 0, "fraction of selected clients whose updates must arrive for a round to commit (0 = legacy strict/tolerant semantics, >0 implies dropout tolerance)")
 		retries     = fs.Int("retries", 1, "attempts per participant per round (1 = no retries)")
 		retryBudget = fs.Int("retry-budget", 0, "total retries allowed across all participants per round (0 = unbounded)")
@@ -69,9 +72,30 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *fanout > 0 {
-		parallel.SetWorkers(*fanout)
+	// How many clients the round can select — URL count when dialing
+	// directly, the check-in floor otherwise.
+	poolHint := *minPool
+	if *clients != "" {
+		poolHint = 0
+		for _, url := range strings.Split(*clients, ",") {
+			if strings.TrimSpace(url) != "" {
+				poolHint++
+			}
+		}
 	}
+	requested := *fanout
+	if requested <= 0 {
+		requested = parallel.Workers()
+	}
+	dispatch, err := validateDispatch(requested, *treeFanout, *tierQuorum, poolHint, *retryBudget)
+	if err != nil {
+		return err
+	}
+	if dispatch < requested {
+		fmt.Printf("dispatch width clamped %d -> %d: a depth-%d tree of fanout %d cannot fold more leaves concurrently\n",
+			requested, dispatch, treeDepth(*treeFanout, poolHint), *treeFanout)
+	}
+	parallel.SetWorkers(dispatch)
 	var policy faultinject.Policy
 	if *chaosSeed != 0 {
 		policy = &faultinject.Plan{
@@ -114,6 +138,11 @@ func run(args []string) error {
 		led.SetSink(f)
 		fmt.Printf("ledger journal -> %s\n", *ledgerPath)
 	}
+	var tree *fl.TreeConfig
+	if *treeFanout > 0 {
+		tree = &fl.TreeConfig{Fanout: *treeFanout, TierQuorum: *tierQuorum}
+		fmt.Printf("hierarchical aggregation: fanout %d, tier quorum %v\n", *treeFanout, *tierQuorum)
+	}
 	srv, err := fl.NewServer(fl.ServerConfig{
 		InitialParams:        global.Params(),
 		Jobs:                 *jobs,
@@ -122,6 +151,7 @@ func run(args []string) error {
 		ParticipantsPerRound: *perRound,
 		Seed:                 *seed,
 		Quorum:               *quorum,
+		Tree:                 tree,
 		Retry: fl.RetryConfig{
 			MaxAttempts:    *retries,
 			AttemptTimeout: *attemptTO,
@@ -240,4 +270,59 @@ func orchestrate(srv *fl.Server, rounds int, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "done; global model aggregated over", rounds, "rounds")
 	return nil
+}
+
+// treeDepth is the number of aggregation tiers a fanout-ary tree needs over a
+// pool of the given size (1 when the whole pool fits under one node).
+func treeDepth(fanout, pool int) int {
+	if fanout < 2 || pool <= 0 {
+		return 0
+	}
+	depth := 1
+	for span := fanout; span < pool; span *= fanout {
+		depth++
+	}
+	return depth
+}
+
+// validateDispatch reconciles -fanout (dispatch width), -tree-fanout
+// (aggregation tree shape) and -retry-budget before any round runs, returning
+// the dispatch width to install.
+//
+// Two rules govern the interplay:
+//
+//  1. The fold turnstile admits leaves in index order, so a tree of depth d
+//     can have at most tree-fanout × d leaf slots making fold progress at
+//     once (one open group per tier); a wider dispatch only parks goroutines
+//     at the turnstile. The width is clamped to that bound — a fix, not an
+//     error.
+//  2. A positive -retry-budget is shared by all concurrent attempts. If the
+//     dispatch width exceeds the budget, which attempts draw the last budget
+//     tokens becomes a goroutine-scheduling accident: the same seed could
+//     journal different "budget" verdicts on different machines, and chaos
+//     replays stop being deterministic. That config is rejected.
+func validateDispatch(workers, treeFanout int, tierQuorum float64, pool, retryBudget int) (int, error) {
+	if treeFanout != 0 && treeFanout < 2 {
+		return 0, fmt.Errorf("-tree-fanout %d must be 0 (flat) or ≥ 2", treeFanout)
+	}
+	if tierQuorum < 0 || tierQuorum > 1 {
+		return 0, fmt.Errorf("-tier-quorum %v must be in [0, 1]", tierQuorum)
+	}
+	if tierQuorum > 0 && treeFanout == 0 {
+		return 0, fmt.Errorf("-tier-quorum %v needs -tree-fanout", tierQuorum)
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("dispatch width %d must be ≥ 1", workers)
+	}
+	if treeFanout >= 2 && pool > 0 {
+		if bound := treeFanout * treeDepth(treeFanout, pool); workers > bound {
+			workers = bound
+		}
+	}
+	if retryBudget > 0 && workers > retryBudget {
+		return 0, fmt.Errorf(
+			"dispatch width %d exceeds -retry-budget %d: concurrent attempts would spend the shared budget in scheduling order and straggler verdicts would not replay; lower -fanout or raise -retry-budget",
+			workers, retryBudget)
+	}
+	return workers, nil
 }

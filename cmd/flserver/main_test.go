@@ -126,6 +126,110 @@ func TestOrchestrateReportsCasualties(t *testing.T) {
 	}
 }
 
+// TestValidateDispatch pins the -fanout / -tree-fanout / -retry-budget
+// interplay: tree depth bounds useful concurrency (clamped), and widths past
+// a shared retry budget are rejected as non-replayable.
+func TestValidateDispatch(t *testing.T) {
+	cases := []struct {
+		name                    string
+		workers, treeFanout     int
+		tierQuorum              float64
+		pool, retryBudget, want int
+		wantErr                 bool
+	}{
+		{name: "flat passthrough", workers: 16, pool: 100, want: 16},
+		{name: "tree clamps width", workers: 64, treeFanout: 4, pool: 64, want: 4 * 3},
+		{name: "tree under bound untouched", workers: 6, treeFanout: 4, pool: 64, want: 6},
+		{name: "single-tier pool", workers: 32, treeFanout: 8, pool: 8, want: 8},
+		{name: "budget rejects wide dispatch", workers: 16, pool: 100, retryBudget: 8, wantErr: true},
+		{name: "budget ok after tree clamp", workers: 64, treeFanout: 4, pool: 64, retryBudget: 12, want: 12},
+		{name: "budget rejects even clamped", workers: 64, treeFanout: 4, pool: 64, retryBudget: 4, wantErr: true},
+		{name: "tree fanout 1 invalid", workers: 4, treeFanout: 1, pool: 10, wantErr: true},
+		{name: "tier quorum needs tree", workers: 4, tierQuorum: 0.5, pool: 10, wantErr: true},
+		{name: "tier quorum out of range", workers: 4, treeFanout: 2, tierQuorum: 1.5, pool: 10, wantErr: true},
+		{name: "zero workers invalid", workers: 0, pool: 10, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := validateDispatch(c.workers, c.treeFanout, c.tierQuorum, c.pool, c.retryBudget)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: accepted, got width %d", c.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: width %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTreeDepth pins the depth bound used for clamping.
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ fanout, pool, want int }{
+		{2, 1, 1}, {2, 2, 1}, {2, 3, 2}, {2, 8, 3},
+		{4, 64, 3}, {8, 8, 1}, {32, 10_000, 3}, {0, 10, 0},
+	}
+	for _, c := range cases {
+		if got := treeDepth(c.fanout, c.pool); got != c.want {
+			t.Errorf("treeDepth(%d, %d) = %d, want %d", c.fanout, c.pool, got, c.want)
+		}
+	}
+}
+
+// TestOrchestrateTreeRound drives a real tree-configured federation end to
+// end through the cmd-layer orchestrator.
+func TestOrchestrateTreeRound(t *testing.T) {
+	global, err := ml.NewMLP(8, 16, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fl.NewServer(fl.ServerConfig{
+		InitialParams: global.Params(),
+		Jobs:          20,
+		DeadlineRatio: 2,
+		Seed:          1,
+		Tree:          &fl.TreeConfig{Fanout: 2, TierQuorum: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.JetsonAGX()
+	for i := 0; i < 5; i++ {
+		model, err := ml.NewMLP(8, 16, 4, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ml.Blobs(64, 8, 4, 0.6, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := core.NewPerformant(dev.Space())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := fl.NewClient(fl.ClientConfig{
+			ID: "c" + string(rune('0'+i)), Device: dev, Workload: device.ViT,
+			Model: model, Data: data, BatchSize: 8, LearnRate: 0.1,
+			Controller: ctrl, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(&fl.LocalParticipant{Client: c})
+	}
+	var buf bytes.Buffer
+	if err := orchestrate(srv, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "round ") != 2 {
+		t.Errorf("expected 2 tree rounds:\n%s", buf.String())
+	}
+}
+
 func TestOrchestratePropagatesErrors(t *testing.T) {
 	global, err := ml.NewMLP(2, 2, 2, 1)
 	if err != nil {

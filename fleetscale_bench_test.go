@@ -1,0 +1,46 @@
+package bofl_test
+
+// BenchmarkFleetScale measures the discrete-event fleet simulator: one
+// virtual-time federated round over 10k / 100k / 1M generated heterogeneous
+// clients through the hierarchical aggregation tree. The custom metrics are
+// the acceptance surface: clients/s of simulation throughput, virtual_s of
+// simulated round time, and spine_B — the aggregator working set, which must
+// stay O(depth · params) no matter how many clients fold beneath it (B/op
+// from -benchmem tracks the total per-round allocation).
+
+import (
+	"testing"
+
+	"bofl/internal/fleet"
+)
+
+func BenchmarkFleetScale(b *testing.B) {
+	for _, sz := range []struct {
+		label string
+		n     int
+	}{{"10k", 10_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
+		n := sz.n
+		b.Run("clients_"+sz.label, func(b *testing.B) {
+			eng, err := fleet.New(fleet.Config{
+				Clients: n, Dim: 256, Fanout: 64, Jobs: 1, Seed: 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var virtual float64
+			for i := 0; i < b.N; i++ {
+				st, err := eng.RunRound()
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual += st.VirtualSeconds
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "clients/s")
+			b.ReportMetric(virtual/float64(b.N), "virtual_s")
+			b.ReportMetric(float64(eng.SpineBytes()), "spine_B")
+		})
+	}
+}

@@ -35,6 +35,10 @@ const (
 	LayerTransport
 	// LayerCodec faults corrupt encoded wire frames.
 	LayerCodec
+	// LayerFleet faults gate a simulated fleet client's participation in a
+	// virtual-time round (internal/fleet availability, crash and straggle
+	// draws) — same hash stream, same replayability.
+	LayerFleet
 )
 
 // String names the layer for error messages.
@@ -46,6 +50,8 @@ func (l Layer) String() string {
 		return "transport"
 	case LayerCodec:
 		return "codec"
+	case LayerFleet:
+		return "fleet"
 	}
 	return fmt.Sprintf("layer(%d)", uint8(l))
 }

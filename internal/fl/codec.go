@@ -227,6 +227,26 @@ func encodeFrame(w io.Writer, meta any, params []float64) error {
 	return nil
 }
 
+// jsonMarshalMeta marshals a frame metadata section with the size cap applied.
+func jsonMarshalMeta(meta any) ([]byte, error) {
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("fl: encode frame meta: %w", err)
+	}
+	if len(mb) > maxMetaBytes {
+		return nil, fmt.Errorf("fl: frame meta %d bytes exceeds %d", len(mb), maxMetaBytes)
+	}
+	return mb, nil
+}
+
+// jsonUnmarshalMeta decodes a frame metadata section, tagging damage corrupt.
+func jsonUnmarshalMeta(b []byte, meta any) error {
+	if err := json.Unmarshal(b, meta); err != nil {
+		return fmt.Errorf("%w: decode meta: %w", ErrCorruptFrame, err)
+	}
+	return nil
+}
+
 // firstErr returns the first non-nil error (helper for the two-error gzip close).
 func firstErr(a, b error) error {
 	if a != nil {

@@ -139,3 +139,36 @@ func responseIDs(res RoundResult) []string {
 	}
 	return out
 }
+
+// BenchmarkSelector100k is the satellite perf bar: selecting 1k of a
+// 100k-client pool must be O(k) per round — persistent index scratch, no
+// full-pool permutation, no per-round reallocation beyond the result slice.
+func BenchmarkSelector100k(b *testing.B) {
+	const pool, k = 100_000, 1_000
+	participants := make([]Participant, pool)
+	for i := range participants {
+		participants[i] = &stubParticipant{id: fmt.Sprintf("c%06d", i)}
+	}
+	b.Run("random", func(b *testing.B) {
+		sel := NewRandomSelector(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := sel.Select(i+1, participants, k); len(got) != k {
+				b.Fatalf("selected %d", len(got))
+			}
+		}
+	})
+	b.Run("random-full-pool", func(b *testing.B) {
+		// Selecting the entire pool: the scratch still amortizes, the cost is
+		// the unavoidable O(n) result copy.
+		sel := NewRandomSelector(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := sel.Select(i+1, participants, pool); len(got) != pool {
+				b.Fatalf("selected %d", len(got))
+			}
+		}
+	})
+}

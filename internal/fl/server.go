@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bofl/internal/core"
+	"bofl/internal/exact"
 	"bofl/internal/faultinject"
 	"bofl/internal/obs"
 	"bofl/internal/obs/ledger"
@@ -116,6 +117,11 @@ type Selector interface {
 type RandomSelector struct {
 	rng *rand.Rand
 	mu  sync.Mutex
+	// idx is persistent selection scratch: a permutation of [0, n), reused
+	// across rounds and rebuilt only when the pool size changes. Selection is
+	// a partial Fisher–Yates over it — O(k) draws and zero per-round
+	// allocation beyond the result, instead of a fresh n-permutation.
+	idx []int
 }
 
 var _ Selector = (*RandomSelector)(nil)
@@ -129,13 +135,21 @@ func NewRandomSelector(seed int64) *RandomSelector {
 func (s *RandomSelector) Select(round int, pool []Participant, k int) []Participant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if k > len(pool) {
-		k = len(pool)
+	n := len(pool)
+	if k > n {
+		k = n
 	}
-	idx := s.rng.Perm(len(pool))[:k]
+	if len(s.idx) != n {
+		s.idx = make([]int, n)
+		for i := range s.idx {
+			s.idx[i] = i
+		}
+	}
 	out := make([]Participant, k)
-	for i, j := range idx {
-		out[i] = pool[j]
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(n-i)
+		s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+		out[i] = pool[s.idx[i]]
 	}
 	return out
 }
@@ -187,6 +201,11 @@ type ServerConfig struct {
 	// and commit/abort decision the round produces — appended in fold order
 	// under the turnstile, so replays at a fixed seed are byte-identical.
 	Ledger *ledger.Ledger
+	// Tree, when set, shards aggregation into a hierarchy of intermediate
+	// aggregators (see tree.go). nil keeps the flat streaming fold; because
+	// both paths accumulate exactly, the committed model is bit-identical
+	// either way.
+	Tree *TreeConfig
 }
 
 // Server orchestrates federated rounds: selection, deadline assignment,
@@ -206,9 +225,18 @@ type Server struct {
 	// quarantined holds clients excluded from selection after shipping a
 	// corrupt frame; they stay out until ClearQuarantine.
 	quarantined map[string]bool
+	// eligible caches the quarantine-filtered pool; rebuilt only when the
+	// pool or the quarantine set changes, so steady-state rounds at large n
+	// pay no per-round rescan or reallocation.
+	eligible      []Participant
+	eligibleStale bool
 
-	// acc is the streaming FedAvg accumulator, reused across rounds.
-	acc []float64
+	// acc is the flat-fold exact accumulator; tree is the tier spine. Each is
+	// built on first use and reused across rounds.
+	acc  *exact.Vec
+	tree *treeFold
+	// sum is commit scratch for the rounded exact totals.
+	sum []float64
 }
 
 // SetSink installs a telemetry sink. Beyond orchestration metrics, the server
@@ -234,6 +262,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Quorum < 0 || cfg.Quorum > 1 {
 		return nil, fmt.Errorf("fl: quorum %v must be in [0, 1]", cfg.Quorum)
 	}
+	if err := cfg.Tree.validate(); err != nil {
+		return nil, err
+	}
 	global := make([]float64, len(cfg.InitialParams))
 	copy(global, cfg.InitialParams)
 	return &Server{
@@ -247,15 +278,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // tolerant reports whether the server strips failed participants instead of
-// aborting the round. A positive quorum implies tolerance.
+// aborting the round. A positive round or tier quorum implies tolerance.
 func (s *Server) tolerant() bool {
-	return s.cfg.TolerateDropouts || s.cfg.Quorum > 0
+	return s.cfg.TolerateDropouts || s.cfg.Quorum > 0 ||
+		(s.cfg.Tree != nil && s.cfg.Tree.TierQuorum > 0)
 }
 
 // Quarantine excludes a client from all future selection (until cleared).
 func (s *Server) Quarantine(id string) {
 	if !s.quarantined[id] {
 		s.quarantined[id] = true
+		s.eligibleStale = true
 		s.sink.Count(obs.MetricFLQuarantines, 1)
 	}
 }
@@ -270,11 +303,17 @@ func (s *Server) QuarantinedIDs() []string {
 }
 
 // ClearQuarantine re-admits a client to the selection pool.
-func (s *Server) ClearQuarantine(id string) { delete(s.quarantined, id) }
+func (s *Server) ClearQuarantine(id string) {
+	if s.quarantined[id] {
+		delete(s.quarantined, id)
+		s.eligibleStale = true
+	}
+}
 
 // Register adds a participant to the pool.
 func (s *Server) Register(p Participant) {
 	s.pool = append(s.pool, p)
+	s.eligibleStale = true
 }
 
 // GlobalParams returns a copy of the current global model parameters.
@@ -327,18 +366,24 @@ func (s *Server) RunRound() (RoundResult, error) {
 	defer endRound()
 
 	// Quarantined clients are filtered out before selection, so every
-	// Selector implementation stays quarantine-safe for free.
+	// Selector implementation stays quarantine-safe for free. The filtered
+	// view is cached and rebuilt only when the pool or quarantine set
+	// changed — one pass, amortized to nothing across steady-state rounds.
 	eligible := s.pool
 	if len(s.quarantined) > 0 {
-		eligible = make([]Participant, 0, len(s.pool))
-		for _, p := range s.pool {
-			if !s.quarantined[p.ID()] {
-				eligible = append(eligible, p)
+		if s.eligibleStale {
+			s.eligible = s.eligible[:0]
+			for _, p := range s.pool {
+				if !s.quarantined[p.ID()] {
+					s.eligible = append(s.eligible, p)
+				}
 			}
+			s.eligibleStale = false
 		}
-		if len(eligible) == 0 {
+		if len(s.eligible) == 0 {
 			return RoundResult{}, fmt.Errorf("fl: round %d: every registered participant is quarantined", s.round)
 		}
+		eligible = s.eligible
 	}
 
 	endSelect := s.sink.Span(obs.SpanFLSelect, tc.ChildLabels()...)
@@ -376,34 +421,42 @@ func (s *Server) RunRound() (RoundResult, error) {
 
 	// Execute phase: dispatch through the shared bounded worker pool and
 	// stream each arriving update into the FedAvg accumulator. Folds happen
-	// strictly in participant index order (a condition-variable turnstile),
-	// so the floating-point sum — and therefore the global model — is
-	// byte-identical for any pool width or completion order. A worker whose
-	// turn has not come waits holding only its own response, so at most
-	// pool-width parameter vectors are alive at once; the O(clients×params)
-	// response buffer of the old two-phase design is gone.
+	// strictly in participant index order (a condition-variable turnstile)
+	// and accumulate exactly (internal/exact), so the committed model is
+	// byte-identical for any pool width, completion order or tree shape. A
+	// worker whose turn has not come waits holding only its own response, so
+	// at most pool-width parameter vectors are alive at once; the
+	// O(clients×params) response buffer of the old two-phase design is gone.
 	endExecute := s.sink.Span(obs.SpanFLExecute, tc.ChildLabels()...)
 	n := len(selected)
 	s.caller.resetBudget()
-	if len(s.acc) != len(s.global) {
-		s.acc = make([]float64, len(s.global))
-	}
-	acc := s.acc
-	for j := range acc {
-		acc[j] = 0
+	var tree *treeFold
+	if s.cfg.Tree != nil {
+		if s.tree == nil || s.tree.dim != len(s.global) || s.tree.cfg != *s.cfg.Tree {
+			s.tree = newTreeFold(s, *s.cfg.Tree, len(s.global))
+		}
+		tree = s.tree
+		tree.reset(n, tc)
+	} else {
+		if s.acc == nil || s.acc.Dim() != len(s.global) {
+			s.acc = exact.NewVec(len(s.global))
+		} else {
+			s.acc.Reset()
+		}
 	}
 	type slot struct {
-		resp   RoundResponse   // Params stripped after folding
-		err    error           // participant Round failure
-		valErr error           // aggregation-fatal validation failure
-		recs   []attemptRecord // per-attempt verdicts for ledger + trace graft
+		resp        RoundResponse   // Params stripped after folding
+		err         error           // participant Round failure
+		valErr      error           // aggregation-fatal validation failure
+		treeDropped bool            // folded, then discarded with its subtree
+		recs        []attemptRecord // per-attempt verdicts for ledger + trace graft
 	}
 	slots := make([]slot, n)
 	var (
 		foldMu      sync.Mutex
 		foldCond    = sync.NewCond(&foldMu)
 		nextFold    int
-		totalWeight float64
+		totalWeight int64
 	)
 	parallel.ForChunk(n, func(lo, hi int) {
 		// One params scratch per chunk: each participant gets a private
@@ -466,10 +519,12 @@ func (s *Server) RunRound() (RoundResult, error) {
 						slots[i].valErr = fmt.Errorf("fl: client %s reports %d examples",
 							resp.ClientID, resp.NumExamples)
 					default:
-						w := float64(resp.NumExamples)
-						totalWeight += w
-						for j, v := range resp.Params {
-							acc[j] += w * v
+						w := int64(resp.NumExamples)
+						if tree != nil {
+							tree.fold(w, resp.Params)
+						} else {
+							s.acc.AddScaled(float64(w), resp.Params)
+							totalWeight += w
 						}
 					}
 					endFold()
@@ -477,12 +532,31 @@ func (s *Server) RunRound() (RoundResult, error) {
 				resp.Params = nil // the update now lives in the accumulator
 				slots[i].resp = resp
 			}
+			if tree != nil {
+				// Close every tier group whose span ends here — still inside
+				// the turnstile, so partial frames and their ledger entries
+				// land in canonical order.
+				tree.advance(i)
+			}
 			nextFold++
 			foldCond.Broadcast()
 			foldMu.Unlock()
 		}
 	})
 	endExecute()
+
+	accVec := s.acc
+	if tree != nil {
+		if tree.err != nil {
+			return RoundResult{}, s.abortRound(tc, tree.err)
+		}
+		accVec, totalWeight = tree.root()
+		for i := range slots {
+			// A discarded subtree's weight never reached the root, so its
+			// leaves are out of the commit even though they folded.
+			slots[i].treeDropped = tree.treeDropped(i)
+		}
+	}
 
 	for i := range slots {
 		if slots[i].err != nil {
@@ -519,7 +593,7 @@ func (s *Server) RunRound() (RoundResult, error) {
 					result.Stragglers = append(result.Stragglers, id)
 					s.sink.Count(obs.MetricFLStragglerStrips, 1)
 				}
-			case !slots[i].resp.Report.DeadlineMet:
+			case !slots[i].resp.Report.DeadlineMet, slots[i].treeDropped:
 				result.Dropped = append(result.Dropped, slots[i].resp.ClientID)
 			default:
 				result.Responses = append(result.Responses, slots[i].resp)
@@ -579,15 +653,23 @@ func (s *Server) RunRound() (RoundResult, error) {
 		}
 	}
 
-	// Report phase: commit the deferred normalization. Nothing before this
-	// line mutated the global model, so a failed round leaves it untouched.
+	// Report phase: commit the deferred normalization — round the exact sums
+	// to float64 once, then divide by the integer survivor weight. Flat fold
+	// and tree root hold the same exact sums, so this commit is bit-identical
+	// on both paths. Nothing before this line mutated the global model, so a
+	// failed round leaves it untouched.
 	endReport := s.sink.Span(obs.SpanFLReport, tc.ChildLabels()...)
 	if totalWeight <= 0 {
 		endReport()
 		return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: zero aggregate weight", s.round))
 	}
+	if len(s.sum) != len(s.global) {
+		s.sum = make([]float64, len(s.global))
+	}
+	accVec.RoundTo(s.sum)
+	tw := float64(totalWeight)
 	for j := range s.global {
-		s.global[j] = acc[j] / totalWeight
+		s.global[j] = s.sum[j] / tw
 	}
 	endReport()
 
@@ -703,13 +785,14 @@ func (s *Server) recordReports(reports []core.RoundReport, tc obs.TraceContext) 
 
 // aggregate applies FedAvg in batch: the global model becomes the
 // dataset-size weighted average of the participants' parameters. It performs
-// the exact floating-point operations of RunRound's streaming fold — sum
-// w·v in response order, divide by the total weight at the end — so the two
-// paths are byte-identical; it is kept as the reference implementation for
-// the streaming-equivalence tests.
+// the same operations as RunRound's streaming fold — accumulate w·v exactly,
+// round once, divide by the integer total weight — so flat rounds, tree
+// rounds and this batch reference are all byte-identical on the same
+// response set; it is kept as the reference implementation for the
+// equivalence tests.
 func (s *Server) aggregate(responses []RoundResponse) error {
-	totalWeight := 0.0
-	acc := make([]float64, len(s.global))
+	var totalWeight int64
+	acc := exact.NewVec(len(s.global))
 	for _, r := range responses {
 		switch {
 		case len(r.Params) != len(s.global):
@@ -717,17 +800,17 @@ func (s *Server) aggregate(responses []RoundResponse) error {
 		case r.NumExamples <= 0:
 			return fmt.Errorf("fl: client %s reports %d examples", r.ClientID, r.NumExamples)
 		}
-		w := float64(r.NumExamples)
-		totalWeight += w
-		for i, v := range r.Params {
-			acc[i] += w * v
-		}
+		acc.AddScaled(float64(r.NumExamples), r.Params)
+		totalWeight += int64(r.NumExamples)
 	}
 	if totalWeight <= 0 {
 		return errors.New("fl: zero aggregate weight")
 	}
+	sum := make([]float64, len(s.global))
+	acc.RoundTo(sum)
+	tw := float64(totalWeight)
 	for i := range s.global {
-		s.global[i] = acc[i] / totalWeight
+		s.global[i] = sum[i] / tw
 	}
 	return nil
 }

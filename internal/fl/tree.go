@@ -1,0 +1,245 @@
+package fl
+
+// Hierarchical aggregation. With a tree configured, RunRound's turnstile no
+// longer folds leaves into a single root accumulator: contiguous spans of
+// Fanout leaves fold into a tier-0 aggregator, every Fanout tier-0 partials
+// merge into a tier-1 aggregator, and so on until one node spans the whole
+// selection — the root. Because the turnstile already fixes the canonical
+// leaf order and the fold arithmetic is exact (internal/exact), only the
+// *rightmost* group of every tier can be open at any moment. That spine is
+// the whole working set: O(depth · params) accumulator memory regardless of
+// how many leaves the round selects, and the root sum is bit-identical to
+// the flat fold for any fanout.
+//
+// Every group close serializes the child's accumulator window into a BFL1
+// partial-aggregate frame and absorbs it into the parent through the decoder
+// — the in-process tree exercises the identical wire path a distributed tier
+// deployment would, and the frame bytes are journaled per tier.
+//
+// Per-tier quorum composes with the round-level machinery: a group whose
+// surviving children fall below ⌈TierQuorum · children⌉ is discarded whole
+// (KindSubtreeDrop), its leaves join the round's Dropped list, and — because
+// normalization is deferred to the root commit — the parent renormalizes
+// over the surviving siblings by doing nothing at all.
+
+import (
+	"fmt"
+	"math"
+
+	"bofl/internal/exact"
+	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
+)
+
+// TreeConfig shapes the aggregation tree.
+type TreeConfig struct {
+	// Fanout is the maximum children per aggregator node; must be ≥ 2. The
+	// rightmost node of every tier may be ragged (fewer children).
+	Fanout int
+	// TierQuorum is the fraction of an aggregator's children that must
+	// deliver for the node to forward a partial: required = ⌈q·children⌉.
+	// 0 disables per-tier quorum. Any positive value implies dropout
+	// tolerance, like ServerConfig.Quorum.
+	TierQuorum float64
+}
+
+func (c *TreeConfig) validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.Fanout < 2 {
+		return fmt.Errorf("fl: tree fanout %d must be ≥ 2", c.Fanout)
+	}
+	if c.TierQuorum < 0 || c.TierQuorum > 1 {
+		return fmt.Errorf("fl: tier quorum %v must be in [0, 1]", c.TierQuorum)
+	}
+	return nil
+}
+
+// treeTier is one tier's live (rightmost) aggregator group.
+type treeTier struct {
+	vec       *exact.Vec
+	weight    int64 // integer example-count weight folded so far
+	arrived   int   // children that delivered into the open group
+	attempted int   // children closed under the open group, delivered or not
+	leafLo    int   // first leaf index of the open group's span
+	node      int   // tier-local ordinal of the open group
+}
+
+// treeFold is the per-round spine. It is reused across rounds (the tier
+// accumulators are the dominant allocation) and rewound by reset.
+type treeFold struct {
+	srv   *Server
+	cfg   TreeConfig
+	dim   int
+	tiers []*treeTier
+
+	// Per-round state.
+	n         int
+	tc        obs.TraceContext
+	dropped   [][2]int // leaf spans discarded by per-tier quorum, inclusive
+	partials  int
+	wireBytes int64
+	err       error // first wire/merge failure; aborts the round
+}
+
+func newTreeFold(srv *Server, cfg TreeConfig, dim int) *treeFold {
+	return &treeFold{srv: srv, cfg: cfg, dim: dim}
+}
+
+// reset rewinds the spine for a new round over n selected leaves.
+func (f *treeFold) reset(n int, tc obs.TraceContext) {
+	f.n, f.tc = n, tc
+	f.dropped = f.dropped[:0]
+	f.partials, f.wireBytes, f.err = 0, 0, nil
+	for _, t := range f.tiers {
+		t.vec.Reset()
+		t.weight, t.arrived, t.attempted, t.leafLo, t.node = 0, 0, 0, 0, 0
+	}
+	f.ensureTier(0)
+}
+
+// ensureTier returns tier t, growing the spine as needed.
+func (f *treeFold) ensureTier(t int) *treeTier {
+	for len(f.tiers) <= t {
+		f.tiers = append(f.tiers, &treeTier{vec: exact.NewVec(f.dim)})
+	}
+	return f.tiers[t]
+}
+
+// fold streams one surviving leaf update into the open tier-0 group. Must be
+// called under the turnstile, in leaf index order.
+func (f *treeFold) fold(w int64, params []float64) {
+	t0 := f.tiers[0]
+	t0.vec.AddScaled(float64(w), params)
+	t0.weight += w
+	t0.arrived++
+}
+
+// advance closes every group whose span ends at leaf i. Must be called under
+// the turnstile after leaf i's slot is settled, for every leaf — survivors
+// and dropouts alike.
+func (f *treeFold) advance(i int) {
+	f.tiers[0].attempted++
+	span := f.cfg.Fanout
+	t := 0
+	for (i+1)%span == 0 || i+1 == f.n {
+		top := span >= f.n // this group spans the whole selection: its close fills the root
+		f.closeGroup(t, i)
+		if top {
+			return
+		}
+		t++
+		if span > f.n/f.cfg.Fanout {
+			span = f.n // saturates: only the i+1 == n close remains above here
+		} else {
+			span *= f.cfg.Fanout
+		}
+	}
+}
+
+// closeGroup finalizes tier t's open group ending at leaf i: quorum-check it,
+// then either ship a partial frame into the parent or discard the subtree.
+func (f *treeFold) closeGroup(t, i int) {
+	tier := f.tiers[t]
+	parent := f.ensureTier(t + 1)
+	node := tier.node
+	endSpan := f.srv.sink.Span(obs.SpanFLTierFold, f.tc.ChildLabels()...)
+	defer endSpan()
+
+	required := 0
+	if f.cfg.TierQuorum > 0 {
+		required = int(math.Ceil(f.cfg.TierQuorum * float64(tier.attempted)))
+	}
+	switch {
+	case tier.arrived < required:
+		// Subtree drop: the partial never leaves this node. Deferred
+		// normalization means the parent renormalizes over its surviving
+		// children implicitly — the dropped weight simply never reaches the
+		// root divisor.
+		f.dropped = append(f.dropped, [2]int{tier.leafLo, i})
+		f.srv.sink.Count(obs.MetricFLSubtreeDrops, 1)
+		f.srv.ledgerAppend(ledger.Event{
+			Kind: ledger.KindSubtreeDrop, TraceID: f.tc.TraceID,
+			Tier: t, Node: node, Survivors: tier.arrived, Selected: tier.attempted,
+			Detail: fmt.Sprintf("quorum %d/%d", tier.arrived, required),
+		})
+	case tier.arrived == 0:
+		// Vacuous group (every leaf below already dropped individually, no
+		// tier quorum configured): nothing to forward, nothing to journal.
+	default:
+		pa := PartialAggregate{
+			Round: f.srv.round, Tier: t, Node: node,
+			LeafLo: tier.leafLo, LeafHi: i,
+			Survivors: tier.arrived, Weight: tier.weight,
+			Sum:   tier.vec.Serialize(),
+			Trace: f.tc,
+		}
+		buf := getBuf()
+		if err := EncodePartialAggregate(buf, pa); err != nil {
+			f.fail(fmt.Errorf("fl: tier %d node %d: encode partial: %w", t, node, err))
+			putBuf(buf)
+			break
+		}
+		wire := int64(buf.Len())
+		dec, err := DecodePartialAggregate(buf)
+		putBuf(buf)
+		if err != nil {
+			f.fail(fmt.Errorf("fl: tier %d node %d: decode partial: %w", t, node, err))
+			break
+		}
+		if err := parent.vec.Absorb(dec.Sum); err != nil {
+			f.fail(fmt.Errorf("fl: tier %d node %d: absorb partial: %w", t, node, err))
+			break
+		}
+		parent.weight += dec.Weight
+		parent.arrived++
+		f.partials++
+		f.wireBytes += wire
+		f.srv.sink.Count(obs.MetricFLPartials, 1)
+		f.srv.sink.Count(obs.MetricFLWireTx, float64(wire), obs.L("codec", "partial"))
+		f.srv.ledgerAppend(ledger.Event{
+			Kind: ledger.KindPartial, TraceID: f.tc.TraceID,
+			Tier: t, Node: node, Survivors: tier.arrived, Selected: tier.attempted,
+			Weight: tier.weight, WireTxBytes: wire,
+		})
+	}
+	parent.attempted++
+	tier.vec.Reset()
+	tier.weight, tier.arrived, tier.attempted = 0, 0, 0
+	tier.leafLo = i + 1
+	tier.node++
+}
+
+func (f *treeFold) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// root returns the root accumulator and total surviving weight. Valid only
+// after advance(n-1).
+func (f *treeFold) root() (*exact.Vec, int64) {
+	top := f.tiers[len(f.tiers)-1]
+	return top.vec, top.weight
+}
+
+// treeDropped reports whether leaf i fell inside a discarded subtree.
+func (f *treeFold) treeDropped(i int) bool {
+	for _, s := range f.dropped {
+		if i >= s[0] && i <= s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes reports the spine's accumulator footprint — O(depth · params),
+// the bound the fleet simulator's per-node accounting checks.
+func (f *treeFold) MemoryBytes() int64 {
+	var total int64
+	for _, t := range f.tiers {
+		total += t.vec.MemoryBytes()
+	}
+	return total
+}

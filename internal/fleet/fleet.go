@@ -1,0 +1,556 @@
+// Package fleet is a discrete-event simulator for million-client federated
+// rounds. It drives a generated heterogeneous device population
+// (device.Population) through the hierarchical aggregation tree in *virtual*
+// time (simclock.Sim): every client's round — downlink, local training,
+// uplink — is priced from its sampled fleet profile, partial sums climb the
+// tree as BFL1 partial-aggregate frames, and the round's wall time is the
+// slowest surviving path to the root, not the machine the simulator runs on.
+//
+// Memory is the point. The simulator walks the tree depth-first, so at any
+// moment exactly one aggregator per tier is open: O(depth · params)
+// accumulator state plus one scratch update vector, regardless of fleet size.
+// No slice anywhere is proportional to the number of clients — a client's
+// spec, availability and update are all recomputed on demand as pure
+// functions of (seed, index, round), the same order-independent hash
+// construction the chaos plane uses (Falafels-style discrete events over a
+// BouquetFL-style heterogeneous population).
+//
+// Because the fold arithmetic is exact (internal/exact), arrival order is
+// immaterial: folding children in index order as the DFS visits them is
+// bit-identical to folding them in completion-time order, and the committed
+// root model is bit-identical to a flat fold over the same survivors — the
+// property FlatRound exposes and the tests enforce.
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"time"
+
+	"bofl/internal/device"
+	"bofl/internal/exact"
+	"bofl/internal/faultinject"
+	"bofl/internal/fl"
+	"bofl/internal/obs"
+	"bofl/internal/obs/ledger"
+	"bofl/internal/simclock"
+)
+
+// Per-round draw attempts in the LayerFleet hash stream. Population sampling
+// uses round 0; the engine draws at rounds ≥ 1, so the streams never collide.
+const (
+	drawChaos = iota // scripted/policy fault decision
+	drawAvailability
+)
+
+// wireOverheadBytes approximates per-transfer framing cost (headers, meta)
+// added to the 8·dim model payload when pricing link time.
+const wireOverheadBytes = 128
+
+// UpdateFn computes client i's local update from the global model into out
+// (len(out) == len(global)) and returns its integer example count (≥ 1).
+// It MUST be a pure function of (i, global) — the simulator recomputes it at
+// will and replays depend on it.
+type UpdateFn func(i int, global, out []float64) int
+
+// DefaultUpdate is a deterministic synthetic workload: an affine map whose
+// scale and shift vary per client, matching the in-process scale harness.
+func DefaultUpdate(i int, global, out []float64) int {
+	scale := 1 + float64(i%7)/8
+	shift := float64(i%5) / 16
+	for j, v := range global {
+		out[j] = v*scale + shift
+	}
+	return 1 + i%29
+}
+
+// Config shapes one simulated fleet.
+type Config struct {
+	// Clients is the fleet size; every round selects the whole fleet.
+	Clients int
+	// Dim is the model dimension.
+	Dim int
+	// Fanout is the aggregation-tree fanout (≥ 2).
+	Fanout int
+	// Jobs is the local minibatch count per client per round.
+	Jobs int
+	// Seed fixes population sampling and trace minting.
+	Seed int64
+	// ChaosSeed fixes availability and fault draws; replays with the same
+	// value are byte-identical. Defaults to Seed when zero.
+	ChaosSeed int64
+	// TierQuorum is the per-aggregator child quorum (see fl.TreeConfig).
+	TierQuorum float64
+	// Quorum is the round-level survivor fraction required to commit.
+	Quorum float64
+	// DeadlineSeconds fixes the per-round client deadline. Zero derives it:
+	// DeadlineRatio × Jobs × the population's slowest per-job latency.
+	DeadlineSeconds float64
+	// DeadlineRatio scales the derived deadline (default 1.25).
+	DeadlineRatio float64
+	// TierLatencySeconds charges a fixed aggregation hop cost per tier when
+	// pricing the round's virtual duration (default 0).
+	TierLatencySeconds float64
+	// Population supplies per-client device specs; nil builds the standard
+	// heterogeneous mix (device.StandardFleetClasses, ViT anchors) on Seed.
+	Population *device.Population
+	// Fault injects scripted or probabilistic chaos at LayerFleet points
+	// (nil injects nothing).
+	Fault faultinject.Policy
+	// Clock is the virtual clock to advance per round (nil creates one at
+	// the zero epoch).
+	Clock *simclock.Sim
+	// Ledger, when set, journals round/partial/subtree-drop/commit events.
+	Sink   obs.Sink
+	Ledger *ledger.Ledger
+	// Update is the local training function (nil selects DefaultUpdate).
+	Update UpdateFn
+}
+
+func (c *Config) normalize() error {
+	switch {
+	case c.Clients < 1:
+		return fmt.Errorf("fleet: Clients %d must be ≥ 1", c.Clients)
+	case c.Dim < 1:
+		return fmt.Errorf("fleet: Dim %d must be ≥ 1", c.Dim)
+	case c.Fanout < 2:
+		return fmt.Errorf("fleet: Fanout %d must be ≥ 2", c.Fanout)
+	case c.Jobs < 1:
+		return fmt.Errorf("fleet: Jobs %d must be ≥ 1", c.Jobs)
+	case c.TierQuorum < 0 || c.TierQuorum > 1:
+		return fmt.Errorf("fleet: TierQuorum %v must be in [0, 1]", c.TierQuorum)
+	case c.Quorum < 0 || c.Quorum > 1:
+		return fmt.Errorf("fleet: Quorum %v must be in [0, 1]", c.Quorum)
+	case c.DeadlineSeconds < 0 || c.DeadlineRatio < 0 || c.TierLatencySeconds < 0:
+		return fmt.Errorf("fleet: negative deadline/tier latency")
+	}
+	if c.ChaosSeed == 0 {
+		c.ChaosSeed = c.Seed
+	}
+	if c.DeadlineRatio == 0 {
+		c.DeadlineRatio = 1.25
+	}
+	if c.Population == nil {
+		classes, err := device.StandardFleetClasses(device.ViT)
+		if err != nil {
+			return err
+		}
+		c.Population, err = device.NewPopulation(c.Seed, classes)
+		if err != nil {
+			return err
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.NewSim(time.Unix(0, 0).UTC())
+	}
+	c.Sink = obs.OrNop(c.Sink)
+	c.Fault = faultinject.OrNop(c.Fault)
+	if c.Update == nil {
+		c.Update = DefaultUpdate
+	}
+	return nil
+}
+
+// RoundStats summarizes one simulated round.
+type RoundStats struct {
+	Round   int
+	Clients int
+	// Survivors is the number of leaf updates in the committed aggregate;
+	// Dropped is everything else (unavailable + faults + misses + leaves
+	// lost to subtree drops).
+	Survivors int
+	Dropped   int
+	// Loss taxonomy. SubtreeDropLeaves counts healthy leaves discarded
+	// because their aggregator missed its tier quorum.
+	Unavailable       int
+	Crashed           int
+	DeadlineMisses    int
+	SubtreeDrops      int
+	SubtreeDropLeaves int
+	// Tree traffic: partial frames shipped tier-to-tier and their bytes.
+	Partials  int
+	WireBytes int64
+	// TotalWeight is the committed integer example weight.
+	TotalWeight int64
+	// EnergyJ is the fleet's summed round energy (training + radio).
+	EnergyJ float64
+	// VirtualSeconds is the round's simulated duration (slowest surviving
+	// path to the root); DeadlineSeconds is the per-client deadline used.
+	VirtualSeconds  float64
+	DeadlineSeconds float64
+	// SpineBytes is the engine's accumulator working set — O(depth·params),
+	// independent of Clients.
+	SpineBytes int64
+}
+
+// Engine simulates rounds over one fleet. Not safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	depth    int // root aggregator tier; spine holds tiers 0..depth
+	deadline float64
+
+	global  []float64
+	scratch []float64
+	sum     []float64
+	spine   []*exact.Vec
+	rootVec *exact.Vec
+	buf     bytes.Buffer
+
+	round int
+	tc    obs.TraceContext
+	stats RoundStats
+	err   error
+}
+
+// New validates the config and builds an engine with a deterministic initial
+// model.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	depth := 0
+	for spanPow(cfg.Fanout, depth+1, cfg.Clients) < cfg.Clients {
+		depth++
+	}
+	e := &Engine{
+		cfg:     cfg,
+		depth:   depth,
+		global:  make([]float64, cfg.Dim),
+		scratch: make([]float64, cfg.Dim),
+		sum:     make([]float64, cfg.Dim),
+		spine:   make([]*exact.Vec, depth+1),
+		rootVec: exact.NewVec(cfg.Dim),
+	}
+	for t := range e.spine {
+		e.spine[t] = exact.NewVec(cfg.Dim)
+	}
+	for j := range e.global {
+		e.global[j] = float64(j%17)/16 + 0.5
+	}
+	e.deadline = cfg.DeadlineSeconds
+	if e.deadline == 0 {
+		e.deadline = cfg.DeadlineRatio * float64(cfg.Jobs) * cfg.Population.SlowestSecPerJob()
+	}
+	return e, nil
+}
+
+// Depth returns the root aggregator tier (leaves fold into tier 0).
+func (e *Engine) Depth() int { return e.depth }
+
+// Deadline returns the per-client round deadline in seconds.
+func (e *Engine) Deadline() float64 { return e.deadline }
+
+// Global returns a copy of the current global model.
+func (e *Engine) Global() []float64 { return append([]float64(nil), e.global...) }
+
+// SetGlobal replaces the global model (length must equal Dim).
+func (e *Engine) SetGlobal(g []float64) error {
+	if len(g) != e.cfg.Dim {
+		return fmt.Errorf("fleet: model length %d, want %d", len(g), e.cfg.Dim)
+	}
+	copy(e.global, g)
+	return nil
+}
+
+// SpineBytes reports the accumulator working set: the per-tier spine plus the
+// root — the quantity that must stay O(depth · params).
+func (e *Engine) SpineBytes() int64 {
+	total := e.rootVec.MemoryBytes()
+	for _, v := range e.spine {
+		total += v.MemoryBytes()
+	}
+	return total
+}
+
+// spanPow returns min(fanout^exp, n) without overflow.
+func spanPow(fanout, exp, n int) int {
+	s := 1
+	for k := 0; k < exp; k++ {
+		if s > n/fanout {
+			return n
+		}
+		s *= fanout
+	}
+	if s > n {
+		return n
+	}
+	return s
+}
+
+// leafResult is one simulated client's round outcome.
+type leafResult struct {
+	ok         bool
+	completeAt float64 // seconds after round start the update arrives
+}
+
+// simulateLeaf prices client i's round: availability and chaos draws, then
+// downlink + Jobs·SecPerJob + uplink against the deadline. Energy is charged
+// for every phase the device actually ran, even when the update is lost.
+func (e *Engine) simulateLeaf(i int) leafResult {
+	spec := e.cfg.Population.Client(i)
+	pt := faultinject.Point{
+		Layer: faultinject.LayerFleet, Client: device.ClientID(i),
+		Round: e.round, Attempt: drawChaos,
+	}
+	dec := e.cfg.Fault.Decide(pt)
+	if dec.Drop {
+		e.stats.Unavailable++
+		return leafResult{}
+	}
+	pt.Attempt = drawAvailability
+	if faultinject.Unit(e.cfg.ChaosSeed, pt) >= spec.Availability {
+		e.stats.Unavailable++
+		return leafResult{}
+	}
+
+	frame := float64(8*e.cfg.Dim + wireOverheadBytes)
+	down := frame / spec.DownlinkBps
+	compute := float64(e.cfg.Jobs)*spec.SecPerJob + dec.Delay.Seconds()
+	up := frame / spec.UplinkBps
+
+	if dec.Crash {
+		// Trained, died before reporting: compute energy spent, no uplink.
+		e.stats.Crashed++
+		e.stats.EnergyJ += compute*spec.PowerBusyW + down*spec.PowerIdleW
+		return leafResult{}
+	}
+	total := down + compute + up
+	e.stats.EnergyJ += compute*spec.PowerBusyW + (down+up)*spec.PowerIdleW
+	if dec.Timeout || total > e.deadline {
+		e.stats.DeadlineMisses++
+		return leafResult{}
+	}
+	return leafResult{ok: true, completeAt: total}
+}
+
+// nodeResult is one aggregator subtree's outcome.
+type nodeResult struct {
+	ok         bool
+	sum        exact.Serialized
+	weight     int64
+	survivors  int
+	completeAt float64
+}
+
+// simulateNode runs the tier-t aggregator covering leaves [lo, hi) and every
+// subtree below it, depth-first. The tier's spine accumulator is reused by
+// every node of the tier in turn — the DFS guarantees at most one is open.
+func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
+	vec := e.spine[t]
+	vec.Reset()
+	var weight int64
+	arrived, attempted, survivors := 0, 0, 0
+	latest := 0.0
+	childSpan := spanPow(e.cfg.Fanout, t, e.cfg.Clients)
+	for clo := lo; clo < hi; clo += childSpan {
+		attempted++
+		if t == 0 {
+			lr := e.simulateLeaf(clo)
+			if !lr.ok {
+				continue
+			}
+			w := int64(e.cfg.Update(clo, e.global, e.scratch))
+			if w < 1 {
+				e.fail(fmt.Errorf("fleet: client %d returned weight %d < 1", clo, w))
+				continue
+			}
+			vec.AddScaled(float64(w), e.scratch)
+			weight += w
+			arrived++
+			survivors++
+			if lr.completeAt > latest {
+				latest = lr.completeAt
+			}
+			continue
+		}
+		chi := clo + childSpan
+		if chi > hi {
+			chi = hi
+		}
+		res := e.simulateNode(t-1, clo, chi)
+		if res.completeAt > latest {
+			latest = res.completeAt
+		}
+		if !res.ok {
+			continue
+		}
+		if err := vec.Absorb(res.sum); err != nil {
+			e.fail(fmt.Errorf("fleet: tier %d absorb: %w", t, err))
+			continue
+		}
+		weight += res.weight
+		arrived++
+		survivors += res.survivors
+	}
+
+	node := lo / spanPow(e.cfg.Fanout, t+1, e.cfg.Clients)
+	required := 0
+	if e.cfg.TierQuorum > 0 {
+		required = int(math.Ceil(e.cfg.TierQuorum * float64(attempted)))
+	}
+	if arrived == 0 || arrived < required {
+		if required > 0 && arrived < required {
+			e.stats.SubtreeDrops++
+			e.stats.SubtreeDropLeaves += survivors
+			e.ledgerAppend(ledger.Event{
+				Kind: ledger.KindSubtreeDrop, Round: e.round, TraceID: e.tc.TraceID,
+				Tier: t, Node: node, Survivors: arrived, Selected: attempted,
+				Detail: fmt.Sprintf("quorum %d/%d", arrived, required),
+			})
+		}
+		return nodeResult{completeAt: latest}
+	}
+
+	// Ship the partial through the real wire path: the bytes a distributed
+	// tier deployment would move are the bytes we account.
+	pa := fl.PartialAggregate{
+		Round: e.round, Tier: t, Node: node,
+		LeafLo: lo, LeafHi: hi - 1,
+		Survivors: survivors, Weight: weight,
+		Sum: vec.Serialize(), Trace: e.tc,
+	}
+	e.buf.Reset()
+	if err := fl.EncodePartialAggregate(&e.buf, pa); err != nil {
+		e.fail(fmt.Errorf("fleet: tier %d node %d encode: %w", t, node, err))
+		return nodeResult{completeAt: latest}
+	}
+	wire := int64(e.buf.Len())
+	dec, err := fl.DecodePartialAggregate(&e.buf)
+	if err != nil {
+		e.fail(fmt.Errorf("fleet: tier %d node %d decode: %w", t, node, err))
+		return nodeResult{completeAt: latest}
+	}
+	e.stats.Partials++
+	e.stats.WireBytes += wire
+	e.ledgerAppend(ledger.Event{
+		Kind: ledger.KindPartial, Round: e.round, TraceID: e.tc.TraceID,
+		Tier: t, Node: node, Survivors: arrived, Selected: attempted,
+		Weight: weight, WireTxBytes: wire,
+	})
+	return nodeResult{
+		ok: true, sum: dec.Sum, weight: dec.Weight, survivors: survivors,
+		completeAt: latest + e.cfg.TierLatencySeconds,
+	}
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Engine) ledgerAppend(ev ledger.Event) {
+	if e.cfg.Ledger != nil {
+		e.cfg.Ledger.Append(ev)
+	}
+}
+
+// RunRound simulates one virtual-time round over the whole fleet, commits the
+// new global model, and advances the virtual clock by the round's duration.
+func (e *Engine) RunRound() (RoundStats, error) {
+	e.round++
+	e.err = nil
+	n := e.cfg.Clients
+	e.tc = obs.MintTrace(e.cfg.Seed, e.round)
+	e.stats = RoundStats{
+		Round: e.round, Clients: n,
+		DeadlineSeconds: e.deadline, SpineBytes: e.SpineBytes(),
+	}
+	e.ledgerAppend(ledger.Event{
+		Kind: ledger.KindRoundBegin, Round: e.round, TraceID: e.tc.TraceID,
+		Selected: n, Deadline: e.deadline,
+	})
+
+	root := e.simulateNode(e.depth, 0, n)
+	if e.err != nil {
+		e.abort(e.err.Error())
+		return e.stats, e.err
+	}
+	required := int(math.Ceil(e.cfg.Quorum * float64(n)))
+	switch {
+	case !root.ok || root.weight == 0:
+		err := fmt.Errorf("fleet: round %d: no surviving aggregate", e.round)
+		e.abort(err.Error())
+		return e.stats, err
+	case root.survivors < required:
+		err := fmt.Errorf("fleet: round %d: %d survivors below quorum %d", e.round, root.survivors, required)
+		e.abort(err.Error())
+		return e.stats, err
+	}
+
+	e.rootVec.Reset()
+	if err := e.rootVec.Absorb(root.sum); err != nil {
+		e.abort(err.Error())
+		return e.stats, fmt.Errorf("fleet: round %d: root absorb: %w", e.round, err)
+	}
+	e.rootVec.RoundTo(e.sum)
+	tw := float64(root.weight)
+	for j := range e.global {
+		e.global[j] = e.sum[j] / tw
+	}
+
+	e.stats.Survivors = root.survivors
+	e.stats.Dropped = n - root.survivors
+	e.stats.TotalWeight = root.weight
+	e.stats.VirtualSeconds = root.completeAt + e.cfg.TierLatencySeconds
+	e.cfg.Clock.Advance(time.Duration(e.stats.VirtualSeconds * float64(time.Second)))
+
+	e.cfg.Sink.Count(obs.MetricFleetClients, float64(n))
+	e.cfg.Sink.Count(obs.MetricFleetVirtualS, e.stats.VirtualSeconds)
+	e.cfg.Sink.Count(obs.MetricFleetEnergy, e.stats.EnergyJ)
+	e.cfg.Sink.Count(obs.MetricFleetMisses, float64(e.stats.DeadlineMisses))
+	e.cfg.Sink.Count(obs.MetricFleetDropped, float64(e.stats.Dropped))
+	e.ledgerAppend(ledger.Event{
+		Kind: ledger.KindCommit, Round: e.round, TraceID: e.tc.TraceID,
+		Selected: n, Survivors: root.survivors, Weight: root.weight,
+		LatencySeconds: e.stats.VirtualSeconds, EnergyJoules: e.stats.EnergyJ,
+	})
+	return e.stats, nil
+}
+
+func (e *Engine) abort(detail string) {
+	e.ledgerAppend(ledger.Event{
+		Kind: ledger.KindAbort, Round: e.round, TraceID: e.tc.TraceID,
+		Detail: detail,
+	})
+}
+
+// FlatRound is the reference oracle: it simulates the *next* round's leaves
+// with draws identical to what RunRound will use, folds every survivor into a
+// single flat exact accumulator in index order — no tree, no partial frames —
+// and returns the model that fold would commit plus its total weight. It does
+// not mutate engine state. With TierQuorum 0 (no subtree drops) the
+// subsequently committed RunRound model must be bit-identical.
+func (e *Engine) FlatRound() ([]float64, int64, error) {
+	savedStats, savedRound, savedErr := e.stats, e.round, e.err
+	defer func() { e.stats, e.round, e.err = savedStats, savedRound, savedErr }()
+	e.round++
+	e.stats = RoundStats{}
+	e.err = nil
+
+	acc := exact.NewVec(e.cfg.Dim)
+	var weight int64
+	for i := 0; i < e.cfg.Clients; i++ {
+		lr := e.simulateLeaf(i)
+		if !lr.ok {
+			continue
+		}
+		w := int64(e.cfg.Update(i, e.global, e.scratch))
+		if w < 1 {
+			return nil, 0, fmt.Errorf("fleet: client %d returned weight %d < 1", i, w)
+		}
+		acc.AddScaled(float64(w), e.scratch)
+		weight += w
+	}
+	if weight == 0 {
+		return nil, 0, fmt.Errorf("fleet: flat round %d: no survivors", e.round)
+	}
+	out := make([]float64, e.cfg.Dim)
+	acc.RoundTo(out)
+	tw := float64(weight)
+	for j := range out {
+		out[j] /= tw
+	}
+	return out, weight, nil
+}

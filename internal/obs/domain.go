@@ -64,11 +64,21 @@ const (
 	SpanFLFold              = "fl_fold"                        // span: one streaming FedAvg fold of an arriving update
 	SpanFLRetry             = "fl_retry"                       // span: one backoff wait before a retried attempt
 	SpanFLAttempt           = "fl_attempt"                     // span: one fault-injected participant attempt
+	MetricFLPartials        = "bofl_fl_partials_total"         // counter: tier partial aggregates forwarded upward
+	MetricFLSubtreeDrops    = "bofl_fl_subtree_drops_total"    // counter: subtrees discarded for missing per-tier quorum
+	SpanFLTierFold          = "fl_tier_fold"                   // span: one tier aggregator closing a group into its parent
 	SpanClientRound         = "fl_client_round"                // span: one client-side training round
 	SpanClientWindow        = "fl_client_config_window"        // span: client-side MBO window
 	EventFLFault            = "fl_fault"                       // event: one failed attempt's verdict, trace-annotated
 	EventFLQuarantine       = "fl_quarantine"                  // event: a client excluded for shipping a corrupt frame
 	EventExemplar           = "exemplar"                       // event: histogram observation ↔ trace-ID jump link
+
+	// Fleet simulator (internal/fleet), virtual-time quantities.
+	MetricFleetClients  = "bofl_fleet_clients_total"         // counter: simulated clients dispatched across rounds
+	MetricFleetVirtualS = "bofl_fleet_virtual_seconds_total" // counter: virtual round time accumulated by the simulator
+	MetricFleetEnergy   = "bofl_fleet_energy_joules_total"   // counter: simulated fleet energy across rounds
+	MetricFleetMisses   = "bofl_fleet_deadline_misses_total" // counter: simulated clients past the round deadline
+	MetricFleetDropped  = "bofl_fleet_dropped_total"         // counter: simulated clients unavailable or failed
 )
 
 // NewBoFL builds a Telemetry with every canonical BoFL instrument
@@ -127,9 +137,18 @@ func NewBoFL(clock Clock) *Telemetry {
 	r.Counter(MetricFLHTTPErrors, "FL HTTP transport, decode and status failures.")
 	r.Counter(MetricFLWireTx, "Serialized bytes sent on the FL wire, labeled by codec.")
 	r.Counter(MetricFLWireRx, "Serialized bytes received on the FL wire, labeled by codec.")
+	r.Counter(MetricFLPartials, "Tier partial aggregates forwarded toward the root.")
+	r.Counter(MetricFLSubtreeDrops, "Subtrees discarded for missing the per-tier quorum.")
 	r.Histogram(SpanFLFold+"_seconds", "Streaming FedAvg fold duration per arriving update.", DurationBuckets)
+	r.Histogram(SpanFLTierFold+"_seconds", "Tier aggregator group close: serialize, ship, absorb.", DurationBuckets)
 	r.Histogram(SpanFLRetry+"_seconds", "Backoff wait before a retried participant attempt.", DurationBuckets)
 	r.Histogram(SpanFLAttempt+"_seconds", "One fault-injected participant attempt, retries excluded.", DurationBuckets)
+
+	r.Counter(MetricFleetClients, "Simulated clients dispatched across fleet rounds.")
+	r.Counter(MetricFleetVirtualS, "Virtual round seconds accumulated by the fleet simulator.")
+	r.Counter(MetricFleetEnergy, "Simulated fleet energy in Joules.")
+	r.Counter(MetricFleetMisses, "Simulated clients finishing past the round deadline.")
+	r.Counter(MetricFleetDropped, "Simulated clients unavailable, crashed or dropped.")
 
 	RegisterRuntime(r)
 

@@ -40,6 +40,13 @@ const (
 	KindQuarantine = "quarantine"
 	// KindQuorum records a round committing below full participation.
 	KindQuorum = "quorum"
+	// KindPartial records a tier aggregator forwarding its weighted partial
+	// sum to its parent (hierarchical aggregation only).
+	KindPartial = "partial"
+	// KindSubtreeDrop records a tier aggregator discarding its whole subtree
+	// for missing the per-tier quorum; the parent renormalizes over the
+	// surviving siblings.
+	KindSubtreeDrop = "subtree_drop"
 	// KindCommit closes a successful round with survivor accounting.
 	KindCommit = "commit"
 	// KindAbort closes a failed round (no survivors / quorum miss /
@@ -85,6 +92,13 @@ type Event struct {
 	Selected int `json:"selected,omitempty"`
 	// Survivors is the number of updates folded into the commit.
 	Survivors int `json:"survivors,omitempty"`
+	// Tier is the aggregation-tree tier of a partial/subtree_drop event
+	// (leaves fold into tier 0).
+	Tier int `json:"tier,omitempty"`
+	// Node is the tier-local node ordinal of a partial/subtree_drop event.
+	Node int `json:"node,omitempty"`
+	// Weight is the integer example-count weight a partial carries upward.
+	Weight int64 `json:"weight,omitempty"`
 	// EnergyJoules attributes the client's reported round energy.
 	EnergyJoules float64 `json:"energyJoules,omitempty"`
 	// LatencySeconds attributes the client's reported round busy time.
@@ -120,6 +134,15 @@ type Ledger struct {
 
 	sink    *bufio.Writer
 	sinkErr error
+
+	// roundCap bounds events journaled per round (0 = unlimited). Million-leaf
+	// tree rounds emit one partial per aggregator node; the cap keeps a single
+	// round from flushing the whole ring, and every suppressed event is
+	// counted instead of silently vanishing.
+	roundCap     int
+	capRound     int    // round the in-round counter tracks
+	capCount     int    // events journaled for capRound
+	roundDropped uint64 // events suppressed by the cap, total
 }
 
 // New builds a ledger holding at most max events in memory (≤ 0 selects
@@ -165,6 +188,30 @@ func (l *Ledger) Flush() error {
 	return l.sinkErr
 }
 
+// SetRoundCap bounds how many events any single round may journal (0 removes
+// the bound). Events beyond the cap are dropped and counted via RoundDropped.
+func (l *Ledger) SetRoundCap(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	l.roundCap = n
+}
+
+// RoundDropped reports how many events the per-round cap suppressed.
+func (l *Ledger) RoundDropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.roundDropped
+}
+
 // Append stamps the event with the next sequence number and journals it.
 // Nil-safe, so call sites need no ledger-enabled branch.
 func (l *Ledger) Append(ev Event) {
@@ -172,6 +219,17 @@ func (l *Ledger) Append(ev Event) {
 		return
 	}
 	l.mu.Lock()
+	if l.roundCap > 0 {
+		if ev.Round != l.capRound {
+			l.capRound, l.capCount = ev.Round, 0
+		}
+		if l.capCount >= l.roundCap {
+			l.roundDropped++
+			l.mu.Unlock()
+			return
+		}
+		l.capCount++
+	}
 	l.seq++
 	ev.Seq = l.seq
 	if len(l.events) < l.max && !l.full {
@@ -269,6 +327,10 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 
 // Handler serves the ledger over HTTP as JSONL (the /v1/ledger admin
 // endpoint). ?round=N narrows to one round; ?kind=attempt narrows by kind.
+// ?offset=K and ?limit=M page through the (seq-ordered, so stable) filtered
+// stream — a million-leaf round's journal is never served as one unbounded
+// body. X-Bofl-Ledger-Total carries the filtered count so clients know when
+// to stop paging; X-Bofl-Ledger-Dropped surfaces the per-round cap counter.
 func (l *Ledger) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		events := l.Events()
@@ -283,7 +345,34 @@ func (l *Ledger) Handler() http.Handler {
 		if kind := r.URL.Query().Get("kind"); kind != "" {
 			events = filter(events, func(ev Event) bool { return ev.Kind == kind })
 		}
+		total := len(events)
+		offset, limit := 0, 0
+		if q := r.URL.Query().Get("offset"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad offset: "+q, http.StatusBadRequest)
+				return
+			}
+			offset = v
+		}
+		if q := r.URL.Query().Get("limit"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad limit: "+q, http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		if offset > len(events) {
+			offset = len(events)
+		}
+		events = events[offset:]
+		if limit > 0 && limit < len(events) {
+			events = events[:limit]
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Bofl-Ledger-Total", strconv.Itoa(total))
+		w.Header().Set("X-Bofl-Ledger-Dropped", strconv.FormatUint(l.RoundDropped(), 10))
 		_ = WriteJSONL(w, events)
 	})
 }
@@ -318,15 +407,18 @@ type ClientSummary struct {
 // Summary is the roll-up of one ledger: per-client attribution plus round
 // counts, the output of `boflprofile -ledger`.
 type Summary struct {
-	Rounds    int             `json:"rounds"`
-	Commits   int             `json:"commits"`
-	Aborts    int             `json:"aborts"`
-	Quorums   int             `json:"quorums"`
-	Attempts  int             `json:"attempts"`
-	Clients   []ClientSummary `json:"clients"`
-	EnergyJ   float64         `json:"energyJoules"`
-	LatencyS  float64         `json:"latencySeconds"`
-	WireBytes int64           `json:"wireBytes"`
+	Rounds   int `json:"rounds"`
+	Commits  int `json:"commits"`
+	Aborts   int `json:"aborts"`
+	Quorums  int `json:"quorums"`
+	Attempts int `json:"attempts"`
+	// Partials / SubtreeDrops count hierarchical-aggregation tier events.
+	Partials     int             `json:"partials,omitempty"`
+	SubtreeDrops int             `json:"subtreeDrops,omitempty"`
+	Clients      []ClientSummary `json:"clients"`
+	EnergyJ      float64         `json:"energyJoules"`
+	LatencyS     float64         `json:"latencySeconds"`
+	WireBytes    int64           `json:"wireBytes"`
 }
 
 // Summarize rolls a ledger up into per-client attribution (sorted by client
@@ -346,6 +438,10 @@ func Summarize(events []Event) Summary {
 			s.Aborts++
 		case KindQuorum:
 			s.Quorums++
+		case KindPartial:
+			s.Partials++
+		case KindSubtreeDrop:
+			s.SubtreeDrops++
 		case KindQuarantine:
 			c := clientOf(byClient, ev.Client)
 			c.Quarantines++

@@ -3,6 +3,7 @@ package ledger
 import (
 	"bytes"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -245,5 +246,92 @@ func TestSummarize(t *testing.T) {
 	}
 	if c1.EnergyJoules != 10 {
 		t.Errorf("cli-1 energy: %v", c1.EnergyJoules)
+	}
+}
+
+// TestHandlerPagination checks ?offset=/?limit= paging: stable seq ordering,
+// a total header for termination, and graceful edges.
+func TestHandlerPagination(t *testing.T) {
+	l := New(0)
+	for i := 1; i <= 25; i++ {
+		l.Append(Event{Kind: KindAttempt, Round: 1, Client: "c"})
+	}
+	get := func(target string) ([]Event, http.Header) {
+		rec := httptest.NewRecorder()
+		l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d: %s", target, rec.Code, rec.Body.String())
+		}
+		evs, err := ReadJSONL(rec.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		return evs, rec.Header()
+	}
+	page1, hdr := get("/v1/ledger?limit=10")
+	if len(page1) != 10 || page1[0].Seq != 1 {
+		t.Fatalf("page 1: %d events, first seq %d", len(page1), page1[0].Seq)
+	}
+	if hdr.Get("X-Bofl-Ledger-Total") != "25" {
+		t.Errorf("total header %q, want 25", hdr.Get("X-Bofl-Ledger-Total"))
+	}
+	page2, _ := get("/v1/ledger?offset=10&limit=10")
+	if len(page2) != 10 || page2[0].Seq != 11 {
+		t.Fatalf("page 2: %d events, first seq %d", len(page2), page2[0].Seq)
+	}
+	page3, _ := get("/v1/ledger?offset=20&limit=10")
+	if len(page3) != 5 || page3[0].Seq != 21 {
+		t.Fatalf("page 3: %d events, first seq %d", len(page3), page3[0].Seq)
+	}
+	past, _ := get("/v1/ledger?offset=99")
+	if len(past) != 0 {
+		t.Fatalf("past-the-end offset returned %d events", len(past))
+	}
+	// Paging composes with filters: the total reflects the filtered count.
+	_, hdr = get("/v1/ledger?kind=attempt&offset=0&limit=5")
+	if hdr.Get("X-Bofl-Ledger-Total") != "25" {
+		t.Errorf("filtered total %q", hdr.Get("X-Bofl-Ledger-Total"))
+	}
+	for _, bad := range []string{"?offset=-1", "?limit=-2", "?offset=x", "?limit=x"} {
+		rec := httptest.NewRecorder()
+		l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/ledger"+bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("GET %s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// TestRoundCapDropsAndCounts checks the per-round growth bound: events past
+// the cap are suppressed (not ring-evicted) and counted, and the counter is
+// surfaced through the HTTP handler.
+func TestRoundCapDropsAndCounts(t *testing.T) {
+	l := New(0)
+	l.SetRoundCap(3)
+	for round := 1; round <= 2; round++ {
+		for i := 0; i < 5; i++ {
+			l.Append(Event{Kind: KindAttempt, Round: round})
+		}
+	}
+	if got := l.Len(); got != 6 {
+		t.Fatalf("kept %d events, want 6", got)
+	}
+	if got := l.RoundDropped(); got != 4 {
+		t.Fatalf("dropped %d events, want 4", got)
+	}
+	for _, ev := range l.Events() {
+		if ev.Seq == 0 {
+			t.Fatal("kept event missing seq")
+		}
+	}
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/ledger", nil))
+	if got := rec.Header().Get("X-Bofl-Ledger-Dropped"); got != "4" {
+		t.Errorf("dropped header %q, want 4", got)
+	}
+	// Lifting the cap resumes journaling.
+	l.SetRoundCap(0)
+	l.Append(Event{Kind: KindCommit, Round: 2})
+	if got := l.Len(); got != 7 {
+		t.Fatalf("post-uncap kept %d, want 7", got)
 	}
 }
