@@ -14,8 +14,11 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"strconv"
 	"time"
@@ -25,7 +28,17 @@ import (
 	"bofl/internal/fleet"
 	"bofl/internal/obs"
 	"bofl/internal/obs/ledger"
+	"bofl/internal/parallel"
 )
+
+// effectiveWorkers resolves the -workers flag the way the engine does: 0
+// means the shared parallel pool width.
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return parallel.Workers()
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -43,6 +56,7 @@ func run(args []string) error {
 		jobs     = fs.Int("jobs", 5, "local minibatches per client per round")
 		rounds   = fs.Int("rounds", 3, "virtual-time rounds to simulate")
 		seed     = fs.Int64("seed", 1, "population sampling / trace seed")
+		workers  = fs.Int("workers", 0, "subtree shards simulated concurrently (0 = parallel pool width)")
 		chaos    = fs.Int64("chaos-seed", 0, "availability & fault draw seed (0 = BOFL_CHAOS_SEED env, then -seed)")
 		workload = fs.String("workload", "vit", "workload anchoring the board classes: vit, resnet50, lstm")
 
@@ -112,7 +126,7 @@ func run(args []string) error {
 
 	eng, err := fleet.New(fleet.Config{
 		Clients: *clients, Dim: *dim, Fanout: *fanout, Jobs: *jobs,
-		Seed: *seed, ChaosSeed: chaosSeed,
+		Seed: *seed, ChaosSeed: chaosSeed, Workers: *workers,
 		TierQuorum: *tierQuorum, Quorum: *quorum,
 		DeadlineSeconds: *deadline, DeadlineRatio: *ratio,
 		TierLatencySeconds: *hop,
@@ -124,6 +138,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("fleet: %d clients (%d classes), model dim %d, tree fanout %d depth %d, deadline %.1fs, chaos seed %d\n",
 		*clients, len(classes), *dim, *fanout, eng.Depth(), eng.Deadline(), chaosSeed)
+	shards, span := eng.Shards()
+	fmt.Printf("parallel: %d workers over %d subtree shards of %d leaves (model, stats and ledger are identical at any -workers)\n",
+		effectiveWorkers(*workers), shards, span)
 	fmt.Printf("aggregator working set: %d KiB (O(depth·params), independent of fleet size)\n", eng.SpineBytes()>>10)
 
 	var virtual, energy float64
@@ -141,11 +158,27 @@ func run(args []string) error {
 			st.Partials, float64(st.WireBytes)/(1<<20), st.VirtualSeconds, st.EnergyJ)
 	}
 	wall := time.Since(start)
-	fmt.Printf("done: %d rounds, %.0f virtual seconds (%.0fx real time), %.1f kJ fleet energy, wall %v\n",
-		*rounds, virtual, virtual/wall.Seconds(), energy/1e3, wall.Round(time.Millisecond))
+	fmt.Printf("done: %d rounds, %.0f virtual seconds (%.0fx real time), %.1f kJ fleet energy, wall %v, %d workers, %.0f clients/s\n",
+		*rounds, virtual, virtual/wall.Seconds(), energy/1e3, wall.Round(time.Millisecond),
+		effectiveWorkers(*workers), float64(*clients)*float64(*rounds)/wall.Seconds())
+	fmt.Printf("model: root hash fnv64a:%016x over %d params (bit-identical at any -workers / GOMAXPROCS)\n",
+		modelHash(eng.Global()), *dim)
 	if led != nil {
 		fmt.Printf("ledger: %d events journaled (%d suppressed by -ledger-cap %d) -> %s\n",
 			led.Len(), led.RoundDropped(), *ledgerCap, *ledgerPath)
 	}
 	return nil
+}
+
+// modelHash digests the committed global model bit-exactly: FNV-64a over the
+// little-endian IEEE-754 encoding of every parameter. Runs at any -workers
+// setting must print the same hash for the same flags and chaos seed.
+func modelHash(params []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range params {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(p))
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }

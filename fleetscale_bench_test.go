@@ -3,16 +3,52 @@ package bofl_test
 // BenchmarkFleetScale measures the discrete-event fleet simulator: one
 // virtual-time federated round over 10k / 100k / 1M generated heterogeneous
 // clients through the hierarchical aggregation tree. The custom metrics are
-// the acceptance surface: clients/s of simulation throughput, virtual_s of
-// simulated round time, and spine_B — the aggregator working set, which must
-// stay O(depth · params) no matter how many clients fold beneath it (B/op
-// from -benchmem tracks the total per-round allocation).
+// the acceptance surface: clients/s of simulation throughput, allocs/client
+// (the zero-alloc hot-path pin in ratio form), virtual_s of simulated round
+// time, and spine_B — the aggregator working set, which must stay
+// O(depth · params) no matter how many clients fold beneath it (B/op from
+// -benchmem tracks the total per-round allocation). The procs1/procs4
+// variants re-run the 1M round pinned to GOMAXPROCS 1 and 4: the subtree
+// shards are simulated concurrently, so the clients/s spread between them is
+// the parallel speedup, while the model, stats and ledger stay identical.
 
 import (
+	"runtime"
+	"strconv"
 	"testing"
 
 	"bofl/internal/fleet"
 )
+
+func benchFleetRound(b *testing.B, n, procs int) {
+	if procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
+	eng, err := fleet.New(fleet.Config{
+		Clients: n, Dim: 256, Fanout: 64, Jobs: 1, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		st, err := eng.RunRound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += st.VirtualSeconds
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "clients/s")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/(float64(n)*float64(b.N)), "allocs/client")
+	b.ReportMetric(virtual/float64(b.N), "virtual_s")
+	b.ReportMetric(float64(eng.SpineBytes()), "spine_B")
+}
 
 func BenchmarkFleetScale(b *testing.B) {
 	for _, sz := range []struct {
@@ -20,27 +56,12 @@ func BenchmarkFleetScale(b *testing.B) {
 		n     int
 	}{{"10k", 10_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
 		n := sz.n
-		b.Run("clients_"+sz.label, func(b *testing.B) {
-			eng, err := fleet.New(fleet.Config{
-				Clients: n, Dim: 256, Fanout: 64, Jobs: 1, Seed: 17,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			var virtual float64
-			for i := 0; i < b.N; i++ {
-				st, err := eng.RunRound()
-				if err != nil {
-					b.Fatal(err)
-				}
-				virtual += st.VirtualSeconds
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "clients/s")
-			b.ReportMetric(virtual/float64(b.N), "virtual_s")
-			b.ReportMetric(float64(eng.SpineBytes()), "spine_B")
+		b.Run("clients_"+sz.label, func(b *testing.B) { benchFleetRound(b, n, 0) })
+	}
+	for _, procs := range []int{1, 4} {
+		procs := procs
+		b.Run("clients_1M_procs"+strconv.Itoa(procs), func(b *testing.B) {
+			benchFleetRound(b, 1_000_000, procs)
 		})
 	}
 }

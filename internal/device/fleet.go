@@ -142,6 +142,7 @@ type Population struct {
 	classes []FleetClass
 	cum     []float64 // cumulative normalized shares, cum[len-1] == 1
 	seed    int64
+	mid     faultinject.FleetSeedMid // cached hash prefix of (seed, fleet layer)
 }
 
 // NewPopulation validates the class mix and fixes the sampling seed. The same
@@ -161,6 +162,7 @@ func NewPopulation(seed int64, classes []FleetClass) (*Population, error) {
 		classes: append([]FleetClass(nil), classes...),
 		cum:     make([]float64, len(classes)),
 		seed:    seed,
+		mid:     faultinject.NewFleetSeedMid(seed),
 	}
 	acc := 0.0
 	for i, c := range p.classes {
@@ -193,21 +195,18 @@ func ClientID(i int) string { return "f" + strconv.Itoa(i) }
 // (population seed, i) via the fault plane's order-independent hash, so a
 // billion-client fleet stores nothing per client.
 func (p *Population) Client(i int) ClientSpec {
-	id := ClientID(i)
-	pick := faultinject.Unit(p.seed, faultinject.Point{
-		Layer: faultinject.LayerFleet, Client: id, Attempt: drawClass,
-	})
+	// The cached seed midstate plus one digits absorption covers all three
+	// draws; each is bit-identical to the Point{Client: ClientID(i)} form and
+	// allocation-free.
+	cm := p.mid.Client(i)
+	pick := cm.Unit(0, drawClass)
 	k := sort.SearchFloat64s(p.cum, pick)
 	if k == len(p.cum) { // pick == 1.0 edge
 		k = len(p.cum) - 1
 	}
 	c := &p.classes[k]
-	speed := faultinject.Unit(p.seed, faultinject.Point{
-		Layer: faultinject.LayerFleet, Client: id, Attempt: drawSpeed,
-	})
-	power := faultinject.Unit(p.seed, faultinject.Point{
-		Layer: faultinject.LayerFleet, Client: id, Attempt: drawPower,
-	})
+	speed := cm.Unit(0, drawSpeed)
+	power := cm.Unit(0, drawPower)
 	// Uniform in [1-J, 1+J]; a slow draw also runs slightly hot.
 	speedScale := 1 + c.JitterFrac*(2*speed-1)
 	powerScale := 1 + 0.5*c.JitterFrac*(2*power-1)

@@ -11,8 +11,9 @@
 // 2112-bit two's-complement accumulator. Exact addition is associative and
 // commutative, so any grouping of the leaves — flat, binary tree, fanout-64
 // tree with ragged tails, arrival-order folds inside a discrete-event
-// simulator — produces the same accumulator state bit for bit. Rounding back
-// to float64 happens exactly once, at the root commit.
+// simulator, concurrent subtree folds merged in completion order — produces
+// the same accumulator state bit for bit. Rounding back to float64 happens
+// exactly once, at the root commit.
 //
 // Representation: per accumulated scalar, 66 little-endian limbs of radix
 // 2^32 held in int64 words, so each limb keeps 31 bits of carry slack. Limb k
@@ -25,6 +26,13 @@
 // The slack supports ≥ 2^29 additions between carry normalizations; the
 // accumulator renormalizes itself (an exact, value-preserving operation)
 // long before that bound.
+//
+// Storage is plane-major: limb plane k of every scalar is contiguous
+// (limbs[k·dim+i] holds scalar i's limb k). Well-scaled workloads touch a
+// narrow limb window, so the planes an Add writes, a Reset clears, and a
+// Serialize/Absorb/AddVec walks are a handful of contiguous runs — the
+// layout that lets the fleet simulator's fold hot path stream instead of
+// striding 528 bytes between scalars.
 //
 // Specials (±Inf, NaN) cannot live in fixed point; they are tracked as
 // per-scalar sticky flags with IEEE-like semantics: NaN poisons, +Inf and
@@ -54,6 +62,15 @@ const (
 	renormAfter = 1 << 29
 )
 
+// pow2[s] = 2^s for s in [0, 32): the multiplier table that turns AddScaled's
+// variable significand shift into one widening multiply.
+var pow2 = func() (t [32]uint64) {
+	for s := range t {
+		t[s] = 1 << s
+	}
+	return
+}()
+
 // special flags, per scalar.
 const (
 	flagNaN = 1 << iota
@@ -65,7 +82,7 @@ const (
 // vector. The zero Vec is not usable; construct with NewVec.
 type Vec struct {
 	dim   int
-	limbs []int64 // dim × limbsPerAcc, scalar-major
+	limbs []int64 // limbsPerAcc × dim, plane-major: limbs[k·dim+i]
 	// loLimb/hiLimb bound the limb window any scalar has touched: [lo, hi).
 	// Serialization, merging and rounding only walk the window, so a
 	// well-scaled workload pays for the limbs it uses, not the full range.
@@ -75,6 +92,8 @@ type Vec struct {
 	adds int64
 	// specials holds per-scalar sticky flags; nil until a special arrives.
 	specials []uint8
+	// carry is normalize's per-scalar carry scratch, allocated on first use.
+	carry []int64
 }
 
 // NewVec builds an exact accumulator for dim-scalar vectors.
@@ -93,17 +112,12 @@ func NewVec(dim int) *Vec {
 // Dim returns the vector width.
 func (v *Vec) Dim() int { return v.dim }
 
-// Reset zeroes the accumulator for reuse. Only the touched window is cleared,
-// so resetting a fresh or well-scaled accumulator is cheap.
+// Reset zeroes the accumulator for reuse. Only the touched window is cleared
+// — one contiguous run in the plane-major layout — so resetting a fresh or
+// well-scaled accumulator is cheap.
 func (v *Vec) Reset() {
 	if v.loLimb < v.hiLimb {
-		for i := 0; i < v.dim; i++ {
-			base := i * limbsPerAcc
-			row := v.limbs[base+v.loLimb : base+v.hiLimb]
-			for j := range row {
-				row[j] = 0
-			}
-		}
+		clear(v.limbs[v.loLimb*v.dim : v.hiLimb*v.dim])
 	}
 	v.loLimb, v.hiLimb = limbsPerAcc, 0
 	v.adds = 0
@@ -142,9 +156,9 @@ func (v *Vec) growWindow(lo, hi int) {
 	}
 }
 
-// addScalar adds the float64 x exactly into scalar i's accumulator.
-func (v *Vec) addScalar(i int, x float64) {
-	b := math.Float64bits(x)
+// addSlow handles the shapes the inlined Add/AddScaled fast path punts on:
+// specials and subnormals. b is the raw float64 bit pattern, known nonzero.
+func (v *Vec) addSlow(i int, b uint64) {
 	exp := int(b>>52) & 0x7FF
 	frac := b & (1<<52 - 1)
 	if exp == 0x7FF {
@@ -158,34 +172,17 @@ func (v *Vec) addScalar(i int, x float64) {
 		}
 		return
 	}
-	if exp != 0 {
-		frac |= 1 << 52
-	} else if frac == 0 {
-		return // ±0 contributes nothing
-	} else {
-		exp = 1 // subnormal: same scale as exp 1, no implicit bit
-	}
-	// Value = frac · 2^(exp-1075); its least significant bit sits at
-	// accumulator bit pos = (exp-1075) + bias = exp - 1.
-	pos := exp - 1
-	limb := pos >> 5
-	shift := uint(pos & 31)
-	lo := frac << shift
-	var hi uint64
-	if shift != 0 {
-		hi = frac >> (64 - shift)
-	}
-	base := i * limbsPerAcc
+	// Subnormal: same scale as exponent 1, no implicit bit — the significand
+	// lands at bit 0, spanning limb planes 0 and 1.
+	dim := v.dim
 	if b>>63 != 0 {
-		v.limbs[base+limb] -= int64(lo & limbMask)
-		v.limbs[base+limb+1] -= int64(lo >> limbBits)
-		v.limbs[base+limb+2] -= int64(hi)
+		v.limbs[i] -= int64(frac & limbMask)
+		v.limbs[dim+i] -= int64(frac >> limbBits)
 	} else {
-		v.limbs[base+limb] += int64(lo & limbMask)
-		v.limbs[base+limb+1] += int64(lo >> limbBits)
-		v.limbs[base+limb+2] += int64(hi)
+		v.limbs[i] += int64(frac & limbMask)
+		v.limbs[dim+i] += int64(frac >> limbBits)
 	}
-	v.growWindow(limb, limb+3)
+	v.growWindow(0, 3)
 }
 
 // bumpAdds charges n additions against the carry slack, renormalizing first
@@ -200,28 +197,134 @@ func (v *Vec) bumpAdds(n int64) {
 
 // Add adds x[i] exactly into scalar i for every i. len(x) must equal Dim.
 func (v *Vec) Add(x []float64) {
-	v.checkDim(len(x))
-	v.bumpAdds(1)
-	for i, xi := range x {
-		v.addScalar(i, xi)
-	}
+	// 1·x is exact for every float64 (including ±0, subnormals and specials),
+	// so Add shares AddScaled's inlined hot loop.
+	v.AddScaled(1, x)
 }
 
 // AddScaled adds w·x[i] into scalar i for every i. The product is rounded
 // once by the ordinary float64 multiply — the same rounding every aggregation
 // path performs — and then accumulated exactly.
+//
+// This is the fold hot path: the normal-value decomposition is inlined, the
+// three limb writes of scalar i land dim words apart (adjacent planes), and
+// the window bound is tracked in locals flushed once per call.
 func (v *Vec) AddScaled(w float64, x []float64) {
 	v.checkDim(len(x))
 	v.bumpAdds(1)
+	dim := v.dim
+	limbs := v.limbs
+	lo, hi := v.loLimb, v.hiLimb
 	for i, xi := range x {
-		v.addScalar(i, w*xi)
+		b := math.Float64bits(w * xi)
+		exp := int(b>>52) & 0x7FF
+		if uint(exp-1) >= 0x7FE { // subnormal, zero or special
+			if b<<1 == 0 {
+				continue // ±0 contributes nothing
+			}
+			// Flush the window locals so the slow path composes, then
+			// reload — it may have widened the window.
+			v.growWindow(lo, hi)
+			v.addSlow(i, b)
+			lo, hi = v.loLimb, v.hiLimb
+			continue
+		}
+		frac := b&(1<<52-1) | 1<<52
+		// Value = frac · 2^(exp-1075); its least significant bit sits at
+		// accumulator bit pos = (exp-1075) + bias = exp - 1. The widening
+		// multiply by 2^(pos mod 32) is the 85-bit shift-and-split in one
+		// µop — no variable shifts, no shift-amount branches.
+		pos := exp - 1
+		limb := pos >> 5
+		high, low := bits.Mul64(frac, pow2[pos&31])
+		base := limb*dim + i
+		// All three loads issue before any store: with power-of-two dims the
+		// first store and the plane+2 load sit exactly 2·8·dim bytes apart,
+		// and store-before-load ordering would trip 4K-aliasing false
+		// dependences that serialize the loop.
+		d0, d1, d2 := limbs[base], limbs[base+dim], limbs[base+2*dim]
+		if int64(b) < 0 {
+			d0 -= int64(low & limbMask)
+			d1 -= int64(low >> limbBits)
+			d2 -= int64(high)
+		} else {
+			d0 += int64(low & limbMask)
+			d1 += int64(low >> limbBits)
+			d2 += int64(high)
+		}
+		limbs[base] = d0
+		limbs[base+dim] = d1
+		limbs[base+2*dim] = d2
+		if limb < lo {
+			lo = limb
+		}
+		if limb+3 > hi {
+			hi = limb + 3
+		}
 	}
+	v.growWindow(lo, hi)
 }
 
 func (v *Vec) checkDim(n int) {
 	if n != v.dim {
 		panic(fmt.Sprintf("exact: vector length %d, accumulator dim %d", n, v.dim))
 	}
+}
+
+// AddScaledAffine adds w·(a·x[i] + c) into scalar i for every i, with the
+// inner affine map rounded exactly as the equivalent two-instruction float64
+// sequence (`t := a*x[i] + c; acc.AddScaled(w, t)`), then accumulated
+// exactly. It exists for fold pipelines whose per-client update is an affine
+// transform of a shared vector — fusing the transform into the decomposition
+// loop removes a full store-and-reload pass over a scratch vector, which is
+// worth ~15% of a simulated million-client round. Bit-identity with the
+// unfused path is pinned by TestAddScaledAffineMatchesUnfused.
+func (v *Vec) AddScaledAffine(w, a, c float64, x []float64) {
+	v.checkDim(len(x))
+	v.bumpAdds(1)
+	dim := v.dim
+	limbs := v.limbs
+	lo, hi := v.loLimb, v.hiLimb
+	for i, xi := range x {
+		t := a*xi + c
+		b := math.Float64bits(w * t)
+		exp := int(b>>52) & 0x7FF
+		if uint(exp-1) >= 0x7FE {
+			if b<<1 == 0 {
+				continue
+			}
+			v.growWindow(lo, hi)
+			v.addSlow(i, b)
+			lo, hi = v.loLimb, v.hiLimb
+			continue
+		}
+		frac := b&(1<<52-1) | 1<<52
+		pos := exp - 1
+		limb := pos >> 5
+		high, low := bits.Mul64(frac, pow2[pos&31])
+		base := limb*dim + i
+		// Loads before stores — see AddScaled for the 4K-aliasing rationale.
+		d0, d1, d2 := limbs[base], limbs[base+dim], limbs[base+2*dim]
+		if int64(b) < 0 {
+			d0 -= int64(low & limbMask)
+			d1 -= int64(low >> limbBits)
+			d2 -= int64(high)
+		} else {
+			d0 += int64(low & limbMask)
+			d1 += int64(low >> limbBits)
+			d2 += int64(high)
+		}
+		limbs[base] = d0
+		limbs[base+dim] = d1
+		limbs[base+2*dim] = d2
+		if limb < lo {
+			lo = limb
+		}
+		if limb+3 > hi {
+			hi = limb + 3
+		}
+	}
+	v.growWindow(lo, hi)
 }
 
 // AddVec merges o into v exactly: afterwards v holds the sum of everything
@@ -238,12 +341,10 @@ func (v *Vec) AddVec(o *Vec) error {
 			charge = 1
 		}
 		v.bumpAdds(charge)
-		for i := 0; i < v.dim; i++ {
-			vb := i*limbsPerAcc + o.loLimb
-			ob := i*limbsPerAcc + o.loLimb
-			for k := 0; k < o.hiLimb-o.loLimb; k++ {
-				v.limbs[vb+k] += o.limbs[ob+k]
-			}
+		src := o.limbs[o.loLimb*o.dim : o.hiLimb*o.dim]
+		dst := v.limbs[o.loLimb*v.dim : o.hiLimb*v.dim]
+		for j, d := range src {
+			dst[j] += d
 		}
 		v.growWindow(o.loLimb, o.hiLimb)
 	}
@@ -256,27 +357,52 @@ func (v *Vec) AddVec(o *Vec) error {
 }
 
 // normalize propagates carries to canonical two's-complement form: every
-// limb except the top is in [0, 2^32); the top limb keeps the sign (for a
-// negative sum the carry chain sign-extends all the way up, so the window
-// widens to the array top). Exact: the represented value is unchanged.
-// Called only at rounding time and for carry-slack relief, never on the
-// serialization path, so partial frames keep their compact windows.
+// limb below the top of the window is in [0, 2^32); the top limb keeps the
+// sign. Exact: the represented value is unchanged. Called only at rounding
+// time and for carry-slack relief, never on the serialization path, so
+// partial frames keep their compact windows.
+//
+// The plane-major layout turns the per-scalar carry chains into a batched
+// sweep: one pass per limb plane with a dim-wide carry row, so the whole
+// vector normalizes in contiguous memory instead of dim separate strided
+// chains. A residual carry out of the top processed plane is parked in the
+// next plane up, which becomes the new signed top limb — for a negative sum
+// this replaces the old sign-extension walk to the array top, and the window
+// grows by at most one plane.
 func (v *Vec) normalize() {
 	if v.loLimb >= v.hiLimb {
 		v.adds = 0
 		return
 	}
-	for i := 0; i < v.dim; i++ {
-		base := i * limbsPerAcc
-		var carry int64
-		for k := v.loLimb; k < limbsPerAcc-1; k++ {
-			t := v.limbs[base+k] + carry
-			carry = t >> limbBits // arithmetic shift: floor division
-			v.limbs[base+k] = t & limbMask
-		}
-		v.limbs[base+limbsPerAcc-1] += carry
+	dim := v.dim
+	if cap(v.carry) < dim {
+		v.carry = make([]int64, dim)
 	}
-	v.hiLimb = limbsPerAcc
+	carry := v.carry[:dim]
+	clear(carry)
+	top := v.hiLimb
+	if top == limbsPerAcc {
+		top = limbsPerAcc - 1 // the last plane stays signed; never canonicalized
+	}
+	for k := v.loLimb; k < top; k++ {
+		plane := v.limbs[k*dim : (k+1)*dim]
+		for i, d := range plane {
+			t := d + carry[i]
+			carry[i] = t >> limbBits // arithmetic shift: floor division
+			plane[i] = t & limbMask
+		}
+	}
+	plane := v.limbs[top*dim : (top+1)*dim]
+	grew := false
+	for i, c := range carry {
+		if c != 0 {
+			plane[i] += c
+			grew = true
+		}
+	}
+	if grew && top >= v.hiLimb {
+		v.hiLimb = top + 1
+	}
 	v.adds = 1
 	// The bottom of the window cannot move down, and zero limbs at the
 	// bottom are harmless; leave loLimb as-is.
@@ -306,17 +432,17 @@ func (v *Vec) roundScalar(i int, mag *[limbsPerAcc]uint64) float64 {
 			return math.Inf(-1)
 		}
 	}
-	base := i * limbsPerAcc
+	dim := v.dim
 	lo, hi := v.loLimb, v.hiLimb
 	if lo >= hi {
 		return 0
 	}
 	// After normalize, limbs below hi-1 are in [0, 2^32); the top limb is
 	// signed and dominates the sign.
-	neg := v.limbs[base+hi-1] < 0
+	neg := v.limbs[(hi-1)*dim+i] < 0
 	if !neg {
 		for k := lo; k < hi; k++ {
-			mag[k] = uint64(v.limbs[base+k])
+			mag[k] = uint64(v.limbs[k*dim+i])
 		}
 	} else {
 		// Negate the two's-complement digit string to get the magnitude:
@@ -324,13 +450,13 @@ func (v *Vec) roundScalar(i int, mag *[limbsPerAcc]uint64) float64 {
 		// absorbing the final borrow.
 		var borrow uint64
 		for k := lo; k < hi-1; k++ {
-			d := uint64(v.limbs[base+k]) // in [0, 2^32) after normalize
+			d := uint64(v.limbs[k*dim+i]) // in [0, 2^32) after normalize
 			mag[k] = (0 - d - borrow) & limbMask
 			if d != 0 || borrow != 0 {
 				borrow = 1
 			}
 		}
-		mag[hi-1] = uint64(-(v.limbs[base+hi-1] + int64(borrow)))
+		mag[hi-1] = uint64(-(v.limbs[(hi-1)*dim+i] + int64(borrow)))
 	}
 	// Locate the most significant set bit.
 	msLimb := -1
@@ -442,8 +568,9 @@ func (v *Vec) anyBitsBelow(mag *[limbsPerAcc]uint64, loLimb, to int) bool {
 
 // Serialized is the portable form of a Vec: the touched limb window of every
 // scalar plus the sticky special flags — what a tier aggregator ships to its
-// parent inside a BFL1 partial-aggregate frame. Limbs are scalar-major:
-// scalar i occupies Limbs[i·(Hi-Lo) : (i+1)·(Hi-Lo)].
+// parent inside a BFL1 partial-aggregate frame. Limbs are plane-major,
+// matching Vec storage: limb plane k ∈ [Lo, Hi) occupies
+// Limbs[(k-Lo)·Dim : (k-Lo+1)·Dim], scalar i at offset i.
 type Serialized struct {
 	Dim      int
 	Lo, Hi   int      // limb window [Lo, Hi)
@@ -452,23 +579,39 @@ type Serialized struct {
 	Specials []uint8  // nil when no scalar holds a special
 }
 
-// Serialize snapshots the accumulator. The snapshot shares no storage with v.
-func (v *Vec) Serialize() Serialized {
-	s := Serialized{Dim: v.dim, Lo: v.loLimb, Hi: v.hiLimb, Adds: v.adds}
-	if s.Lo >= s.Hi {
+// SerializeInto snapshots the accumulator into s, reusing s.Limbs when it has
+// capacity — the zero-allocation path for per-node partial frames. The
+// snapshot shares no storage with v.
+func (v *Vec) SerializeInto(s *Serialized) {
+	s.Dim = v.dim
+	s.Adds = v.adds
+	s.Specials = nil
+	if v.loLimb >= v.hiLimb {
 		s.Lo, s.Hi = 0, 0
-		return s
-	}
-	w := s.Hi - s.Lo
-	s.Limbs = make([]uint64, v.dim*w)
-	for i := 0; i < v.dim; i++ {
-		base := i * limbsPerAcc
-		for k := 0; k < w; k++ {
-			s.Limbs[i*w+k] = uint64(v.limbs[base+s.Lo+k])
+		s.Limbs = s.Limbs[:0]
+	} else {
+		s.Lo, s.Hi = v.loLimb, v.hiLimb
+		n := v.dim * (s.Hi - s.Lo)
+		if cap(s.Limbs) < n {
+			s.Limbs = make([]uint64, n)
+		}
+		s.Limbs = s.Limbs[:n]
+		src := v.limbs[s.Lo*v.dim : s.Hi*v.dim]
+		for j, d := range src {
+			s.Limbs[j] = uint64(d)
 		}
 	}
 	if v.specials != nil {
 		s.Specials = append([]uint8(nil), v.specials...)
+	}
+}
+
+// Serialize snapshots the accumulator. The snapshot shares no storage with v.
+func (v *Vec) Serialize() Serialized {
+	var s Serialized
+	v.SerializeInto(&s)
+	if len(s.Limbs) == 0 {
+		s.Limbs = nil
 	}
 	return s
 }
@@ -511,11 +654,9 @@ func (v *Vec) Absorb(s Serialized) error {
 			charge = renormAfter - 1
 		}
 		v.bumpAdds(charge)
-		for i := 0; i < v.dim; i++ {
-			base := i*limbsPerAcc + s.Lo
-			for k := 0; k < w; k++ {
-				v.limbs[base+k] += int64(s.Limbs[i*w+k])
-			}
+		dst := v.limbs[s.Lo*v.dim : s.Hi*v.dim]
+		for j, l := range s.Limbs {
+			dst[j] += int64(l)
 		}
 		v.growWindow(s.Lo, s.Hi)
 	}
@@ -528,3 +669,13 @@ func (v *Vec) Absorb(s Serialized) error {
 // MemoryBytes reports the accumulator's limb storage footprint — the quantity
 // the fleet simulator's per-node memory accounting sums.
 func (v *Vec) MemoryBytes() int64 { return int64(len(v.limbs)) * 8 }
+
+// VecBytes is NewVec(dim).MemoryBytes() as a formula — the per-accumulator
+// footprint, for memory accounting that must not allocate an accumulator to
+// measure one.
+func VecBytes(dim int) int64 {
+	if dim < 0 {
+		dim = 0
+	}
+	return int64(dim) * limbsPerAcc * 8
+}

@@ -14,10 +14,8 @@
 package faultinject
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"time"
 )
@@ -249,21 +247,106 @@ func (p *Plan) Decide(pt Point) Decision {
 	return Decision{}
 }
 
+// FNV-64a constants; the hash is inlined so a Decision draw never heap-
+// allocates a hash.Hash64, and pinned byte-identical to hash/fnv by
+// TestPointHashMatchesFNVReference.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvUint64 folds v into h as 8 little-endian bytes.
+func fnvUint64(h, v uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h = (h ^ (v & 0xFF)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // PointHash folds a seed and a point into a 64-bit state, the root of that
 // point's private draw stream. Exported so the fl retry path can derive its
-// backoff jitter from the same order-independent construction.
+// backoff jitter from the same order-independent construction. The digest is
+// FNV-64a over seed (8 LE bytes), layer (1 byte), the client id bytes, round
+// and attempt (8 LE bytes each) — allocation-free.
 func PointHash(seed int64, pt Point) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(seed))
-	h.Write(b[:])
-	h.Write([]byte{byte(pt.Layer)})
-	h.Write([]byte(pt.Client))
-	binary.LittleEndian.PutUint64(b[:], uint64(pt.Round))
-	h.Write(b[:])
-	binary.LittleEndian.PutUint64(b[:], uint64(pt.Attempt))
-	h.Write(b[:])
-	return h.Sum64()
+	h := fnvUint64(fnvOffset64, uint64(seed))
+	h = (h ^ uint64(pt.Layer)) * fnvPrime64
+	for i := 0; i < len(pt.Client); i++ {
+		h = (h ^ uint64(pt.Client[i])) * fnvPrime64
+	}
+	h = fnvUint64(h, uint64(pt.Round))
+	return fnvUint64(h, uint64(pt.Attempt))
+}
+
+// FleetSeedMid is the FNV-64a midstate after absorbing (seed, LayerFleet,
+// 'f') — everything a canonical fleet client id's hash shares across clients.
+// FNV is strictly sequential, so the midstate is a pure function of the seed;
+// callers that draw for many clients cache one per seed and skip re-hashing
+// the ten prefix bytes on every draw.
+type FleetSeedMid uint64
+
+// NewFleetSeedMid precomputes the per-seed hash prefix.
+func NewFleetSeedMid(seed int64) FleetSeedMid {
+	h := fnvUint64(fnvOffset64, uint64(seed))
+	h = (h ^ uint64(LayerFleet)) * fnvPrime64
+	h = (h ^ uint64('f')) * fnvPrime64
+	return FleetSeedMid(h)
+}
+
+// FleetClientMid is the midstate extended with one client's decimal index
+// digits — shared by every (round, attempt) draw for that client.
+type FleetClientMid uint64
+
+// Client absorbs index's decimal digits (strconv.Itoa byte order).
+func (m FleetSeedMid) Client(index int) FleetClientMid {
+	h := uint64(m)
+	u := uint64(index)
+	if index < 0 { // never drawn by the fleet engine, but match strconv.Itoa
+		h = (h ^ uint64('-')) * fnvPrime64
+		u = uint64(-index)
+	}
+	var digits [20]byte
+	p := len(digits)
+	for {
+		p--
+		digits[p] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	for ; p < len(digits); p++ {
+		h = (h ^ uint64(digits[p])) * fnvPrime64
+	}
+	return FleetClientMid(h)
+}
+
+// Hash finalizes the point hash for one (round, attempt) draw.
+func (m FleetClientMid) Hash(round, attempt int) uint64 {
+	return fnvUint64(fnvUint64(uint64(m), uint64(round)), uint64(attempt))
+}
+
+// Unit is one uniform [0,1) draw from the client's stream.
+func (m FleetClientMid) Unit(round, attempt int) float64 {
+	s := stream{state: m.Hash(round, attempt)}
+	return s.unit()
+}
+
+// FleetPointHash is PointHash for the canonical fleet client id — LayerFleet
+// with Client "f" + decimal index (device.ClientID) — computed without
+// materializing the id string. The fleet simulator makes several of these
+// draws per client per round; this path keeps them off the heap entirely.
+// Bit-equality with the string path is pinned by TestFleetPointHashMatchesUnit.
+func FleetPointHash(seed int64, index, round, attempt int) uint64 {
+	return NewFleetSeedMid(seed).Client(index).Hash(round, attempt)
+}
+
+// FleetUnit is Unit over FleetPointHash: one uniform [0,1) draw for a fleet
+// client index without building its id string.
+func FleetUnit(seed int64, index, round, attempt int) float64 {
+	s := stream{state: FleetPointHash(seed, index, round, attempt)}
+	return s.unit()
 }
 
 // stream is a tiny splitmix64 generator over a point hash: enough quality for

@@ -1,8 +1,11 @@
 package faultinject
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -211,5 +214,76 @@ func TestUnitDeterministicAndUniformish(t *testing.T) {
 	}
 	if d := UnitDuration(1, Point{Client: "k"}, time.Second); d < 0 || d >= time.Second {
 		t.Errorf("UnitDuration %v outside [0, 1s)", d)
+	}
+}
+
+// TestPointHashMatchesFNVReference pins the inlined PointHash digest to the
+// stdlib hash/fnv construction it replaced: FNV-64a over seed (8 LE bytes),
+// layer byte, client id bytes, round and attempt (8 LE bytes each). Any drift
+// here would silently reshuffle every seeded chaos scenario.
+func TestPointHashMatchesFNVReference(t *testing.T) {
+	ref := func(seed int64, pt Point) uint64 {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(seed))
+		h.Write(b[:])
+		h.Write([]byte{byte(pt.Layer)})
+		h.Write([]byte(pt.Client))
+		binary.LittleEndian.PutUint64(b[:], uint64(pt.Round))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(pt.Attempt))
+		h.Write(b[:])
+		return h.Sum64()
+	}
+	pts := []Point{
+		{},
+		{Layer: LayerTransport, Client: "edge-0", Round: 7, Attempt: 2},
+		{Layer: LayerFleet, Client: "f123456", Round: -1, Attempt: 1 << 40},
+		{Layer: LayerCodec, Client: strings.Repeat("x", 300), Round: 1},
+	}
+	for _, seed := range []int64{0, 1, -17, 20260807} {
+		for _, pt := range pts {
+			if got, want := PointHash(seed, pt), ref(seed, pt); got != want {
+				t.Fatalf("PointHash(%d, %+v) = %#x, reference %#x", seed, pt, got, want)
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		PointHash(42, pts[1])
+	}); n != 0 {
+		t.Errorf("PointHash allocates %v per call, want 0", n)
+	}
+}
+
+// TestFleetPointHashMatchesUnit pins the string-free fleet draw path to the
+// canonical Point form the simulator used before: same hash, same unit draw,
+// zero allocations.
+func TestFleetPointHashMatchesUnit(t *testing.T) {
+	for _, seed := range []int64{0, 17, 20260807} {
+		for _, idx := range []int{0, 1, 9, 10, 99, 12345, 999999, 1 << 30, -3} {
+			for _, round := range []int{0, 1, 77} {
+				for _, attempt := range []int{0, 1, 2} {
+					pt := Point{
+						Layer:   LayerFleet,
+						Client:  "f" + strconv.Itoa(idx),
+						Round:   round,
+						Attempt: attempt,
+					}
+					if got, want := FleetPointHash(seed, idx, round, attempt), PointHash(seed, pt); got != want {
+						t.Fatalf("FleetPointHash(%d, %d, %d, %d) = %#x, string path %#x",
+							seed, idx, round, attempt, got, want)
+					}
+					if got, want := FleetUnit(seed, idx, round, attempt), Unit(seed, pt); got != want {
+						t.Fatalf("FleetUnit(%d, %d, %d, %d) = %v, Unit %v",
+							seed, idx, round, attempt, got, want)
+					}
+				}
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		FleetUnit(17, 123456, 9, 1)
+	}); n != 0 {
+		t.Errorf("FleetUnit allocates %v per call, want 0", n)
 	}
 }

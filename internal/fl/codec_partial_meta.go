@@ -1,0 +1,226 @@
+package fl
+
+// Hand-rolled metadata codec for partial-aggregate frames. A million-client
+// fleet round closes tens of thousands of tier aggregators, each shipping one
+// partial frame whose metadata section dominated the codec profile when it
+// went through encoding/json's reflection paths. The fast marshaller below
+// emits bytes identical to json.Marshal(partialMeta) — same field order, same
+// integer formatting, same omitempty behaviour, pinned by
+// TestPartialMetaFastCodecMatchesJSON — and the fast parser accepts exactly
+// that canonical shape. Anything else (hand-written JSON, whitespace, escape
+// sequences, reordered fields) falls back to encoding/json, so wire
+// compatibility is unchanged; only the canonical frames our encoder produces
+// take the fast path.
+
+import (
+	"encoding/base64"
+	"strconv"
+)
+
+// jsonStringSafe reports whether encoding/json would emit s verbatim inside
+// quotes: no escapes, no HTML-safety rewrites (&, <, >), no control bytes, no
+// non-ASCII (whose UTF-8 validity we'd otherwise have to check).
+func jsonStringSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7F || c == '"' || c == '\\' || c == '&' || c == '<' || c == '>' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendPartialMeta appends m's canonical JSON encoding to dst and reports
+// whether the fast path applied; false means the caller must use
+// encoding/json (a trace string needs escaping).
+func appendPartialMeta(dst []byte, m *partialMeta) ([]byte, bool) {
+	if !jsonStringSafe(m.TraceID) || !jsonStringSafe(m.SpanID) {
+		return dst, false
+	}
+	dst = append(dst, `{"round":`...)
+	dst = strconv.AppendInt(dst, int64(m.Round), 10)
+	dst = append(dst, `,"tier":`...)
+	dst = strconv.AppendInt(dst, int64(m.Tier), 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendInt(dst, int64(m.Node), 10)
+	dst = append(dst, `,"leafLo":`...)
+	dst = strconv.AppendInt(dst, int64(m.LeafLo), 10)
+	dst = append(dst, `,"leafHi":`...)
+	dst = strconv.AppendInt(dst, int64(m.LeafHi), 10)
+	dst = append(dst, `,"survivors":`...)
+	dst = strconv.AppendInt(dst, int64(m.Survivors), 10)
+	dst = append(dst, `,"weight":`...)
+	dst = strconv.AppendInt(dst, m.Weight, 10)
+	dst = append(dst, `,"dim":`...)
+	dst = strconv.AppendInt(dst, int64(m.Dim), 10)
+	dst = append(dst, `,"windowLo":`...)
+	dst = strconv.AppendInt(dst, int64(m.WindowLo), 10)
+	dst = append(dst, `,"windowHi":`...)
+	dst = strconv.AppendInt(dst, int64(m.WindowHi), 10)
+	dst = append(dst, `,"adds":`...)
+	dst = strconv.AppendInt(dst, m.Adds, 10)
+	if len(m.Specials) > 0 {
+		dst = append(dst, `,"specials":"`...)
+		dst = base64.StdEncoding.AppendEncode(dst, m.Specials)
+		dst = append(dst, '"')
+	}
+	if m.TraceID != "" {
+		dst = append(dst, `,"traceId":"`...)
+		dst = append(dst, m.TraceID...)
+		dst = append(dst, '"')
+	}
+	if m.SpanID != "" {
+		dst = append(dst, `,"spanId":"`...)
+		dst = append(dst, m.SpanID...)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}'), true
+}
+
+// metaScan is a cursor over a canonical partial-meta JSON blob.
+type metaScan struct {
+	b  []byte
+	p  int
+	ok bool
+}
+
+// lit consumes the exact literal s.
+func (s *metaScan) lit(l string) {
+	if !s.ok || s.p+len(l) > len(s.b) || string(s.b[s.p:s.p+len(l)]) != l {
+		s.ok = false
+		return
+	}
+	s.p += len(l)
+}
+
+// num consumes an optionally-signed decimal integer without allocating.
+// Out-of-range values flip ok, sending the caller to the encoding/json
+// fallback for a proper error.
+func (s *metaScan) num() int64 {
+	if !s.ok {
+		return 0
+	}
+	neg := false
+	if s.p < len(s.b) && s.b[s.p] == '-' {
+		neg = true
+		s.p++
+	}
+	var n uint64
+	digits := 0
+	for s.p < len(s.b) {
+		c := s.b[s.p]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + uint64(c-'0')
+		s.p++
+		digits++
+	}
+	lim := uint64(1) << 63 // |int64 min|; positives get one less
+	if !neg {
+		lim--
+	}
+	if digits == 0 || digits > 19 || n > lim {
+		s.ok = false
+		return 0
+	}
+	if neg {
+		return -int64(n)
+	}
+	return int64(n)
+}
+
+// str consumes a quoted escape-free string value. When the value equals prev
+// the previous string is returned unchanged — aggregators decode one frame
+// per tier close within a round, all carrying the same trace id, so the
+// steady-state decode path never allocates for trace strings.
+func (s *metaScan) str(prev string) string {
+	if !s.ok || s.p >= len(s.b) || s.b[s.p] != '"' {
+		s.ok = false
+		return ""
+	}
+	s.p++
+	start := s.p
+	for s.p < len(s.b) {
+		c := s.b[s.p]
+		if c == '"' {
+			raw := s.b[start:s.p]
+			s.p++
+			if string(raw) == prev { // comparison does not allocate
+				return prev
+			}
+			return string(raw)
+		}
+		if c == '\\' || c < 0x20 || c >= 0x7F {
+			s.ok = false
+			return ""
+		}
+		s.p++
+	}
+	s.ok = false
+	return ""
+}
+
+// parsePartialMeta parses the canonical encoding produced by
+// appendPartialMeta and reports success; on false the caller falls back to
+// encoding/json and *m may be partially filled (callers overwrite on
+// fallback).
+func parsePartialMeta(b []byte, m *partialMeta) bool {
+	s := metaScan{b: b, ok: true}
+	s.lit(`{"round":`)
+	m.Round = int(s.num())
+	s.lit(`,"tier":`)
+	m.Tier = int(s.num())
+	s.lit(`,"node":`)
+	m.Node = int(s.num())
+	s.lit(`,"leafLo":`)
+	m.LeafLo = int(s.num())
+	s.lit(`,"leafHi":`)
+	m.LeafHi = int(s.num())
+	s.lit(`,"survivors":`)
+	m.Survivors = int(s.num())
+	s.lit(`,"weight":`)
+	m.Weight = s.num()
+	s.lit(`,"dim":`)
+	m.Dim = int(s.num())
+	s.lit(`,"windowLo":`)
+	m.WindowLo = int(s.num())
+	s.lit(`,"windowHi":`)
+	m.WindowHi = int(s.num())
+	s.lit(`,"adds":`)
+	m.Adds = s.num()
+	if !s.ok {
+		return false
+	}
+	// m's incoming trace strings serve as reuse hints for str; absent fields
+	// end up cleared either way.
+	prevTrace, prevSpan := m.TraceID, m.SpanID
+	m.Specials = nil
+	m.TraceID, m.SpanID = "", ""
+	if s.p < len(s.b) && hasPrefixAt(s.b, s.p, `,"specials":`) {
+		s.lit(`,"specials":`)
+		enc := s.str("")
+		if !s.ok {
+			return false
+		}
+		sp, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return false
+		}
+		m.Specials = sp
+	}
+	if s.p < len(s.b) && hasPrefixAt(s.b, s.p, `,"traceId":`) {
+		s.lit(`,"traceId":`)
+		m.TraceID = s.str(prevTrace)
+	}
+	if s.p < len(s.b) && hasPrefixAt(s.b, s.p, `,"spanId":`) {
+		s.lit(`,"spanId":`)
+		m.SpanID = s.str(prevSpan)
+	}
+	s.lit(`}`)
+	return s.ok && s.p == len(s.b)
+}
+
+func hasPrefixAt(b []byte, p int, pre string) bool {
+	return p+len(pre) <= len(b) && string(b[p:p+len(pre)]) == pre
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fl
+
+const raceEnabled = false

@@ -23,13 +23,23 @@ package fl
 // over the surviving siblings by doing nothing at all.
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"sync"
 
 	"bofl/internal/exact"
 	"bofl/internal/obs"
 	"bofl/internal/obs/ledger"
+	"bofl/internal/parallel"
 )
+
+// maxPendingCloses bounds the tier-0 close pipeline: how many group closes
+// may have their frame encode/decode in flight off the turnstile before the
+// oldest must commit. Small and fixed — the pipeline exists to overlap codec
+// work (including gzip for large windows) with the next leaves' folds, not to
+// buffer the round.
+const maxPendingCloses = 4
 
 // TreeConfig shapes the aggregation tree.
 type TreeConfig struct {
@@ -66,6 +76,30 @@ type treeTier struct {
 	node      int   // tier-local ordinal of the open group
 }
 
+// closeJob is one tier-0 group close in flight: the frame bytes produced
+// under the turnstile (the encode must stay synchronous — its ledger event's
+// byte position and wire size are part of the canonical journal), plus the
+// decode its worker runs off-thread. Jobs are ring slots reused across closes
+// and rounds, so steady-state pipelining allocates nothing.
+type closeJob struct {
+	node int
+	buf  bytes.Buffer
+	dec  PartialAggregate
+	err  error
+	wg   sync.WaitGroup
+}
+
+// run is the off-turnstile half of a tier-0 close: decoding the partial frame
+// (meta parse, gunzip, limb unpack) — the identical wire path the sync close
+// exercises. Absorbing into the parent stays on the turnstile (commitClose),
+// in enqueue order, so the fold remains canonical.
+func (j *closeJob) run() {
+	defer j.wg.Done()
+	if err := DecodePartialAggregateInto(&j.buf, &j.dec); err != nil {
+		j.err = fmt.Errorf("fl: tier 0 node %d: decode partial: %w", j.node, err)
+	}
+}
+
 // treeFold is the per-round spine. It is reused across rounds (the tier
 // accumulators are the dominant allocation) and rewound by reset.
 type treeFold struct {
@@ -73,6 +107,14 @@ type treeFold struct {
 	cfg   TreeConfig
 	dim   int
 	tiers []*treeTier
+
+	// Tier-0 close pipeline: a FIFO ring of in-flight closeJobs. Commits
+	// happen in enqueue order, and every tier ≥ 1 close (and every subtree
+	// drop) drains the ring first, so partial frames, ledger events and
+	// parent folds land in exactly the serial order.
+	jobs    [maxPendingCloses]*closeJob
+	jobHead int
+	jobLen  int
 
 	// Per-round state.
 	n         int
@@ -89,6 +131,7 @@ func newTreeFold(srv *Server, cfg TreeConfig, dim int) *treeFold {
 
 // reset rewinds the spine for a new round over n selected leaves.
 func (f *treeFold) reset(n int, tc obs.TraceContext) {
+	f.drainCloses() // defensive: a completed round always leaves the ring empty
 	f.n, f.tc = n, tc
 	f.dropped = f.dropped[:0]
 	f.partials, f.wireBytes, f.err = 0, 0, nil
@@ -140,7 +183,15 @@ func (f *treeFold) advance(i int) {
 
 // closeGroup finalizes tier t's open group ending at leaf i: quorum-check it,
 // then either ship a partial frame into the parent or discard the subtree.
+// Tier-0 ships go through the async pipeline when the parallel pool has
+// workers to spare; every other path drains the pipeline first, so observable
+// order is always the serial one.
 func (f *treeFold) closeGroup(t, i int) {
+	if t > 0 {
+		// A tier ≥ 1 close folds over its children's partials — every pending
+		// tier-0 close below it must have committed.
+		f.drainCloses()
+	}
 	tier := f.tiers[t]
 	parent := f.ensureTier(t + 1)
 	node := tier.node
@@ -156,7 +207,8 @@ func (f *treeFold) closeGroup(t, i int) {
 		// Subtree drop: the partial never leaves this node. Deferred
 		// normalization means the parent renormalizes over its surviving
 		// children implicitly — the dropped weight simply never reaches the
-		// root divisor.
+		// root divisor. (Pending closes journaled at enqueue, so no drain is
+		// needed for event order.)
 		f.dropped = append(f.dropped, [2]int{tier.leafLo, i})
 		f.srv.sink.Count(obs.MetricFLSubtreeDrops, 1)
 		f.srv.ledgerAppend(ledger.Event{
@@ -167,6 +219,10 @@ func (f *treeFold) closeGroup(t, i int) {
 	case tier.arrived == 0:
 		// Vacuous group (every leaf below already dropped individually, no
 		// tier quorum configured): nothing to forward, nothing to journal.
+	case t == 0 && f.n > f.cfg.Fanout && parallel.Workers() > 1:
+		// Non-root tier-0 close with workers available: snapshot under the
+		// turnstile, frame off-thread, commit in enqueue order.
+		f.enqueueClose(tier, i)
 	default:
 		pa := PartialAggregate{
 			Round: f.srv.round, Tier: t, Node: node,
@@ -209,6 +265,77 @@ func (f *treeFold) closeGroup(t, i int) {
 	tier.weight, tier.arrived, tier.attempted = 0, 0, 0
 	tier.leafLo = i + 1
 	tier.node++
+}
+
+// enqueueClose runs the turnstile half of an async tier-0 close — serialize,
+// encode, journal, count, all byte-identical to the sync path — then hands
+// the decode to a goroutine. When the ring is full the oldest job commits
+// first, bounding in-flight memory at maxPendingCloses frames.
+func (f *treeFold) enqueueClose(tier *treeTier, i int) {
+	if f.jobLen == maxPendingCloses {
+		f.commitClose()
+	}
+	slot := (f.jobHead + f.jobLen) % maxPendingCloses
+	j := f.jobs[slot]
+	if j == nil {
+		j = &closeJob{}
+		f.jobs[slot] = j
+	}
+	node := tier.node
+	pa := PartialAggregate{
+		Round: f.srv.round, Tier: 0, Node: node,
+		LeafLo: tier.leafLo, LeafHi: i,
+		Survivors: tier.arrived, Weight: tier.weight,
+		Sum:   tier.vec.Serialize(),
+		Trace: f.tc,
+	}
+	j.buf.Reset()
+	if err := EncodePartialAggregate(&j.buf, pa); err != nil {
+		f.fail(fmt.Errorf("fl: tier 0 node %d: encode partial: %w", node, err))
+		return
+	}
+	wire := int64(j.buf.Len())
+	f.partials++
+	f.wireBytes += wire
+	f.srv.sink.Count(obs.MetricFLPartials, 1)
+	f.srv.sink.Count(obs.MetricFLWireTx, float64(wire), obs.L("codec", "partial"))
+	f.srv.ledgerAppend(ledger.Event{
+		Kind: ledger.KindPartial, TraceID: f.tc.TraceID,
+		Tier: 0, Node: node, Survivors: tier.arrived, Selected: tier.attempted,
+		Weight: tier.weight, WireTxBytes: wire,
+	})
+	j.node = node
+	j.err = nil
+	j.wg.Add(1)
+	f.jobLen++
+	go j.run()
+}
+
+// commitClose retires the oldest in-flight close: waits for its decode and
+// absorbs the partial into tier 1 — the same fold, in enqueue order.
+func (f *treeFold) commitClose() {
+	j := f.jobs[f.jobHead]
+	f.jobHead = (f.jobHead + 1) % maxPendingCloses
+	f.jobLen--
+	j.wg.Wait()
+	if j.err != nil {
+		f.fail(j.err)
+		return
+	}
+	parent := f.ensureTier(1)
+	if err := parent.vec.Absorb(j.dec.Sum); err != nil {
+		f.fail(fmt.Errorf("fl: tier 0 node %d: absorb partial: %w", j.node, err))
+		return
+	}
+	parent.weight += j.dec.Weight
+	parent.arrived++
+}
+
+// drainCloses commits every in-flight tier-0 close, oldest first.
+func (f *treeFold) drainCloses() {
+	for f.jobLen > 0 {
+		f.commitClose()
+	}
 }
 
 func (f *treeFold) fail(err error) {

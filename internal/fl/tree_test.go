@@ -365,3 +365,45 @@ func TestTreeConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTreePipelinedClosesMatchSerial pins the async tier-0 close pipeline:
+// with pool workers available, group closes frame their partials off the
+// turnstile and commit in enqueue order, so the committed model AND the
+// ledger JSONL must be byte-identical to the single-worker serial walk —
+// with subtree drops and dropouts interleaved. Run with -race to check the
+// snapshot hand-off.
+func TestTreePipelinedClosesMatchSerial(t *testing.T) {
+	const dim, clients, fanout = 96, 61, 3 // ragged everywhere
+	run := func(workersN int) ([]float64, []byte) {
+		prevW := parallel.SetWorkers(workersN)
+		defer parallel.SetWorkers(prevW)
+		led := ledger.New(0)
+		srv := treeServer(t, dim, clients, &TreeConfig{Fanout: fanout, TierQuorum: 0.5})
+		srv.cfg.Ledger = led
+		srv.cfg.TolerateDropouts = true
+		for i, p := range srv.pool {
+			if i%9 == 2 || i%9 == 5 { // 2 of 3 leaves gone in some groups
+				p.(*mathParticipant).fail = true
+			}
+		}
+		for r := 0; r < 2; r++ {
+			if _, err := srv.RunRound(); err != nil {
+				t.Fatalf("workers=%d round %d: %v", workersN, r, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := led.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return srv.GlobalParams(), buf.Bytes()
+	}
+	wantModel, wantJSONL := run(1)
+	for _, w := range []int{2, 4} {
+		model, jsonl := run(w)
+		bitwiseEqual(t, fmt.Sprintf("workers=%d model", w), model, wantModel)
+		if !bytes.Equal(jsonl, wantJSONL) {
+			t.Fatalf("workers=%d: ledger JSONL diverges from serial (%d vs %d bytes)",
+				w, len(jsonl), len(wantJSONL))
+		}
+	}
+}

@@ -7,13 +7,24 @@
 // slowest surviving path to the root, not the machine the simulator runs on.
 //
 // Memory is the point. The simulator walks the tree depth-first, so at any
-// moment exactly one aggregator per tier is open: O(depth · params)
+// moment exactly one aggregator per tier is open per worker: O(depth·params)
 // accumulator state plus one scratch update vector, regardless of fleet size.
 // No slice anywhere is proportional to the number of clients — a client's
 // spec, availability and update are all recomputed on demand as pure
 // functions of (seed, index, round), the same order-independent hash
 // construction the chaos plane uses (Falafels-style discrete events over a
 // BouquetFL-style heterogeneous population).
+//
+// Speed is the other point. A round is sharded at a fixed tier of the tree
+// into independent subtrees, simulated concurrently on the internal/parallel
+// pool: each worker owns a pooled spine slice, scratch arena and partial-frame
+// buffers, so the leaf fold path allocates nothing per client. The shard
+// layout is a pure function of (Clients, Fanout) — never of the worker count —
+// and every per-shard draw is a pure function of (seed, index, round), so the
+// committed model, the stats and the ledger are byte-identical at any
+// GOMAXPROCS or -workers setting. Shard results merge through a single-
+// threaded sequencer that replays buffered per-shard ledger events in DFS
+// order, which keeps the journal byte-identical to the serial walk too.
 //
 // Because the fold arithmetic is exact (internal/exact), arrival order is
 // immaterial: folding children in index order as the DFS visits them is
@@ -26,6 +37,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"bofl/internal/device"
@@ -34,6 +46,7 @@ import (
 	"bofl/internal/fl"
 	"bofl/internal/obs"
 	"bofl/internal/obs/ledger"
+	"bofl/internal/parallel"
 	"bofl/internal/simclock"
 )
 
@@ -48,21 +61,50 @@ const (
 // added to the 8·dim model payload when pricing link time.
 const wireOverheadBytes = 128
 
+// minShards is the smallest subtree count worth sharding at: the engine picks
+// the highest tier whose node count reaches it, so shards stay coarse enough
+// to amortize dispatch but numerous enough to load-balance any plausible
+// worker count. Layout depends only on (Clients, Fanout).
+const minShards = 32
+
+// updatePeriod is DefaultUpdate's combo period: scale cycles mod 7, shift
+// mod 5, weight mod 29 (pairwise coprime), so clients i and i+1015 run the
+// identical update. The fused engine exploits this by precomputing each
+// combo's exact limb decomposition once per round (exact.Decomp) and
+// replaying pure integer deltas per client — bit-identical by exactness.
+const updatePeriod = 7 * 5 * 29
+
+// Decomp-cache gates: only worth the memory (updatePeriod · dim · 12 B) when
+// each combo is replayed at least a few times and the cache stays modest.
+const (
+	decompMinClients = 4 * updatePeriod
+	decompMaxBytes   = 64 << 20
+)
+
 // UpdateFn computes client i's local update from the global model into out
 // (len(out) == len(global)) and returns its integer example count (≥ 1).
 // It MUST be a pure function of (i, global) — the simulator recomputes it at
-// will and replays depend on it.
+// will and replays depend on it. It may be called concurrently from several
+// workers (with distinct out buffers).
 type UpdateFn func(i int, global, out []float64) int
 
 // DefaultUpdate is a deterministic synthetic workload: an affine map whose
 // scale and shift vary per client, matching the in-process scale harness.
 func DefaultUpdate(i int, global, out []float64) int {
-	scale := 1 + float64(i%7)/8
-	shift := float64(i%5) / 16
+	scale, shift, weight := defaultUpdateParams(i)
 	for j, v := range global {
 		out[j] = v*scale + shift
 	}
-	return 1 + i%29
+	return int(weight)
+}
+
+// defaultUpdateParams returns the affine coefficients and weight DefaultUpdate
+// uses for client i. The engine's fused fold path (exact.AddScaledAffine,
+// taken when Config.Update is left nil) reads the same coefficients, so the
+// two paths stay in lockstep; TestFusedDefaultUpdateMatchesGeneric pins the
+// bit-identity.
+func defaultUpdateParams(i int) (scale, shift float64, weight int64) {
+	return 1 + float64(i%7)/8, float64(i%5) / 16, int64(1 + i%29)
 }
 
 // Config shapes one simulated fleet.
@@ -80,6 +122,11 @@ type Config struct {
 	// ChaosSeed fixes availability and fault draws; replays with the same
 	// value are byte-identical. Defaults to Seed when zero.
 	ChaosSeed int64
+	// Workers caps how many subtree shards simulate concurrently; 0 uses the
+	// parallel pool width (GOMAXPROCS unless overridden). The committed
+	// model, stats and ledger are byte-identical at every setting — Workers
+	// only changes scheduling, never the shard layout.
+	Workers int
 	// TierQuorum is the per-aggregator child quorum (see fl.TreeConfig).
 	TierQuorum float64
 	// Quorum is the round-level survivor fraction required to commit.
@@ -118,6 +165,8 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("fleet: Fanout %d must be ≥ 2", c.Fanout)
 	case c.Jobs < 1:
 		return fmt.Errorf("fleet: Jobs %d must be ≥ 1", c.Jobs)
+	case c.Workers < 0:
+		return fmt.Errorf("fleet: Workers %d must be ≥ 0", c.Workers)
 	case c.TierQuorum < 0 || c.TierQuorum > 1:
 		return fmt.Errorf("fleet: TierQuorum %v must be in [0, 1]", c.TierQuorum)
 	case c.Quorum < 0 || c.Quorum > 1:
@@ -173,29 +222,76 @@ type RoundStats struct {
 	WireBytes int64
 	// TotalWeight is the committed integer example weight.
 	TotalWeight int64
-	// EnergyJ is the fleet's summed round energy (training + radio).
+	// EnergyJ is the fleet's summed round energy (training + radio), summed
+	// per shard and merged in shard order — workers-independent.
 	EnergyJ float64
 	// VirtualSeconds is the round's simulated duration (slowest surviving
 	// path to the root); DeadlineSeconds is the per-client deadline used.
 	VirtualSeconds  float64
 	DeadlineSeconds float64
-	// SpineBytes is the engine's accumulator working set — O(depth·params),
-	// independent of Clients.
+	// SpineBytes is one full spine's accumulator working set (worker tiers +
+	// merge tiers + root) — O(depth·params), independent of Clients. Each
+	// concurrent worker holds its own copy of the tiers-below-the-shard
+	// slice, so total memory scales with min(Workers, shards), never fleet
+	// size.
 	SpineBytes int64
 }
 
-// Engine simulates rounds over one fleet. Not safe for concurrent use.
+// accumulate folds o's additive counters into s — the shard-merge reduction,
+// applied in shard index order so float sums stay workers-independent.
+func (s *RoundStats) accumulate(o *RoundStats) {
+	s.Unavailable += o.Unavailable
+	s.Crashed += o.Crashed
+	s.DeadlineMisses += o.DeadlineMisses
+	s.SubtreeDrops += o.SubtreeDrops
+	s.SubtreeDropLeaves += o.SubtreeDropLeaves
+	s.Partials += o.Partials
+	s.WireBytes += o.WireBytes
+	s.EnergyJ += o.EnergyJ
+}
+
+// Engine simulates rounds over one fleet. Not safe for concurrent use (one
+// RunRound at a time; the engine parallelizes internally).
 type Engine struct {
 	cfg      Config
 	depth    int // root aggregator tier; spine holds tiers 0..depth
 	deadline float64
+	hasFault bool // false when cfg.Fault is the NopPolicy: skip Decide entirely
+	// fused marks the default synthetic workload: the leaf fold runs the
+	// affine update inside the exact decomposition loop (AddScaledAffine)
+	// instead of materializing a scratch vector per client.
+	fused bool
+	// decomps, when non-nil, is the fused path's per-round decomposition
+	// cache: entry k memoizes combo k's exact limb deltas against the current
+	// global model (refreshed at the top of RunRound, then read-only across
+	// workers). FlatRound deliberately ignores it, so the oracle exercises an
+	// independent fold path.
+	decomps []exact.Decomp
+	// chaosMid caches the availability draws' hash prefix for ChaosSeed.
+	chaosMid faultinject.FleetSeedMid
 
-	global  []float64
-	scratch []float64
-	sum     []float64
-	spine   []*exact.Vec
+	global []float64
+	sum    []float64
+
 	rootVec *exact.Vec
-	buf     bytes.Buffer
+
+	// Shard layout — a pure function of (Clients, Fanout). Tier shardTier
+	// subtrees (shardSpan leaves each) are the unit of parallel work.
+	shardTier int
+	shardSpan int
+	numShards int
+	shardOuts []shardOut
+
+	// mergeCtx walks tiers shardTier+1..depth single-threaded, fetching
+	// shard results in index order; worker contexts (pooled in ctxFree) walk
+	// tiers 0..shardTier inside one shard.
+	mergeCtx *simCtx
+	ctxMu    sync.Mutex
+	ctxFree  []*simCtx
+
+	// shardRunner overrides shard dispatch; tests inject seeded permutations
+	// of shard completion order here. nil dispatches on the parallel pool.
+	shardRunner func(n int, run func(s int))
 
 	round int
 	tc    obs.TraceContext
@@ -206,6 +302,7 @@ type Engine struct {
 // New validates the config and builds an engine with a deterministic initial
 // model.
 func New(cfg Config) (*Engine, error) {
+	fused := cfg.Update == nil
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -217,20 +314,49 @@ func New(cfg Config) (*Engine, error) {
 		cfg:     cfg,
 		depth:   depth,
 		global:  make([]float64, cfg.Dim),
-		scratch: make([]float64, cfg.Dim),
 		sum:     make([]float64, cfg.Dim),
-		spine:   make([]*exact.Vec, depth+1),
 		rootVec: exact.NewVec(cfg.Dim),
 	}
-	for t := range e.spine {
-		e.spine[t] = exact.NewVec(cfg.Dim)
+	_, nop := cfg.Fault.(faultinject.NopPolicy)
+	e.hasFault = !nop
+	e.fused = fused
+	if fused && cfg.Clients >= decompMinClients &&
+		updatePeriod*cfg.Dim*12 <= decompMaxBytes {
+		e.decomps = make([]exact.Decomp, updatePeriod)
 	}
+	e.chaosMid = faultinject.NewFleetSeedMid(cfg.ChaosSeed)
 	for j := range e.global {
 		e.global[j] = float64(j%17)/16 + 0.5
 	}
 	e.deadline = cfg.DeadlineSeconds
 	if e.deadline == 0 {
 		e.deadline = cfg.DeadlineRatio * float64(cfg.Jobs) * cfg.Population.SlowestSecPerJob()
+	}
+
+	// Shard at the highest tier with at least minShards subtrees, falling
+	// back to tier 0 (≥ 2 nodes whenever depth ≥ 1). Workers never enter
+	// this choice: the same fleet always shards the same way.
+	e.shardTier = 0
+	if depth > 0 {
+		for t := depth - 1; t > 0; t-- {
+			span := spanPow(cfg.Fanout, t+1, cfg.Clients)
+			if (cfg.Clients+span-1)/span >= minShards {
+				e.shardTier = t
+				break
+			}
+		}
+	}
+	e.shardSpan = spanPow(cfg.Fanout, e.shardTier+1, cfg.Clients)
+	e.numShards = (cfg.Clients + e.shardSpan - 1) / e.shardSpan
+	e.shardOuts = make([]shardOut, e.numShards)
+
+	e.mergeCtx = &simCtx{
+		e: e, floor: e.shardTier, fetch: e.fetchShard,
+		direct: true, stats: &e.stats,
+		spine: make([]*exact.Vec, depth+1),
+	}
+	for t := e.shardTier + 1; t <= depth; t++ {
+		e.mergeCtx.spine[t] = exact.NewVec(cfg.Dim)
 	}
 	return e, nil
 }
@@ -240,6 +366,10 @@ func (e *Engine) Depth() int { return e.depth }
 
 // Deadline returns the per-client round deadline in seconds.
 func (e *Engine) Deadline() float64 { return e.deadline }
+
+// Shards returns the parallel shard layout: how many tier-shardTier subtrees
+// a round fans out, and how many leaves each covers.
+func (e *Engine) Shards() (count, span int) { return e.numShards, e.shardSpan }
 
 // Global returns a copy of the current global model.
 func (e *Engine) Global() []float64 { return append([]float64(nil), e.global...) }
@@ -253,14 +383,12 @@ func (e *Engine) SetGlobal(g []float64) error {
 	return nil
 }
 
-// SpineBytes reports the accumulator working set: the per-tier spine plus the
-// root — the quantity that must stay O(depth · params).
+// SpineBytes reports one full spine's accumulator working set: the worker
+// tiers 0..shardTier, the merge tiers shardTier+1..depth and the root — the
+// quantity that must stay O(depth · params). See RoundStats.SpineBytes for
+// how per-worker copies scale.
 func (e *Engine) SpineBytes() int64 {
-	total := e.rootVec.MemoryBytes()
-	for _, v := range e.spine {
-		total += v.MemoryBytes()
-	}
-	return total
+	return exact.VecBytes(e.cfg.Dim) * int64(e.depth+2)
 }
 
 // spanPow returns min(fanout^exp, n) without overflow.
@@ -284,23 +412,126 @@ type leafResult struct {
 	completeAt float64 // seconds after round start the update arrives
 }
 
+// nodeResult is one aggregator subtree's outcome.
+type nodeResult struct {
+	ok         bool
+	sum        exact.Serialized
+	weight     int64
+	survivors  int
+	completeAt float64
+}
+
+// shardOut is one shard's slot in the indexed result array: its subtree
+// result (sum deep-copied out of the worker context), its stats partial and
+// its buffered ledger events. Slots are reused across rounds, so steady-state
+// shard dispatch allocates nothing.
+type shardOut struct {
+	res    nodeResult
+	sum    exact.Serialized
+	stats  RoundStats
+	events []ledger.Event
+	err    error
+}
+
+// simCtx is one simulation walker: a spine slice, a scratch update arena and
+// pooled partial-frame codec state. Worker contexts (floor -1 … fetch nil)
+// run a whole shard subtree; the engine's single merge context intercepts
+// tier `floor` node visits and fetches the corresponding shard slot instead,
+// appending ledger events directly (`direct`) since it runs single-threaded
+// in DFS order.
+type simCtx struct {
+	e       *Engine
+	spine   []*exact.Vec // indexed by tier; merge ctx leaves ≤ floor nil
+	scratch []float64
+	buf     bytes.Buffer
+	ser     exact.Serialized
+	dec     fl.PartialAggregate
+
+	floor  int
+	fetch  func(lo int) nodeResult
+	direct bool
+
+	stats  *RoundStats
+	events []ledger.Event
+	err    error
+}
+
+// newWorkerCtx builds a context able to simulate one shard (tiers
+// 0..shardTier plus leaves).
+func (e *Engine) newWorkerCtx() *simCtx {
+	c := &simCtx{
+		e:       e,
+		spine:   make([]*exact.Vec, e.shardTier+1),
+		scratch: make([]float64, e.cfg.Dim),
+		floor:   -1,
+	}
+	for t := range c.spine {
+		c.spine[t] = exact.NewVec(e.cfg.Dim)
+	}
+	return c
+}
+
+func (e *Engine) getCtx() *simCtx {
+	e.ctxMu.Lock()
+	if k := len(e.ctxFree); k > 0 {
+		c := e.ctxFree[k-1]
+		e.ctxFree = e.ctxFree[:k-1]
+		e.ctxMu.Unlock()
+		return c
+	}
+	e.ctxMu.Unlock()
+	return e.newWorkerCtx()
+}
+
+func (e *Engine) putCtx(c *simCtx) {
+	e.ctxMu.Lock()
+	e.ctxFree = append(e.ctxFree, c)
+	e.ctxMu.Unlock()
+}
+
+func (c *simCtx) fail(err error) {
+	if c.direct {
+		c.e.fail(err)
+	} else if c.err == nil {
+		c.err = err
+	}
+}
+
+// ledgerAppend journals ev: directly for the merge context (it already runs
+// in canonical DFS order), buffered for worker contexts — the merge phase
+// replays shard buffers in shard index order, so the journal is byte-
+// identical to the serial walk at any worker count.
+func (c *simCtx) ledgerAppend(ev ledger.Event) {
+	if c.e.cfg.Ledger == nil {
+		return
+	}
+	if c.direct {
+		c.e.cfg.Ledger.Append(ev)
+	} else {
+		c.events = append(c.events, ev)
+	}
+}
+
 // simulateLeaf prices client i's round: availability and chaos draws, then
 // downlink + Jobs·SecPerJob + uplink against the deadline. Energy is charged
 // for every phase the device actually ran, even when the update is lost.
-func (e *Engine) simulateLeaf(i int) leafResult {
+// Every draw is a pure function of (seed, i, round) — scheduling-independent.
+func (c *simCtx) simulateLeaf(i int) leafResult {
+	e := c.e
 	spec := e.cfg.Population.Client(i)
-	pt := faultinject.Point{
-		Layer: faultinject.LayerFleet, Client: device.ClientID(i),
-		Round: e.round, Attempt: drawChaos,
+	var dec faultinject.Decision
+	if e.hasFault {
+		dec = e.cfg.Fault.Decide(faultinject.Point{
+			Layer: faultinject.LayerFleet, Client: device.ClientID(i),
+			Round: e.round, Attempt: drawChaos,
+		})
 	}
-	dec := e.cfg.Fault.Decide(pt)
 	if dec.Drop {
-		e.stats.Unavailable++
+		c.stats.Unavailable++
 		return leafResult{}
 	}
-	pt.Attempt = drawAvailability
-	if faultinject.Unit(e.cfg.ChaosSeed, pt) >= spec.Availability {
-		e.stats.Unavailable++
+	if e.chaosMid.Client(i).Unit(e.round, drawAvailability) >= spec.Availability {
+		c.stats.Unavailable++
 		return leafResult{}
 	}
 
@@ -311,33 +542,30 @@ func (e *Engine) simulateLeaf(i int) leafResult {
 
 	if dec.Crash {
 		// Trained, died before reporting: compute energy spent, no uplink.
-		e.stats.Crashed++
-		e.stats.EnergyJ += compute*spec.PowerBusyW + down*spec.PowerIdleW
+		c.stats.Crashed++
+		c.stats.EnergyJ += compute*spec.PowerBusyW + down*spec.PowerIdleW
 		return leafResult{}
 	}
 	total := down + compute + up
-	e.stats.EnergyJ += compute*spec.PowerBusyW + (down+up)*spec.PowerIdleW
+	c.stats.EnergyJ += compute*spec.PowerBusyW + (down+up)*spec.PowerIdleW
 	if dec.Timeout || total > e.deadline {
-		e.stats.DeadlineMisses++
+		c.stats.DeadlineMisses++
 		return leafResult{}
 	}
 	return leafResult{ok: true, completeAt: total}
 }
 
-// nodeResult is one aggregator subtree's outcome.
-type nodeResult struct {
-	ok         bool
-	sum        exact.Serialized
-	weight     int64
-	survivors  int
-	completeAt float64
-}
-
 // simulateNode runs the tier-t aggregator covering leaves [lo, hi) and every
 // subtree below it, depth-first. The tier's spine accumulator is reused by
-// every node of the tier in turn — the DFS guarantees at most one is open.
-func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
-	vec := e.spine[t]
+// every node of the tier in turn — the DFS guarantees at most one is open per
+// context. On the merge context, visits at the shard tier resolve to the
+// precomputed shard slots instead of recursing.
+func (c *simCtx) simulateNode(t, lo, hi int) nodeResult {
+	if t == c.floor && c.fetch != nil {
+		return c.fetch(lo)
+	}
+	e := c.e
+	vec := c.spine[t]
 	vec.Reset()
 	var weight int64
 	arrived, attempted, survivors := 0, 0, 0
@@ -346,16 +574,27 @@ func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
 	for clo := lo; clo < hi; clo += childSpan {
 		attempted++
 		if t == 0 {
-			lr := e.simulateLeaf(clo)
+			lr := c.simulateLeaf(clo)
 			if !lr.ok {
 				continue
 			}
-			w := int64(e.cfg.Update(clo, e.global, e.scratch))
-			if w < 1 {
-				e.fail(fmt.Errorf("fleet: client %d returned weight %d < 1", clo, w))
-				continue
+			var w int64
+			if e.fused {
+				scale, shift, fw := defaultUpdateParams(clo)
+				if e.decomps != nil {
+					vec.AddDecomp(&e.decomps[clo%updatePeriod])
+				} else {
+					vec.AddScaledAffine(float64(fw), scale, shift, e.global)
+				}
+				w = fw
+			} else {
+				w = int64(e.cfg.Update(clo, e.global, c.scratch))
+				if w < 1 {
+					c.fail(fmt.Errorf("fleet: client %d returned weight %d < 1", clo, w))
+					continue
+				}
+				vec.AddScaled(float64(w), c.scratch)
 			}
-			vec.AddScaled(float64(w), e.scratch)
 			weight += w
 			arrived++
 			survivors++
@@ -368,7 +607,7 @@ func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
 		if chi > hi {
 			chi = hi
 		}
-		res := e.simulateNode(t-1, clo, chi)
+		res := c.simulateNode(t-1, clo, chi)
 		if res.completeAt > latest {
 			latest = res.completeAt
 		}
@@ -376,7 +615,7 @@ func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
 			continue
 		}
 		if err := vec.Absorb(res.sum); err != nil {
-			e.fail(fmt.Errorf("fleet: tier %d absorb: %w", t, err))
+			c.fail(fmt.Errorf("fleet: tier %d absorb: %w", t, err))
 			continue
 		}
 		weight += res.weight
@@ -391,9 +630,9 @@ func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
 	}
 	if arrived == 0 || arrived < required {
 		if required > 0 && arrived < required {
-			e.stats.SubtreeDrops++
-			e.stats.SubtreeDropLeaves += survivors
-			e.ledgerAppend(ledger.Event{
+			c.stats.SubtreeDrops++
+			c.stats.SubtreeDropLeaves += survivors
+			c.ledgerAppend(ledger.Event{
 				Kind: ledger.KindSubtreeDrop, Round: e.round, TraceID: e.tc.TraceID,
 				Tier: t, Node: node, Survivors: arrived, Selected: attempted,
 				Detail: fmt.Sprintf("quorum %d/%d", arrived, required),
@@ -403,33 +642,36 @@ func (e *Engine) simulateNode(t, lo, hi int) nodeResult {
 	}
 
 	// Ship the partial through the real wire path: the bytes a distributed
-	// tier deployment would move are the bytes we account.
+	// tier deployment would move are the bytes we account. Serialize target,
+	// frame buffer and decode target are all pooled on the context, so a
+	// node close allocates nothing in steady state. The decoded sum aliases
+	// c.dec and is consumed (absorbed or copied) before the next close.
+	vec.SerializeInto(&c.ser)
 	pa := fl.PartialAggregate{
 		Round: e.round, Tier: t, Node: node,
 		LeafLo: lo, LeafHi: hi - 1,
 		Survivors: survivors, Weight: weight,
-		Sum: vec.Serialize(), Trace: e.tc,
+		Sum: c.ser, Trace: e.tc,
 	}
-	e.buf.Reset()
-	if err := fl.EncodePartialAggregate(&e.buf, pa); err != nil {
-		e.fail(fmt.Errorf("fleet: tier %d node %d encode: %w", t, node, err))
+	c.buf.Reset()
+	if err := fl.EncodePartialAggregate(&c.buf, pa); err != nil {
+		c.fail(fmt.Errorf("fleet: tier %d node %d encode: %w", t, node, err))
 		return nodeResult{completeAt: latest}
 	}
-	wire := int64(e.buf.Len())
-	dec, err := fl.DecodePartialAggregate(&e.buf)
-	if err != nil {
-		e.fail(fmt.Errorf("fleet: tier %d node %d decode: %w", t, node, err))
+	wire := int64(c.buf.Len())
+	if err := fl.DecodePartialAggregateInto(&c.buf, &c.dec); err != nil {
+		c.fail(fmt.Errorf("fleet: tier %d node %d decode: %w", t, node, err))
 		return nodeResult{completeAt: latest}
 	}
-	e.stats.Partials++
-	e.stats.WireBytes += wire
-	e.ledgerAppend(ledger.Event{
+	c.stats.Partials++
+	c.stats.WireBytes += wire
+	c.ledgerAppend(ledger.Event{
 		Kind: ledger.KindPartial, Round: e.round, TraceID: e.tc.TraceID,
 		Tier: t, Node: node, Survivors: arrived, Selected: attempted,
 		Weight: weight, WireTxBytes: wire,
 	})
 	return nodeResult{
-		ok: true, sum: dec.Sum, weight: dec.Weight, survivors: survivors,
+		ok: true, sum: c.dec.Sum, weight: c.dec.Weight, survivors: survivors,
 		completeAt: latest + e.cfg.TierLatencySeconds,
 	}
 }
@@ -446,8 +688,86 @@ func (e *Engine) ledgerAppend(ev ledger.Event) {
 	}
 }
 
+// runShards simulates every shard subtree, filling e.shardOuts. Execution
+// order is arbitrary (pool scheduling, or a test-injected permutation); the
+// indexed slots make the merge phase deterministic regardless.
+func (e *Engine) runShards() {
+	n := e.cfg.Clients
+	run := func(s int) {
+		ctx := e.getCtx()
+		out := &e.shardOuts[s]
+		out.stats = RoundStats{}
+		ctx.stats = &out.stats
+		ctx.events = out.events[:0]
+		ctx.err = nil
+		lo := s * e.shardSpan
+		hi := lo + e.shardSpan
+		if hi > n {
+			hi = n
+		}
+		res := ctx.simulateNode(e.shardTier, lo, hi)
+		if res.ok {
+			// res.sum aliases ctx.dec; copy it into the shard's own slot so
+			// the context can move on to another shard.
+			copySerializedInto(&out.sum, res.sum)
+			res.sum = out.sum
+		} else {
+			res.sum = exact.Serialized{}
+		}
+		out.res = res
+		out.events = ctx.events
+		out.err = ctx.err
+		ctx.stats, ctx.events, ctx.err = nil, nil, nil
+		e.putCtx(ctx)
+	}
+	if e.shardRunner != nil {
+		e.shardRunner(e.numShards, run)
+		return
+	}
+	parallel.ForChunkMax(e.numShards, e.cfg.Workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			run(s)
+		}
+	})
+}
+
+// fetchShard is the merge context's shard-tier resolver: it folds shard
+// lo/shardSpan's stats into the round stats, replays its buffered ledger
+// events (the deterministic sequencer — merge order is DFS order, whatever
+// order the shards completed in), surfaces its first error and returns its
+// subtree result.
+func (e *Engine) fetchShard(lo int) nodeResult {
+	out := &e.shardOuts[lo/e.shardSpan]
+	if out.err != nil {
+		e.fail(out.err)
+	}
+	e.stats.accumulate(&out.stats)
+	if e.cfg.Ledger != nil {
+		for _, ev := range out.events {
+			e.cfg.Ledger.Append(ev)
+		}
+	}
+	return out.res
+}
+
+// copySerializedInto deep-copies src into dst, reusing dst.Limbs capacity.
+func copySerializedInto(dst *exact.Serialized, src exact.Serialized) {
+	limbs := dst.Limbs[:0]
+	if cap(limbs) < len(src.Limbs) {
+		limbs = make([]uint64, 0, len(src.Limbs))
+	}
+	*dst = src
+	dst.Limbs = append(limbs, src.Limbs...)
+	if src.Specials != nil {
+		dst.Specials = append([]uint8(nil), src.Specials...)
+	}
+}
+
 // RunRound simulates one virtual-time round over the whole fleet, commits the
 // new global model, and advances the virtual clock by the round's duration.
+// Shards run concurrently on the parallel pool (bounded by Config.Workers);
+// everything committed — model bits, stats, ledger bytes — is identical at
+// any width.
 func (e *Engine) RunRound() (RoundStats, error) {
 	e.round++
 	e.err = nil
@@ -462,7 +782,16 @@ func (e *Engine) RunRound() (RoundStats, error) {
 		Selected: n, Deadline: e.deadline,
 	})
 
-	root := e.simulateNode(e.depth, 0, n)
+	if e.decomps != nil {
+		// Refresh the combo cache against this round's model before the
+		// workers start: single-threaded here, read-only during the fan-out.
+		for k := range e.decomps {
+			scale, shift, w := defaultUpdateParams(k)
+			e.decomps[k].From(float64(w), scale, shift, e.global)
+		}
+	}
+	e.runShards()
+	root := e.mergeCtx.simulateNode(e.depth, 0, n)
 	if e.err != nil {
 		e.abort(e.err.Error())
 		return e.stats, e.err
@@ -518,29 +847,40 @@ func (e *Engine) abort(detail string) {
 
 // FlatRound is the reference oracle: it simulates the *next* round's leaves
 // with draws identical to what RunRound will use, folds every survivor into a
-// single flat exact accumulator in index order — no tree, no partial frames —
-// and returns the model that fold would commit plus its total weight. It does
-// not mutate engine state. With TierQuorum 0 (no subtree drops) the
-// subsequently committed RunRound model must be bit-identical.
+// single flat exact accumulator in index order — no tree, no partial frames,
+// no shards — and returns the model that fold would commit plus its total
+// weight. It does not mutate engine state. With TierQuorum 0 (no subtree
+// drops) the subsequently committed RunRound model must be bit-identical.
 func (e *Engine) FlatRound() ([]float64, int64, error) {
 	savedStats, savedRound, savedErr := e.stats, e.round, e.err
 	defer func() { e.stats, e.round, e.err = savedStats, savedRound, savedErr }()
 	e.round++
 	e.stats = RoundStats{}
 	e.err = nil
+	ctx := &simCtx{
+		e: e, scratch: make([]float64, e.cfg.Dim),
+		floor: -1, stats: &e.stats,
+	}
 
 	acc := exact.NewVec(e.cfg.Dim)
 	var weight int64
 	for i := 0; i < e.cfg.Clients; i++ {
-		lr := e.simulateLeaf(i)
+		lr := ctx.simulateLeaf(i)
 		if !lr.ok {
 			continue
 		}
-		w := int64(e.cfg.Update(i, e.global, e.scratch))
-		if w < 1 {
-			return nil, 0, fmt.Errorf("fleet: client %d returned weight %d < 1", i, w)
+		var w int64
+		if e.fused {
+			scale, shift, fw := defaultUpdateParams(i)
+			acc.AddScaledAffine(float64(fw), scale, shift, e.global)
+			w = fw
+		} else {
+			w = int64(e.cfg.Update(i, e.global, ctx.scratch))
+			if w < 1 {
+				return nil, 0, fmt.Errorf("fleet: client %d returned weight %d < 1", i, w)
+			}
+			acc.AddScaled(float64(w), ctx.scratch)
 		}
-		acc.AddScaled(float64(w), e.scratch)
 		weight += w
 	}
 	if weight == 0 {

@@ -1,9 +1,13 @@
 package fleet
 
 import (
+	"bytes"
+	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -405,5 +409,166 @@ func TestSpanPow(t *testing.T) {
 		if got := spanPow(c.fanout, c.exp, c.n); got != c.want {
 			t.Fatalf("spanPow(%d,%d,%d) = %d, want %d", c.fanout, c.exp, c.n, got, c.want)
 		}
+	}
+}
+
+// TestFusedDefaultUpdateMatchesGeneric: leaving Config.Update nil selects the
+// fused fold (AddScaledAffine, plus the decomp cache at scale); setting it to
+// DefaultUpdate explicitly forces the generic scratch-vector path. Committed
+// model bits and stats must be identical — the fusion and the memoization are
+// pure implementation. Covers both the small (plain fused) and the
+// decomp-cached (Clients ≥ decompMinClients) regimes.
+func TestFusedDefaultUpdateMatchesGeneric(t *testing.T) {
+	for _, n := range []int{300, decompMinClients + 123} {
+		mk := func(u UpdateFn) *Engine {
+			e, err := New(Config{
+				Clients: n, Dim: 24, Fanout: 8, Jobs: 1, Seed: 21, Update: u,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		fused := mk(nil)
+		generic := mk(DefaultUpdate)
+		if fused.fused == false {
+			t.Fatal("nil Update did not select the fused path")
+		}
+		if generic.fused {
+			t.Fatal("explicit DefaultUpdate unexpectedly fused")
+		}
+		if wantCache := n >= decompMinClients; (fused.decomps != nil) != wantCache {
+			t.Fatalf("n=%d: decomp cache active=%v, want %v", n, fused.decomps != nil, wantCache)
+		}
+		for r := 0; r < 3; r++ {
+			sf, err := fused.RunRound()
+			if err != nil {
+				t.Fatalf("n=%d round %d fused: %v", n, r, err)
+			}
+			sg, err := generic.RunRound()
+			if err != nil {
+				t.Fatalf("n=%d round %d generic: %v", n, r, err)
+			}
+			bitsEqual(t, fused.Global(), generic.Global(), "fused vs generic model")
+			if sf != sg {
+				t.Fatalf("n=%d round %d stats diverge:\n%+v\n%+v", n, r, sf, sg)
+			}
+		}
+	}
+}
+
+// TestShardPermutationDeterminism is the scheduling-independence property
+// test: shards may complete in ANY order on ANY number of workers, and the
+// committed model bits, the round stats and the ledger JSONL bytes must all
+// be identical to the serial natural-order walk. Completion order is forced
+// via seeded permutations injected through the shardRunner seam, executed on
+// genuinely concurrent workers (meaningful under -race).
+func TestShardPermutationDeterminism(t *testing.T) {
+	const n, dim, fanout, rounds = 20_000, 16, 8, 2
+	plan := &faultinject.Plan{
+		Seed:    99,
+		Default: faultinject.Profile{Drop: 0.04, Crash: 0.03},
+	}
+	cs := chaosSeed(t)
+
+	run := func(workers int, permSeed int64) (model []float64, stats []RoundStats, jsonl []byte) {
+		lg := ledger.New(0)
+		e, err := New(Config{
+			Clients: n, Dim: dim, Fanout: fanout, Jobs: 1,
+			Seed: 13, ChaosSeed: cs, Fault: plan,
+			TierQuorum: 0.5, Workers: workers, Ledger: lg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if permSeed != 0 {
+			rng := rand.New(rand.NewSource(permSeed))
+			e.shardRunner = func(ns int, runShard func(s int)) {
+				order := rng.Perm(ns)
+				feed := make(chan int)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for s := range feed {
+							runShard(s)
+						}
+					}()
+				}
+				for _, s := range order {
+					feed <- s
+				}
+				close(feed)
+				wg.Wait()
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			st, err := e.RunRound()
+			if err != nil {
+				t.Fatalf("workers=%d perm=%d round %d: %v", workers, permSeed, r, err)
+			}
+			stats = append(stats, st)
+		}
+		var buf bytes.Buffer
+		if err := lg.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return e.Global(), stats, buf.Bytes()
+	}
+
+	wantModel, wantStats, wantJSONL := run(1, 0) // serial natural order
+	if sc, _ := func() (int, int) {
+		e, _ := New(Config{Clients: n, Dim: dim, Fanout: fanout, Jobs: 1, Seed: 13})
+		return e.Shards()
+	}(); sc < 2 {
+		t.Fatalf("layout degenerate: %d shards", sc)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, permSeed := range []int64{1, 20260807, 424242} {
+			model, stats, jsonl := run(workers, permSeed)
+			label := fmt.Sprintf("workers=%d perm=%d", workers, permSeed)
+			bitsEqual(t, model, wantModel, label+" model")
+			for r := range stats {
+				if stats[r] != wantStats[r] {
+					t.Fatalf("%s round %d stats diverge:\n%+v\n%+v", label, r, stats[r], wantStats[r])
+				}
+			}
+			if !bytes.Equal(jsonl, wantJSONL) {
+				t.Fatalf("%s: ledger JSONL diverges from serial walk (%d vs %d bytes)",
+					label, len(jsonl), len(wantJSONL))
+			}
+		}
+	}
+}
+
+// TestRoundAllocsPerClient pins the zero-alloc leaf path: a steady-state
+// 10k-client round (pools warm, decomp cache off at this size's Dim — the
+// cache itself is round-constant) must average far under one allocation per
+// client. The budget leaves headroom for pool churn under GC pressure while
+// still catching any per-client or per-partial allocation regression.
+func TestRoundAllocsPerClient(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector's sync.Pool drops Puts; alloc counts are meaningless")
+	}
+	const n = 10_000
+	e, err := New(Config{Clients: n, Dim: 32, Fanout: 8, Jobs: 1, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ { // warm pools and the decomp cache
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state: %.0f allocs/round (%.5f per client)", avg, avg/n)
+	if avg > 0.02*n {
+		t.Fatalf("round allocates %.0f times (%.4f per client), budget %.0f",
+			avg, avg/n, 0.02*n)
 	}
 }

@@ -135,10 +135,22 @@ func acquireHelpers(max int) (chan struct{}, int) {
 // every index is visited exactly once. fn should write results into
 // per-index slots of a caller-owned slice to stay deterministic.
 func ForChunk(n int, fn func(lo, hi int)) {
+	ForChunkMax(n, 0, fn)
+}
+
+// ForChunkMax is ForChunk with a per-call width cap: at most max workers
+// (caller + helpers) process the range, regardless of the pool width. max ≤ 0
+// means no extra cap. Callers with their own concurrency budget — e.g. the
+// fleet engine's -workers flag — bound one fan-out without resizing the
+// global pool.
+func ForChunkMax(n, max int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers()
+	if max > 0 && w > max {
+		w = max
+	}
 	if w > n {
 		w = n
 	}

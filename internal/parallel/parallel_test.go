@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForVisitsEveryIndexOnce(t *testing.T) {
@@ -113,5 +114,56 @@ func TestNestedFanOutDoesNotDeadlock(t *testing.T) {
 	})
 	if total.Load() != 256 {
 		t.Fatalf("nested total = %d, want 256", total.Load())
+	}
+}
+
+func TestForChunkMaxBoundsWidth(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+
+	// max=1 must run entirely on the caller: no concurrency, strict order.
+	var order []int
+	ForChunkMax(100, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	if len(order) != 100 {
+		t.Fatalf("visited %d indices, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("max=1 ran out of order at %d: got %d", i, v)
+		}
+	}
+
+	// max=3 must never have more than 3 workers in flight.
+	var inFlight, peak atomic.Int64
+	ForChunkMax(1000, 3, func(lo, hi int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("ForChunkMax(max=3) had %d workers in flight", p)
+	}
+
+	// Coverage: every index exactly once at any cap.
+	seen := make([]atomic.Int32, 500)
+	ForChunkMax(500, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
 	}
 }
