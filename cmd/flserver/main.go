@@ -1,6 +1,7 @@
 // Command flserver orchestrates a federated learning task over HTTP client
 // daemons (cmd/flclient): per round it selects participants, assigns a
-// deadline, dispatches training and FedAvg-aggregates the updates.
+// deadline, dispatches training and aggregates the updates with the
+// configured strategy (-aggregator: fedavg, fedprox, fednova or scaffold).
 //
 // Usage:
 //
@@ -47,6 +48,9 @@ func run(args []string) error {
 		hold     = fs.Duration("hold", 0, "keep the process (and admin endpoints) alive this long after the last round")
 		pprofFlg = fs.String("pprof", "", "also serve net/http/pprof on this address (empty = off)")
 		fanout   = fs.Int("fanout", 0, "round dispatch width: max concurrent participant requests (0 = GOMAXPROCS)")
+
+		aggName = fs.String("aggregator", "fedavg", "aggregation strategy: fedavg, fedprox, fednova or scaffold")
+		proxMu  = fs.Float64("prox-mu", 0, "with -aggregator fedprox: proximal term coefficient μ")
 
 		treeFanout = fs.Int("tree-fanout", 0, "hierarchical aggregation: children per tree aggregator node (0 = flat fold, ≥2 = tree)")
 		tierQuorum = fs.Float64("tier-quorum", 0, "with -tree-fanout: fraction of an aggregator's children that must deliver or its whole subtree drops (0 = off)")
@@ -138,6 +142,13 @@ func run(args []string) error {
 		led.SetSink(f)
 		fmt.Printf("ledger journal -> %s\n", *ledgerPath)
 	}
+	agg, err := fl.NewAggregator(*aggName, *proxMu)
+	if err != nil {
+		return err
+	}
+	if agg.Name() != fl.AlgFedAvg {
+		fmt.Printf("aggregation strategy: %s\n", agg.Name())
+	}
 	var tree *fl.TreeConfig
 	if *treeFanout > 0 {
 		tree = &fl.TreeConfig{Fanout: *treeFanout, TierQuorum: *tierQuorum}
@@ -160,6 +171,7 @@ func run(args []string) error {
 		},
 		FaultPolicy: policy,
 		Ledger:      led,
+		Aggregator:  agg,
 	})
 	if err != nil {
 		return err

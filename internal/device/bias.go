@@ -1,0 +1,36 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParticipationWeight scores how over-represented a device is in round
+// selection under availability- and power-biased participation: the weight is
+// availability · busyPowerW^(−bias). bias = 0 reproduces pure
+// availability-proportional sampling; positive bias skews selection toward
+// low-power devices (an energy-aware server policy), negative bias toward
+// high-power ones (the plugged-in, well-provisioned devices real fleets
+// over-sample). Feed the result to a weighted selector — it is a relative
+// weight, not a probability.
+func ParticipationWeight(availability, busyPowerW, bias float64) (float64, error) {
+	if availability <= 0 || availability > 1 || math.IsNaN(availability) {
+		return 0, fmt.Errorf("device: availability %v must be in (0, 1]", availability)
+	}
+	if busyPowerW <= 0 || math.IsInf(busyPowerW, 0) || math.IsNaN(busyPowerW) {
+		return 0, fmt.Errorf("device: busy power %vW must be positive and finite", busyPowerW)
+	}
+	if math.IsInf(bias, 0) || math.IsNaN(bias) {
+		return 0, fmt.Errorf("device: bias %v must be finite", bias)
+	}
+	return availability * math.Pow(busyPowerW, -bias), nil
+}
+
+// ParticipationWeightFor is ParticipationWeight over a fleet class.
+func ParticipationWeightFor(c FleetClass, bias float64) (float64, error) {
+	w, err := ParticipationWeight(c.Availability, c.PowerBusyW, bias)
+	if err != nil {
+		return 0, fmt.Errorf("device: fleet class %s: %w", c.Name, err)
+	}
+	return w, nil
+}

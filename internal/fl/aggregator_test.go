@@ -1,0 +1,302 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+
+	"bofl/internal/core"
+	"bofl/internal/device"
+	"bofl/internal/ml"
+)
+
+// algClient is newTestClient with a local pace multiplier: the client runs
+// stepScale optimization steps per job, the regime FedNova normalizes.
+func algClient(t *testing.T, id string, seed int64, stepScale int) *Client {
+	t.Helper()
+	dev := device.JetsonAGX()
+	model, err := ml.NewMLP(8, 8, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.Blobs(64, 8, 4, 0.6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.NewPerformant(dev.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		ID:         id,
+		Device:     dev,
+		Workload:   device.ViT,
+		Model:      model,
+		Data:       data,
+		BatchSize:  8,
+		LearnRate:  0.2,
+		Controller: ctrl,
+		Seed:       seed,
+		StepScale:  stepScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runAlgRounds trains an identical 5-client federation under agg for the
+// given number of rounds and returns the committed global model after each
+// round. scale maps client index to its pace multiplier (nil means nominal).
+func runAlgRounds(t *testing.T, agg Aggregator, rounds int, scale func(i int) int) [][]float64 {
+	t.Helper()
+	const clients = 5
+	first := algClient(t, "c0", 1, 1)
+	srv, err := NewServer(ServerConfig{
+		InitialParams: first.Params(),
+		Jobs:          3,
+		DeadlineRatio: 2,
+		Seed:          42,
+		Aggregator:    agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < clients; i++ {
+		ss := 1
+		if scale != nil {
+			ss = scale(i)
+		}
+		srv.Register(&LocalParticipant{Client: algClient(t, "c"+string(rune('0'+i)), int64(i+1), ss)})
+	}
+	out := make([][]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		if _, err := srv.RunRound(); err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+		out = append(out, srv.GlobalParams())
+	}
+	return out
+}
+
+func mustAgg(t *testing.T, name string, mu float64) Aggregator {
+	t.Helper()
+	agg, err := NewAggregator(name, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+func TestNewAggregatorRegistry(t *testing.T) {
+	for _, name := range []string{AlgFedAvg, AlgFedProx, AlgFedNova, AlgScaffold} {
+		agg := mustAgg(t, name, 0.1)
+		if agg.Name() != name {
+			t.Errorf("NewAggregator(%q).Name() = %q", name, agg.Name())
+		}
+	}
+	if agg := mustAgg(t, "", 0); agg.Name() != AlgFedAvg {
+		t.Errorf("empty name resolved to %q, want fedavg", agg.Name())
+	}
+	if _, err := NewAggregator("fedsgd", 0); err == nil || !strings.Contains(err.Error(), "unknown aggregator") {
+		t.Errorf("unknown name error = %v", err)
+	}
+	if _, err := NewAggregator(AlgFedProx, -0.5); err == nil {
+		t.Error("negative fedprox mu accepted")
+	}
+}
+
+// TestFedProxMuZeroBitwiseFedAvg guards the plugin refactor against silent
+// drift: with μ = 0 the proximal term is inert, so every committed model
+// must match the FedAvg fold bit for bit.
+func TestFedProxMuZeroBitwiseFedAvg(t *testing.T) {
+	base := runAlgRounds(t, FedAvg{}, 3, nil)
+	prox := runAlgRounds(t, mustAgg(t, AlgFedProx, 0), 3, nil)
+	for r := range base {
+		if !bitsEqual(base[r], prox[r]) {
+			t.Fatalf("round %d: fedprox μ=0 diverged from fedavg", r+1)
+		}
+	}
+}
+
+// TestFedNovaUniformPaceBitwiseFedAvg: when every client runs exactly the
+// nominal step count, FedNova's exact dispersion statistic is zero and the
+// commit takes the FedAvg division — bitwise.
+func TestFedNovaUniformPaceBitwiseFedAvg(t *testing.T) {
+	base := runAlgRounds(t, FedAvg{}, 3, nil)
+	nova := runAlgRounds(t, FedNova{}, 3, nil)
+	for r := range base {
+		if !bitsEqual(base[r], nova[r]) {
+			t.Fatalf("round %d: uniform-pace fednova diverged from fedavg", r+1)
+		}
+	}
+}
+
+// TestScaffoldFreshRoundBitwiseFedAvg: with zero server and client control
+// variates the per-step correction is skipped outright, so the first SCAFFOLD
+// round trains and commits bitwise-identically to FedAvg. (Later rounds
+// legitimately diverge — the variates are then nonzero.)
+func TestScaffoldFreshRoundBitwiseFedAvg(t *testing.T) {
+	base := runAlgRounds(t, FedAvg{}, 1, nil)
+	sc := NewScaffold()
+	got := runAlgRounds(t, sc, 1, nil)
+	if !bitsEqual(base[0], got[0]) {
+		t.Fatal("fresh scaffold round diverged from fedavg")
+	}
+	nonzero := false
+	for _, v := range sc.ControlVariate() {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("server control variate still zero after a training round")
+	}
+}
+
+// TestFedNovaHeterogeneousPaceDiverges is the sanity inverse of the
+// neutrality tests: once clients run different local step counts, FedNova
+// must NOT equal FedAvg (otherwise the normalization is dead code).
+func TestFedNovaHeterogeneousPaceDiverges(t *testing.T) {
+	scale := func(i int) int { return 1 + i%3 }
+	base := runAlgRounds(t, FedAvg{}, 2, scale)
+	nova := runAlgRounds(t, FedNova{}, 2, scale)
+	if bitsEqual(base[1], nova[1]) {
+		t.Fatal("fednova with heterogeneous pace is identical to fedavg")
+	}
+}
+
+// algStub is a Participant returning a canned update with explicit step
+// counts and aux vectors, for pinning the aggregation formulas.
+type algStub struct {
+	id     string
+	params []float64
+	n      int
+	steps  int
+	aux    []float64
+}
+
+func (p *algStub) ID() string                        { return p.id }
+func (p *algStub) TMinFor(jobs int) (float64, error) { return 1, nil }
+func (p *algStub) Round(req RoundRequest) (RoundResponse, error) {
+	return RoundResponse{
+		ClientID:    p.id,
+		Params:      append([]float64(nil), p.params...),
+		NumExamples: p.n,
+		Steps:       p.steps,
+		Aux:         append([]float64(nil), p.aux...),
+		Report:      core.RoundReport{Round: req.Round, Jobs: req.Jobs, DeadlineMet: true},
+	}, nil
+}
+
+func algStubResponses(t *testing.T, stubs []*algStub, round, jobs int) []RoundResponse {
+	t.Helper()
+	out := make([]RoundResponse, len(stubs))
+	for i, s := range stubs {
+		r, err := s.Round(RoundRequest{Round: round, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestFedNovaNormalizedCommit pins the normalized-averaging formula on a
+// hand-computed case and checks the live streaming fold against the batch
+// reference bit for bit.
+func TestFedNovaNormalizedCommit(t *testing.T) {
+	const jobs = 4
+	stubs := []*algStub{
+		{id: "a", params: []float64{1, 0}, n: 10, steps: 4},
+		{id: "b", params: []float64{0, 1}, n: 30, steps: 8},
+	}
+	srv, err := NewServer(ServerConfig{
+		InitialParams: []float64{0, 0}, Jobs: jobs, DeadlineRatio: 2, Seed: 1,
+		Aggregator: FedNova{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stubs {
+		srv.Register(s)
+	}
+	if _, err := srv.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.GlobalParams()
+	// sw = 10·(4/4) + 30·(4/8) = 25, sn = 40, snt = 10·4 + 30·8 = 280,
+	// τ_eff = 7, S = [10, 15]; x⁺ = 0 + 7·S/(4·40) = [0.4375, 0.65625] —
+	// every operation exact in binary64.
+	want := []float64{0.4375, 0.65625}
+	if !bitsEqual(got, want) {
+		t.Fatalf("fednova commit = %v, want %v", got, want)
+	}
+	batch, err := BatchAggregate(FedNova{}, []float64{0, 0}, algStubResponses(t, stubs, 1, jobs), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(got, batch) {
+		t.Fatalf("streaming fold %v != batch reference %v", got, batch)
+	}
+}
+
+// TestScaffoldCommitUpdatesVariate pins SCAFFOLD's server-side update: model
+// slots commit as the example-weighted average, and the control variate moves
+// by the mean of the survivors' deltas.
+func TestScaffoldCommitUpdatesVariate(t *testing.T) {
+	const jobs = 4
+	stubs := []*algStub{
+		{id: "a", params: []float64{2, 0}, n: 10, steps: 4, aux: []float64{1, -1}},
+		{id: "b", params: []float64{0, 2}, n: 30, steps: 4, aux: []float64{3, 1}},
+	}
+	agg := NewScaffold()
+	srv, err := NewServer(ServerConfig{
+		InitialParams: []float64{0, 0}, Jobs: jobs, DeadlineRatio: 2, Seed: 1,
+		Aggregator: agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stubs {
+		srv.Register(s)
+	}
+	if _, err := srv.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := srv.GlobalParams(), []float64{0.5, 1.5}; !bitsEqual(got, want) {
+		t.Fatalf("scaffold commit = %v, want %v", got, want)
+	}
+	if got, want := agg.ControlVariate(), []float64{2, 0}; !bitsEqual(got, want) {
+		t.Fatalf("server variate = %v, want %v", got, want)
+	}
+	// The batch reference replayed on a clone must match without disturbing
+	// the live state.
+	batch, err := BatchAggregate(NewScaffold(), []float64{0, 0}, algStubResponses(t, stubs, 1, jobs), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(batch, []float64{0.5, 1.5}) {
+		t.Fatalf("batch reference = %v", batch)
+	}
+}
+
+// TestScaffoldAuxMismatchRoundFatal: a client shipping the wrong number of
+// control-variate deltas is an aggregation-fatal validation failure, like a
+// wrong-length parameter vector.
+func TestScaffoldAuxMismatchRoundFatal(t *testing.T) {
+	stubs := []*algStub{
+		{id: "a", params: []float64{1, 1}, n: 10, steps: 4, aux: []float64{1}},
+	}
+	srv, err := NewServer(ServerConfig{
+		InitialParams: []float64{0, 0}, Jobs: 4, DeadlineRatio: 2, Seed: 1,
+		Aggregator: NewScaffold(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(stubs[0])
+	if _, err := srv.RunRound(); err == nil || !strings.Contains(err.Error(), "control-variate") {
+		t.Fatalf("mismatched aux error = %v", err)
+	}
+}

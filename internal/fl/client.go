@@ -29,6 +29,23 @@ type Client struct {
 	cursor      int
 	totalEnergy float64
 	sink        obs.Sink
+
+	// stepScale is how many optimization steps the client runs per job — its
+	// local pace multiplier; 1 is the nominal pace.
+	stepScale int
+	// Round-scoped aggregation-protocol state, installed by BeginRound.
+	// prox is the FedProx μ; globalRef snapshots the round's incoming global
+	// model (proximal anchor and SCAFFOLD reference); ctlServer/ctlLocal are
+	// the SCAFFOLD control variates c and c_i, and corr their difference
+	// c − c_i — nil whenever it is identically zero, so the correction loop
+	// is skipped and a zero-variate round trains bitwise like FedAvg.
+	prox       float64
+	globalRef  []float64
+	ctlServer  []float64
+	ctlLocal   []float64
+	corr       []float64
+	scaffold   bool
+	roundSteps int
 }
 
 // SetSink installs a telemetry sink on the client and, when the pace
@@ -54,6 +71,10 @@ type ClientConfig struct {
 	Noise      device.NoiseModel
 	Seed       int64
 	Clock      *simclock.Sim // optional; a fresh clock is created if nil
+	// StepScale is the client's local pace multiplier: optimization steps
+	// run per job. 0 means 1 (the nominal pace). Heterogeneous values across
+	// a fleet reproduce the variable local-step regime FedNova normalizes.
+	StepScale int
 }
 
 // NewClient validates the configuration and builds a client.
@@ -73,6 +94,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	batches, err := ml.Batches(cfg.Data, cfg.BatchSize)
 	if err != nil {
 		return nil, fmt.Errorf("fl: client %q: %w", cfg.ID, err)
+	}
+	if cfg.StepScale < 0 {
+		return nil, fmt.Errorf("fl: client %q step scale %d", cfg.ID, cfg.StepScale)
+	}
+	stepScale := cfg.StepScale
+	if stepScale == 0 {
+		stepScale = 1
 	}
 	noise := cfg.Noise
 	if noise == (device.NoiseModel{}) {
@@ -94,6 +122,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		controller: cfg.Controller,
 		lr:         cfg.LearnRate,
 		sink:       obs.Nop,
+		stepScale:  stepScale,
 	}, nil
 }
 
@@ -128,6 +157,76 @@ func (c *Client) SetParams(params []float64) error {
 	return nil
 }
 
+// BeginRound installs the round's global parameters and the aggregation
+// protocol the request names: the FedProx proximal anchor, or the SCAFFOLD
+// server control variate. Corrections that are identically zero (μ = 0, or
+// c − c_i = 0 on a fresh SCAFFOLD round) are disabled outright, so such
+// rounds train bitwise-identically to plain FedAvg.
+func (c *Client) BeginRound(req RoundRequest) error {
+	if err := c.SetParams(req.Params); err != nil {
+		return err
+	}
+	dim := len(req.Params)
+	c.prox, c.corr, c.scaffold = 0, nil, false
+	switch req.Alg {
+	case AlgFedProx:
+		if req.Prox < 0 {
+			return fmt.Errorf("fl: client %q: proximal μ %v", c.id, req.Prox)
+		}
+		c.prox = req.Prox
+		if c.prox > 0 {
+			c.globalRef = append(c.globalRef[:0], req.Params...)
+		}
+	case AlgScaffold:
+		if len(req.Aux) != dim {
+			return fmt.Errorf("fl: client %q: control variate has %d dims, model has %d", c.id, len(req.Aux), dim)
+		}
+		c.scaffold = true
+		c.globalRef = append(c.globalRef[:0], req.Params...)
+		c.ctlServer = append(c.ctlServer[:0], req.Aux...)
+		if len(c.ctlLocal) != dim {
+			c.ctlLocal = make([]float64, dim)
+		}
+		zero := true
+		for j := range c.ctlServer {
+			if c.ctlServer[j] != c.ctlLocal[j] {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			if len(c.corr) != dim {
+				c.corr = make([]float64, dim)
+			} else {
+				c.corr = c.corr[:dim]
+			}
+			for j := range c.corr {
+				c.corr[j] = c.ctlServer[j] - c.ctlLocal[j]
+			}
+		}
+	}
+	return nil
+}
+
+// FinishRound attaches the client's protocol return to an outgoing response:
+// the local step count every round, plus — under SCAFFOLD — the
+// control-variate delta Δc_i = −c + (x − y_i)/(τ·η) (option II of
+// Karimireddy et al.), with the local variate updated in place.
+func (c *Client) FinishRound(resp *RoundResponse) {
+	resp.Steps = c.roundSteps
+	if !c.scaffold || c.roundSteps <= 0 {
+		return
+	}
+	p := c.model.Params()
+	inv := 1 / (float64(c.roundSteps) * c.lr)
+	delta := make([]float64, len(p))
+	for j := range p {
+		delta[j] = -c.ctlServer[j] + (c.globalRef[j]-p[j])*inv
+		c.ctlLocal[j] += delta[j]
+	}
+	resp.Aux = delta
+}
+
 // Params returns a copy of the local model parameters (model upload).
 func (c *Client) Params() []float64 {
 	p := c.model.Params()
@@ -137,14 +236,22 @@ func (c *Client) Params() []float64 {
 }
 
 // executor adapts one training job to core.Executor: it trains the next
-// minibatch for real, then charges the simulated hardware cost of running it
-// under the requested DVFS configuration and advances the virtual clock.
+// minibatch(es) for real — stepScale optimization steps per job, each
+// followed by any active protocol correction — then charges the simulated
+// hardware cost of running the job under the requested DVFS configuration
+// and advances the virtual clock.
 func (c *Client) executor() core.Executor {
 	return core.ExecutorFunc(func(cfg device.Config) (core.JobResult, error) {
-		batch := c.batches[c.cursor%len(c.batches)]
-		c.cursor++
-		if _, err := ml.TrainStep(c.model, batch, c.lr); err != nil {
-			return core.JobResult{}, fmt.Errorf("fl: client %q train step: %w", c.id, err)
+		for s := 0; s < c.stepScale; s++ {
+			batch := c.batches[c.cursor%len(c.batches)]
+			c.cursor++
+			if _, err := ml.TrainStep(c.model, batch, c.lr); err != nil {
+				return core.JobResult{}, fmt.Errorf("fl: client %q train step: %w", c.id, err)
+			}
+			c.roundSteps++
+			if c.prox > 0 || c.corr != nil {
+				c.applyStepCorrections()
+			}
 		}
 		trueLat, err := c.dev.Latency(c.workload, cfg)
 		if err != nil {
@@ -159,6 +266,25 @@ func (c *Client) executor() core.Executor {
 	})
 }
 
+// applyStepCorrections applies the round's per-step protocol terms to the
+// replica after an SGD step: the FedProx proximal pull toward the round's
+// global model, and the SCAFFOLD variate correction −η·(c − c_i). Callers
+// skip the call when both are inactive, keeping the nominal path untouched.
+func (c *Client) applyStepCorrections() {
+	p := c.model.Params()
+	if c.prox > 0 {
+		k := c.lr * c.prox
+		for j, g := range c.globalRef {
+			p[j] -= k * (p[j] - g)
+		}
+	}
+	if c.corr != nil {
+		for j, d := range c.corr {
+			p[j] -= c.lr * d
+		}
+	}
+}
+
 // TrainRound runs one FL round of `jobs` minibatch jobs under the round
 // deadline, driven by the client's pace controller.
 func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport, error) {
@@ -171,6 +297,7 @@ func (c *Client) TrainRound(round, jobs int, deadline float64) (core.RoundReport
 // trace each local span belongs to.
 func (c *Client) TrainRoundCtx(round, jobs int, deadline float64, tc obs.TraceContext) (core.RoundReport, error) {
 	defer c.sink.Span(obs.SpanClientRound, traceLabels(tc)...)()
+	c.roundSteps = 0
 	rep, err := c.controller.RunRound(jobs, deadline, c.executor())
 	if err != nil {
 		return core.RoundReport{}, fmt.Errorf("fl: client %q round %d: %w", c.id, round, err)

@@ -8,12 +8,19 @@ package fl
 //
 //	offset  size  field
 //	0       4     magic "BFL1" (version is part of the magic)
-//	4       1     flags: bit0 payload gzipped, bit1 float32-narrowed
+//	4       1     flags: bit0 payload gzipped, bit1 float32-narrowed,
+//	              bit3 aux vector section present
 //	5       4     uint32 LE: metadata length M
 //	9       M     metadata (JSON: everything except Params)
 //	9+M     4     uint32 LE: parameter count N
 //	13+M    4     uint32 LE: payload length P in bytes
 //	17+M    P     parameter payload, little-endian IEEE-754
+//
+// With flags bit3 set, a second self-describing vector section follows the
+// parameter payload — the algorithm auxiliary vector (SCAFFOLD control
+// variates): 1 byte of section flags (gzip/f32 only), then the same
+// count/length/payload triplet. Aux-less frames are byte-identical to the
+// pre-aux format.
 //
 // Two payload transforms, both lossless and both negotiated per frame by the
 // encoder alone (the flags tell the decoder everything):
@@ -70,6 +77,12 @@ var ErrCorruptFrame = errors.New("fl: corrupt frame")
 const (
 	flagGzip byte = 1 << 0 // payload section is gzip-compressed
 	flagF32  byte = 1 << 1 // parameters stored as float32 (exact)
+	// flagAux marks a frame carrying a second vector section after the
+	// parameter payload — the algorithm auxiliary vector (SCAFFOLD control
+	// variates). The section is self-describing: a 1-byte section flag
+	// (gzip/f32, negotiated independently of the main payload) followed by
+	// the same count/length/payload layout.
+	flagAux byte = 1 << 3
 
 	// gzipThreshold is the raw payload size in bytes at which the encoder
 	// switches gzip on. Below it the ~20-byte gzip framing and the CPU cost
@@ -92,6 +105,8 @@ type roundRequestMeta struct {
 	Deadline float64 `json:"deadlineSeconds"`
 	TraceID  string  `json:"traceId,omitempty"`
 	SpanID   string  `json:"spanId,omitempty"`
+	Alg      string  `json:"alg,omitempty"`
+	Prox     float64 `json:"prox,omitempty"`
 }
 
 // roundResponseMeta is RoundResponse minus the parameter vector.
@@ -100,6 +115,7 @@ type roundResponseMeta struct {
 	NumExamples int               `json:"numExamples"`
 	Report      core.RoundReport  `json:"report"`
 	Spans       []obs.SpanSummary `json:"spans,omitempty"`
+	Steps       int               `json:"steps,omitempty"`
 }
 
 // Pooled scratch: frame assembly and payload staging reuse buffers across
@@ -158,8 +174,62 @@ func f32Exact(params []float64) bool {
 	return true
 }
 
-// encodeFrame writes one frame carrying meta and params to w.
-func encodeFrame(w io.Writer, meta any, params []float64) error {
+// stageVec encodes one vector section into its wire form: the section flags
+// (f32 narrowing, gzip) and the staged payload bytes. release returns the
+// pooled scratch backing payload; callers must not touch payload after it.
+func stageVec(vec []float64) (flags byte, payload []byte, release func(), err error) {
+	elem := 8
+	if f32Exact(vec) {
+		flags |= flagF32
+		elem = 4
+	}
+	raw := getBytes(len(vec) * elem)
+	if elem == 4 {
+		for i, v := range vec {
+			binary.LittleEndian.PutUint32((*raw)[i*4:], math.Float32bits(float32(v)))
+		}
+	} else {
+		for i, v := range vec {
+			binary.LittleEndian.PutUint64((*raw)[i*8:], math.Float64bits(v))
+		}
+	}
+	payload = *raw
+	if len(payload) >= gzipThreshold {
+		comp := getBuf()
+		zw := gzipWriterPool.Get().(*gzip.Writer)
+		zw.Reset(comp)
+		_, werr := zw.Write(payload)
+		cerr := zw.Close()
+		gzipWriterPool.Put(zw)
+		if werr != nil || cerr != nil {
+			putBuf(comp)
+			putBytes(raw)
+			return 0, nil, func() {}, fmt.Errorf("fl: gzip frame payload: %w", firstErr(werr, cerr))
+		}
+		flags |= flagGzip
+		payload = comp.Bytes()
+		return flags, payload, func() { putBuf(comp); putBytes(raw) }, nil
+	}
+	return flags, payload, func() { putBytes(raw) }, nil
+}
+
+// writeVecSection writes a staged vector section: count, payload length,
+// payload. scratch must have ≥ 8 bytes for the two length fields.
+func writeVecSection(w io.Writer, scratch []byte, count int, payload []byte) error {
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(count))
+	binary.LittleEndian.PutUint32(scratch[4:8], uint32(len(payload)))
+	if _, err := w.Write(scratch[:8]); err != nil {
+		return fmt.Errorf("fl: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("fl: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// encodeFrame writes one frame carrying meta, params and an optional aux
+// vector to w. Aux-less frames are byte-identical to the pre-aux format.
+func encodeFrame(w io.Writer, meta any, params, aux []float64) error {
 	mb, err := json.Marshal(meta)
 	if err != nil {
 		return fmt.Errorf("fl: encode frame meta: %w", err)
@@ -167,43 +237,17 @@ func encodeFrame(w io.Writer, meta any, params []float64) error {
 	if len(mb) > maxMetaBytes {
 		return fmt.Errorf("fl: frame meta %d bytes exceeds %d", len(mb), maxMetaBytes)
 	}
-	if len(params) > maxFrameParams {
-		return fmt.Errorf("fl: %d params exceed frame limit %d", len(params), maxFrameParams)
+	if len(params) > maxFrameParams || len(aux) > maxFrameParams {
+		return fmt.Errorf("fl: %d params exceed frame limit %d", max(len(params), len(aux)), maxFrameParams)
 	}
 
-	flags := byte(0)
-	elem := 8
-	if f32Exact(params) {
-		flags |= flagF32
-		elem = 4
+	flags, payload, release, err := stageVec(params)
+	defer release()
+	if err != nil {
+		return err
 	}
-	raw := getBytes(len(params) * elem)
-	defer putBytes(raw)
-	if elem == 4 {
-		for i, v := range params {
-			binary.LittleEndian.PutUint32((*raw)[i*4:], math.Float32bits(float32(v)))
-		}
-	} else {
-		for i, v := range params {
-			binary.LittleEndian.PutUint64((*raw)[i*8:], math.Float64bits(v))
-		}
-	}
-
-	payload := *raw
-	var comp *bytes.Buffer
-	if len(payload) >= gzipThreshold {
-		comp = getBuf()
-		defer putBuf(comp)
-		zw := gzipWriterPool.Get().(*gzip.Writer)
-		zw.Reset(comp)
-		_, werr := zw.Write(payload)
-		cerr := zw.Close()
-		gzipWriterPool.Put(zw)
-		if werr != nil || cerr != nil {
-			return fmt.Errorf("fl: gzip frame payload: %w", firstErr(werr, cerr))
-		}
-		flags |= flagGzip
-		payload = comp.Bytes()
+	if len(aux) > 0 {
+		flags |= flagAux
 	}
 
 	var hdr [17]byte
@@ -216,15 +260,22 @@ func encodeFrame(w io.Writer, meta any, params []float64) error {
 	if _, err := w.Write(mb); err != nil {
 		return fmt.Errorf("fl: write frame meta: %w", err)
 	}
-	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(params)))
-	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(payload)))
-	if _, err := w.Write(hdr[9:17]); err != nil {
+	if err := writeVecSection(w, hdr[9:17], len(params), payload); err != nil {
+		return err
+	}
+	if flags&flagAux == 0 {
+		return nil
+	}
+	aflags, apayload, arelease, err := stageVec(aux)
+	defer arelease()
+	if err != nil {
+		return err
+	}
+	hdr[8] = aflags
+	if _, err := w.Write(hdr[8:9]); err != nil {
 		return fmt.Errorf("fl: write frame header: %w", err)
 	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("fl: write frame payload: %w", err)
-	}
-	return nil
+	return writeVecSection(w, hdr[9:17], len(aux), apayload)
 }
 
 // jsonMarshalMeta marshals a frame metadata section with the size cap applied.
@@ -255,35 +306,10 @@ func firstErr(a, b error) error {
 	return b
 }
 
-// decodeFrame reads one frame from r, unmarshals the metadata into meta and
-// returns the parameter vector. Truncated, oversized or malformed frames
-// return an error wrapping ErrCorruptFrame; decodeFrame never panics on
-// hostile input.
-func decodeFrame(r io.Reader, meta any) ([]float64, error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: read header: %w", ErrCorruptFrame, err)
-	}
-	if !bytes.Equal(hdr[:4], frameMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptFrame, hdr[:4])
-	}
-	flags := hdr[4]
-	if flags&^(flagGzip|flagF32) != 0 {
-		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptFrame, flags)
-	}
-	metaLen := binary.LittleEndian.Uint32(hdr[5:9])
-	if metaLen > maxMetaBytes {
-		return nil, fmt.Errorf("%w: meta %d bytes exceeds %d", ErrCorruptFrame, metaLen, maxMetaBytes)
-	}
-	mb := getBytes(int(metaLen))
-	defer putBytes(mb)
-	if _, err := io.ReadFull(r, *mb); err != nil {
-		return nil, fmt.Errorf("%w: read meta: %w", ErrCorruptFrame, err)
-	}
-	if err := json.Unmarshal(*mb, meta); err != nil {
-		return nil, fmt.Errorf("%w: decode meta: %w", ErrCorruptFrame, err)
-	}
-
+// readVec reads one vector section (count, payload length, payload) under
+// the given section flags, validating every declared length before any
+// allocation.
+func readVec(r io.Reader, flags byte) ([]float64, error) {
 	var tail [8]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
 		return nil, fmt.Errorf("%w: read header: %w", ErrCorruptFrame, err)
@@ -349,12 +375,62 @@ func decodeFrame(r io.Reader, meta any) ([]float64, error) {
 	return out, nil
 }
 
+// decodeFrame reads one frame from r, unmarshals the metadata into meta and
+// returns the parameter vector plus the aux vector (nil unless the frame set
+// flagAux). Truncated, oversized or malformed frames return an error
+// wrapping ErrCorruptFrame; decodeFrame never panics on hostile input.
+func decodeFrame(r io.Reader, meta any) ([]float64, []float64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: read header: %w", ErrCorruptFrame, err)
+	}
+	if !bytes.Equal(hdr[:4], frameMagic[:]) {
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptFrame, hdr[:4])
+	}
+	flags := hdr[4]
+	if flags&^(flagGzip|flagF32|flagAux) != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptFrame, flags)
+	}
+	metaLen := binary.LittleEndian.Uint32(hdr[5:9])
+	if metaLen > maxMetaBytes {
+		return nil, nil, fmt.Errorf("%w: meta %d bytes exceeds %d", ErrCorruptFrame, metaLen, maxMetaBytes)
+	}
+	mb := getBytes(int(metaLen))
+	defer putBytes(mb)
+	if _, err := io.ReadFull(r, *mb); err != nil {
+		return nil, nil, fmt.Errorf("%w: read meta: %w", ErrCorruptFrame, err)
+	}
+	if err := json.Unmarshal(*mb, meta); err != nil {
+		return nil, nil, fmt.Errorf("%w: decode meta: %w", ErrCorruptFrame, err)
+	}
+
+	params, err := readVec(r, flags)
+	if err != nil {
+		return nil, nil, err
+	}
+	var aux []float64
+	if flags&flagAux != 0 {
+		var ab [1]byte
+		if _, err := io.ReadFull(r, ab[:]); err != nil {
+			return nil, nil, fmt.Errorf("%w: read aux header: %w", ErrCorruptFrame, err)
+		}
+		if ab[0]&^(flagGzip|flagF32) != 0 {
+			return nil, nil, fmt.Errorf("%w: unknown aux flags %#x", ErrCorruptFrame, ab[0])
+		}
+		if aux, err = readVec(r, ab[0]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return params, aux, nil
+}
+
 // EncodeRoundRequest writes req to w as one binary frame.
 func EncodeRoundRequest(w io.Writer, req RoundRequest) error {
 	return encodeFrame(w, roundRequestMeta{
 		Round: req.Round, Jobs: req.Jobs, Deadline: req.Deadline,
 		TraceID: req.Trace.TraceID, SpanID: req.Trace.SpanID,
-	}, req.Params)
+		Alg: req.Alg, Prox: req.Prox,
+	}, req.Params, req.Aux)
 }
 
 // DecodeRoundRequest reads one binary frame from r. Trace fields are decoded
@@ -362,13 +438,14 @@ func EncodeRoundRequest(w io.Writer, req RoundRequest) error {
 // against hostile values is the handler's job via TraceContext.Sanitized.
 func DecodeRoundRequest(r io.Reader) (RoundRequest, error) {
 	var meta roundRequestMeta
-	params, err := decodeFrame(r, &meta)
+	params, aux, err := decodeFrame(r, &meta)
 	if err != nil {
 		return RoundRequest{}, err
 	}
 	return RoundRequest{
 		Round: meta.Round, Params: params, Jobs: meta.Jobs, Deadline: meta.Deadline,
 		Trace: obs.TraceContext{TraceID: meta.TraceID, SpanID: meta.SpanID},
+		Alg:   meta.Alg, Prox: meta.Prox, Aux: aux,
 	}, nil
 }
 
@@ -376,19 +453,19 @@ func DecodeRoundRequest(r io.Reader) (RoundRequest, error) {
 func EncodeRoundResponse(w io.Writer, resp RoundResponse) error {
 	return encodeFrame(w, roundResponseMeta{
 		ClientID: resp.ClientID, NumExamples: resp.NumExamples,
-		Report: resp.Report, Spans: resp.Spans,
-	}, resp.Params)
+		Report: resp.Report, Spans: resp.Spans, Steps: resp.Steps,
+	}, resp.Params, resp.Aux)
 }
 
 // DecodeRoundResponse reads one binary frame from r.
 func DecodeRoundResponse(r io.Reader) (RoundResponse, error) {
 	var meta roundResponseMeta
-	params, err := decodeFrame(r, &meta)
+	params, aux, err := decodeFrame(r, &meta)
 	if err != nil {
 		return RoundResponse{}, err
 	}
 	return RoundResponse{
 		ClientID: meta.ClientID, Params: params, NumExamples: meta.NumExamples,
-		Report: meta.Report, Spans: meta.Spans,
+		Report: meta.Report, Spans: meta.Spans, Steps: meta.Steps, Aux: aux,
 	}, nil
 }

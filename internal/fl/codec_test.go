@@ -384,6 +384,36 @@ func FuzzCodec(f *testing.F) {
 			f.Add(flipped)
 		}
 	}
+	// Aux-section seeds: SCAFFOLD control-variate frames (plain, f32, gzip)
+	// plus truncations and bit flips landing inside the aux section, steering
+	// the fuzzer at the second vector section's structural checks.
+	{
+		bigAux := make([]float64, gzipThreshold/8+16)
+		for i := range bigAux {
+			bigAux[i] = 0.1 + float64(i%7)
+		}
+		for _, aux := range [][]float64{{0.25, -0.5}, {0.5, 1.25, -3}, bigAux} {
+			var buf bytes.Buffer
+			if err := EncodeRoundRequest(&buf, auxRequest([]float64{1.5, 0.1}, aux)); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+		}
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, auxRequest([]float64{1, 2}, []float64{0.1, -0.2, 0.3})); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		off := auxSectionOffset(frame)
+		f.Add(frame[:off+1])          // cut after the aux flags byte
+		f.Add(frame[:off+5])          // cut inside the aux count
+		f.Add(frame[:len(frame)-1])   // aux payload one byte short
+		for _, at := range []int{4, off, off + 1, off + 9, len(frame) - 1} {
+			flipped := bytes.Clone(frame)
+			flipped[at] ^= 0x01
+			f.Add(flipped)
+		}
+	}
 	// Hostile trace-context seeds: the codec is deliberately faithful to
 	// whatever trace strings were framed (sanitization is the HTTP handler's
 	// job), so an oversized or injection-laden trace must still round-trip
@@ -423,5 +453,188 @@ func FuzzCodec(f *testing.F) {
 		if !paramsEqual(again.Params, req.Params) {
 			t.Fatalf("param drift after round trip")
 		}
+		if again.Alg != req.Alg || again.Prox != req.Prox {
+			t.Fatalf("alg meta drift: %q/%v vs %q/%v", again.Alg, again.Prox, req.Alg, req.Prox)
+		}
+		if !paramsEqual(again.Aux, req.Aux) {
+			t.Fatalf("aux drift after round trip")
+		}
 	})
+}
+
+// auxRequest is sampleRequest carrying the SCAFFOLD protocol fields.
+func auxRequest(params, aux []float64) RoundRequest {
+	req := sampleRequest(params)
+	req.Alg = AlgScaffold
+	req.Prox = 0.25
+	req.Aux = aux
+	return req
+}
+
+// TestCodecAuxRoundTrip drives the control-variate payload section through
+// every encoder path — f64, f32-narrowed, gzip-compressed, specials — and
+// checks the aux vector and the new meta fields survive bit for bit.
+func TestCodecAuxRoundTrip(t *testing.T) {
+	big := make([]float64, gzipThreshold/8+32)
+	for i := range big {
+		big[i] = 0.1 + float64(i%9)
+	}
+	cases := map[string][]float64{
+		"f64":      {1.0 / 3.0, -math.Pi, 2.5e-310},
+		"f32exact": {0.5, -1.25, 3, 0},
+		"specials": {math.NaN(), math.Inf(-1), math.Copysign(0, -1)},
+		"gzip":     big,
+	}
+	for name, aux := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			req := auxRequest([]float64{1.5, 0.1}, aux)
+			if err := EncodeRoundRequest(&buf, req); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Bytes()[4]&flagAux == 0 {
+				t.Fatal("aux-carrying frame did not set flagAux")
+			}
+			got, err := DecodeRoundRequest(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Alg != req.Alg || got.Prox != req.Prox {
+				t.Errorf("alg meta mismatch: %q/%v vs %q/%v", got.Alg, got.Prox, req.Alg, req.Prox)
+			}
+			if !paramsEqual(got.Params, req.Params) || !paramsEqual(got.Aux, req.Aux) {
+				t.Error("vector sections corrupted")
+			}
+
+			buf.Reset()
+			resp := sampleResponse([]float64{2.5})
+			resp.Steps = 13
+			resp.Aux = aux
+			if err := EncodeRoundResponse(&buf, resp); err != nil {
+				t.Fatal(err)
+			}
+			gotR, err := DecodeRoundResponse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotR.Steps != resp.Steps {
+				t.Errorf("steps = %d, want %d", gotR.Steps, resp.Steps)
+			}
+			if !paramsEqual(gotR.Aux, resp.Aux) {
+				t.Error("response aux corrupted")
+			}
+		})
+	}
+}
+
+// TestCodecAuxlessFrameUnchanged pins backward compatibility: a frame with no
+// aux vector must not set flagAux and must end exactly where the pre-aux
+// format ended (no trailing section).
+func TestCodecAuxlessFrameUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRoundRequest(&buf, sampleRequest([]float64{1.5, 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	f := buf.Bytes()
+	if f[4]&flagAux != 0 {
+		t.Fatal("aux-less frame set flagAux")
+	}
+	metaLen := binary.LittleEndian.Uint32(f[5:9])
+	payloadLen := binary.LittleEndian.Uint32(f[13+metaLen:])
+	if want := int(17 + metaLen + payloadLen); len(f) != want {
+		t.Fatalf("aux-less frame is %d bytes, want %d", len(f), want)
+	}
+}
+
+// auxSectionOffset locates the aux section flag byte of an encoded frame.
+func auxSectionOffset(f []byte) int {
+	metaLen := binary.LittleEndian.Uint32(f[5:9])
+	payloadLen := binary.LittleEndian.Uint32(f[13+metaLen:])
+	return int(17 + metaLen + payloadLen)
+}
+
+// TestCodecAuxMalformed damages the aux section specifically — truncation at
+// every offset, unknown section flags, count/length lies — and requires the
+// typed corruption error every time.
+func TestCodecAuxMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := EncodeRoundRequest(&buf, auxRequest([]float64{1, 2}, []float64{0.1, -0.2, 0.3})); err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Clone(buf.Bytes())
+	}
+	full := valid()
+	off := auxSectionOffset(full)
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := off; cut < len(full); cut++ {
+			_, err := DecodeRoundRequest(bytes.NewReader(full[:cut]))
+			wantCorruptFrame(t, err, fmt.Sprintf("aux truncation at %d/%d", cut, len(full)))
+		}
+	})
+	t.Run("unknown section flags", func(t *testing.T) {
+		f := valid()
+		f[auxSectionOffset(f)] |= flagAux // aux flags allow only gzip|f32
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "reserved aux section flag")
+	})
+	t.Run("oversized count claim", func(t *testing.T) {
+		f := valid()
+		binary.LittleEndian.PutUint32(f[auxSectionOffset(f)+1:], maxFrameParams+1)
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "oversized aux count")
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		f := valid()
+		binary.LittleEndian.PutUint32(f[auxSectionOffset(f)+5:], 7)
+		_, err := DecodeRoundRequest(bytes.NewReader(f))
+		wantCorruptFrame(t, err, "aux payload length lie")
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		// A flipped payload bit is undetectable without a checksum (the values
+		// are arbitrary floats) but must never panic, and structural bits
+		// (count, flags) are covered above. Flip and require decode to either
+		// fail typed or produce a same-shape vector.
+		f := valid()
+		f[auxSectionOffset(f)+9] ^= 0x40
+		req, err := DecodeRoundRequest(bytes.NewReader(f))
+		if err != nil {
+			wantCorruptFrame(t, err, "aux payload bit flip")
+		} else if len(req.Aux) != 3 {
+			t.Fatalf("bit flip changed aux shape: %d values", len(req.Aux))
+		}
+	})
+}
+
+// TestCodecAuxJSONFallback: the JSON transport path must round-trip the new
+// protocol fields too — JSON-only peers still speak SCAFFOLD.
+func TestCodecAuxJSONFallback(t *testing.T) {
+	req := auxRequest([]float64{1.5}, []float64{0.25, -0.5})
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotReq RoundRequest
+	if err := json.Unmarshal(b, &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Alg != req.Alg || gotReq.Prox != req.Prox || !paramsEqual(gotReq.Aux, req.Aux) {
+		t.Errorf("request JSON roundtrip: %+v vs %+v", gotReq, req)
+	}
+
+	resp := sampleResponse([]float64{1})
+	resp.Steps = 9
+	resp.Aux = []float64{0.125}
+	b, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotResp RoundResponse
+	if err := json.Unmarshal(b, &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.Steps != resp.Steps || !paramsEqual(gotResp.Aux, resp.Aux) {
+		t.Errorf("response JSON roundtrip: %+v vs %+v", gotResp, resp)
+	}
 }

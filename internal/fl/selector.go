@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -111,4 +112,116 @@ func (s *EnergyAwareSelector) Select(round int, pool []Participant, k int) []Par
 		selected = append(selected, p)
 	}
 	return selected
+}
+
+// BiasedSelector samples k participants without replacement with probability
+// proportional to a per-client weight — the availability/power-biased
+// participation regime of real fleets, where well-powered, frequently-online
+// devices are over-represented in every round. Deterministic per seed.
+type BiasedSelector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	weigh func(id string) float64
+
+	// Weight cache keyed by the pool's *contents*, not its length: the
+	// server hands Select a quarantine-filtered view of the pool, so a
+	// same-length slice can still be a different population (one client
+	// quarantined, another registered). Comparing the id sequence guarantees
+	// the weights are recomputed — and the sampling distribution
+	// renormalized over the survivors — whenever the pool shrinks, grows or
+	// rotates, never when it is merely re-presented.
+	ids     []string
+	weights []float64
+	// Per-call sampling scratch, reused across rounds.
+	w   []float64
+	idx []int
+}
+
+var _ Selector = (*BiasedSelector)(nil)
+
+// NewBiasedSelector builds a seeded weighted selector. weigh maps a client id
+// to its participation weight; non-positive, NaN or infinite weights exclude
+// the client from biased draws (it is still reachable through the
+// all-weights-zero uniform fallback).
+func NewBiasedSelector(seed int64, weigh func(id string) float64) *BiasedSelector {
+	return &BiasedSelector{rng: rand.New(rand.NewSource(seed)), weigh: weigh}
+}
+
+// refresh rebuilds the weight cache iff the pool's id sequence changed.
+func (s *BiasedSelector) refresh(pool []Participant) {
+	same := len(s.ids) == len(pool)
+	if same {
+		for i, p := range pool {
+			if s.ids[i] != p.ID() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	s.ids = s.ids[:0]
+	s.weights = s.weights[:0]
+	for _, p := range pool {
+		id := p.ID()
+		w := s.weigh(id)
+		if !(w > 0) || math.IsInf(w, 1) {
+			w = 0
+		}
+		s.ids = append(s.ids, id)
+		s.weights = append(s.weights, w)
+	}
+}
+
+// Select draws min(k, len(pool)) distinct participants, each draw
+// proportional to the remaining weights. When every remaining weight is zero
+// the draw falls back to uniform, so a degenerate weigh function can never
+// starve a round.
+func (s *BiasedSelector) Select(round int, pool []Participant, k int) []Participant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(pool)
+	if k <= 0 || k > n {
+		k = n
+	}
+	s.refresh(pool)
+
+	w := append(s.w[:0], s.weights...)
+	idx := s.idx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, i)
+	}
+	s.w, s.idx = w, idx
+
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	out := make([]Participant, 0, k)
+	rem := n
+	for len(out) < k {
+		pick := rem - 1
+		if total > 0 {
+			r := s.rng.Float64() * total
+			acc := 0.0
+			for i := 0; i < rem; i++ {
+				acc += w[i]
+				if r < acc {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = s.rng.Intn(rem)
+		}
+		out = append(out, pool[idx[pick]])
+		total -= w[pick]
+		if total < 0 {
+			total = 0
+		}
+		rem--
+		w[pick], idx[pick] = w[rem], idx[rem]
+	}
+	return out
 }

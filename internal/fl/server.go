@@ -30,6 +30,14 @@ type RoundRequest struct {
 	// rides both the X-Bofl-Trace header and the codec meta section, so every
 	// negotiated codec path carries it.
 	Trace obs.TraceContext `json:"trace"`
+	// Alg names the round's aggregation protocol (empty means AlgFedAvg);
+	// clients adjust their local objective accordingly.
+	Alg string `json:"alg,omitempty"`
+	// Prox is the FedProx proximal coefficient μ; 0 when unused.
+	Prox float64 `json:"prox,omitempty"`
+	// Aux is an algorithm-defined auxiliary vector — SCAFFOLD's server
+	// control variate c. Shared read-only across the round's dispatches.
+	Aux []float64 `json:"aux,omitempty"`
 }
 
 // RoundResponse is the client → server report (step 3 of Figure 1).
@@ -43,6 +51,13 @@ type RoundResponse struct {
 	// them under the attempt span so /v1/telemetry serves one stitched trace
 	// per round.
 	Spans []obs.SpanSummary `json:"spans,omitempty"`
+	// Steps is the number of local optimization steps the client actually ran
+	// this round; FedNova's normalized averaging weighs by it. 0 means the
+	// nominal job count (clients predating the field).
+	Steps int `json:"steps,omitempty"`
+	// Aux is the algorithm-defined auxiliary return — SCAFFOLD's
+	// control-variate delta Δc_i.
+	Aux []float64 `json:"aux,omitempty"`
 }
 
 // Participant abstracts a reachable FL client — in-process or across HTTP.
@@ -75,7 +90,7 @@ func (p *LocalParticipant) TMinFor(jobs int) (float64, error) { return p.Client.
 // reported back as span summaries (timed on this process's monotonic clock)
 // so the server can stitch them under the attempt span.
 func (p *LocalParticipant) Round(req RoundRequest) (RoundResponse, error) {
-	if err := p.Client.SetParams(req.Params); err != nil {
+	if err := p.Client.BeginRound(req); err != nil {
 		return RoundResponse{}, err
 	}
 	var spans []obs.SpanSummary
@@ -98,13 +113,15 @@ func (p *LocalParticipant) Round(req RoundRequest) (RoundResponse, error) {
 			Name: obs.SpanClientWindow, StartNs: t1.Sub(t0).Nanoseconds(), DurNs: time.Since(t1).Nanoseconds(),
 		})
 	}
-	return RoundResponse{
+	resp := RoundResponse{
 		ClientID:    p.Client.ID(),
 		Params:      p.Client.Params(),
 		NumExamples: p.Client.NumExamples(),
 		Report:      rep,
 		Spans:       spans,
-	}, nil
+	}
+	p.Client.FinishRound(&resp)
+	return resp, nil
 }
 
 // Selector chooses the round's participants from the registered pool.
@@ -206,10 +223,13 @@ type ServerConfig struct {
 	// both paths accumulate exactly, the committed model is bit-identical
 	// either way.
 	Tree *TreeConfig
+	// Aggregator is the aggregation strategy (see aggregator.go); nil means
+	// FedAvg, the legacy hardcoded fold.
+	Aggregator Aggregator
 }
 
 // Server orchestrates federated rounds: selection, deadline assignment,
-// dispatch, and FedAvg aggregation. Dispatch is bounded by the shared
+// dispatch, and pluggable aggregation. Dispatch is bounded by the shared
 // internal/parallel worker pool and updates are folded into a single reused
 // accumulator as they arrive, so a round's memory footprint is O(params) —
 // independent of the number of selected participants.
@@ -231,12 +251,18 @@ type Server struct {
 	eligible      []Participant
 	eligibleStale bool
 
+	// agg is the aggregation strategy; never nil after NewServer.
+	agg Aggregator
 	// acc is the flat-fold exact accumulator; tree is the tier spine. Each is
-	// built on first use and reused across rounds.
+	// built on first use and reused across rounds. Both span the extended
+	// fold vector: the model dims plus the strategy's statistic slots.
 	acc  *exact.Vec
 	tree *treeFold
-	// sum is commit scratch for the rounded exact totals.
-	sum []float64
+	// sum is commit scratch for the rounded exact totals; contrib is the
+	// per-response contribution scratch, written and folded strictly under
+	// the turnstile.
+	sum     []float64
+	contrib []float64
 }
 
 // SetSink installs a telemetry sink. Beyond orchestration metrics, the server
@@ -265,10 +291,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Tree.validate(); err != nil {
 		return nil, err
 	}
+	agg := cfg.Aggregator
+	if agg == nil {
+		agg = FedAvg{}
+	}
 	global := make([]float64, len(cfg.InitialParams))
 	copy(global, cfg.InitialParams)
 	return &Server{
 		cfg:         cfg,
+		agg:         agg,
 		global:      global,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		sink:        obs.Nop,
@@ -316,6 +347,10 @@ func (s *Server) Register(p Participant) {
 	s.eligibleStale = true
 }
 
+// Aggregator returns the server's aggregation strategy (FedAvg when the
+// config left it nil).
+func (s *Server) Aggregator() Aggregator { return s.agg }
+
 // GlobalParams returns a copy of the current global model parameters.
 func (s *Server) GlobalParams() []float64 {
 	out := make([]float64, len(s.global))
@@ -351,8 +386,8 @@ type RoundResult struct {
 
 // RunRound executes one full FL round: select participants, assign a
 // deadline (uniform in [T_min, ratio·T_min] of the slowest selected client,
-// §6.1), dispatch training in parallel, and FedAvg-aggregate the updates
-// weighted by local dataset size.
+// §6.1), dispatch training in parallel, and aggregate the updates with the
+// configured strategy (FedAvg by default, weighted by local dataset size).
 func (s *Server) RunRound() (RoundResult, error) {
 	if len(s.pool) == 0 {
 		return RoundResult{}, errors.New("fl: no registered participants")
@@ -430,20 +465,41 @@ func (s *Server) RunRound() (RoundResult, error) {
 	endExecute := s.sink.Span(obs.SpanFLExecute, tc.ChildLabels()...)
 	n := len(selected)
 	s.caller.resetBudget()
+	// The fold spans the extended vector: model dims plus the strategy's
+	// statistic slots, all accumulated exactly so tier partials and quorum
+	// renormalization treat them uniformly.
+	vecDim := len(s.global) + s.agg.ExtraDim(len(s.global))
+	if len(s.contrib) != vecDim {
+		s.contrib = make([]float64, vecDim)
+	}
 	var tree *treeFold
 	if s.cfg.Tree != nil {
-		if s.tree == nil || s.tree.dim != len(s.global) || s.tree.cfg != *s.cfg.Tree {
-			s.tree = newTreeFold(s, *s.cfg.Tree, len(s.global))
+		if s.tree == nil || s.tree.dim != vecDim || s.tree.cfg != *s.cfg.Tree {
+			s.tree = newTreeFold(s, *s.cfg.Tree, vecDim)
 		}
 		tree = s.tree
 		tree.reset(n, tc)
 	} else {
-		if s.acc == nil || s.acc.Dim() != len(s.global) {
-			s.acc = exact.NewVec(len(s.global))
+		if s.acc == nil || s.acc.Dim() != vecDim {
+			s.acc = exact.NewVec(vecDim)
 		} else {
 			s.acc.Reset()
 		}
 	}
+	// One Configure per round, before dispatch fans out: the strategy's
+	// request decoration (algorithm tag, μ, control variate) is
+	// round-constant, and calling it here keeps stateful strategies off the
+	// concurrent chunk goroutines. Params is only lent to Configure for its
+	// dimensionality — each dispatch gets its own private copy below.
+	proto := RoundRequest{
+		Round:    s.round,
+		Params:   s.global,
+		Jobs:     s.cfg.Jobs,
+		Deadline: deadline,
+		Trace:    tc,
+	}
+	s.agg.Configure(&proto)
+	proto.Params = nil
 	type slot struct {
 		resp        RoundResponse   // Params stripped after folding
 		err         error           // participant Round failure
@@ -470,13 +526,9 @@ func (s *Server) RunRound() (RoundResult, error) {
 				scratch = make([]float64, len(s.global))
 			}
 			copy(scratch, s.global)
-			resp, recs, err := s.caller.call(selected[i], RoundRequest{
-				Round:    s.round,
-				Params:   scratch,
-				Jobs:     s.cfg.Jobs,
-				Deadline: deadline,
-				Trace:    tc,
-			}, s.sink)
+			req := proto
+			req.Params = scratch
+			resp, recs, err := s.caller.call(selected[i], req, s.sink)
 
 			foldMu.Lock()
 			for nextFold != i {
@@ -520,16 +572,18 @@ func (s *Server) RunRound() (RoundResult, error) {
 							resp.ClientID, resp.NumExamples)
 					default:
 						w := int64(resp.NumExamples)
-						if tree != nil {
-							tree.fold(w, resp.Params)
+						if cerr := s.agg.Contribute(s.contrib, s.global, &resp, s.cfg.Jobs); cerr != nil {
+							slots[i].valErr = cerr
+						} else if tree != nil {
+							tree.fold(w, s.contrib)
 						} else {
-							s.acc.AddScaled(float64(w), resp.Params)
+							s.acc.Add(s.contrib)
 							totalWeight += w
 						}
 					}
 					endFold()
 				}
-				resp.Params = nil // the update now lives in the accumulator
+				resp.Params, resp.Aux = nil, nil // the update now lives in the accumulator
 				slots[i].resp = resp
 			}
 			if tree != nil {
@@ -654,22 +708,23 @@ func (s *Server) RunRound() (RoundResult, error) {
 	}
 
 	// Report phase: commit the deferred normalization — round the exact sums
-	// to float64 once, then divide by the integer survivor weight. Flat fold
-	// and tree root hold the same exact sums, so this commit is bit-identical
-	// on both paths. Nothing before this line mutated the global model, so a
-	// failed round leaves it untouched.
+	// to float64 once, then hand the totals (model slots plus statistic
+	// slots) to the strategy's Commit. Flat fold and tree root hold the same
+	// exact sums, so this commit is bit-identical on both paths. Nothing
+	// before this line mutated the global model, so a failed round leaves it
+	// untouched.
 	endReport := s.sink.Span(obs.SpanFLReport, tc.ChildLabels()...)
 	if totalWeight <= 0 {
 		endReport()
 		return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: zero aggregate weight", s.round))
 	}
-	if len(s.sum) != len(s.global) {
-		s.sum = make([]float64, len(s.global))
+	if len(s.sum) != vecDim {
+		s.sum = make([]float64, vecDim)
 	}
 	accVec.RoundTo(s.sum)
-	tw := float64(totalWeight)
-	for j := range s.global {
-		s.global[j] = s.sum[j] / tw
+	if err := s.agg.Commit(s.global, s.sum, s.cfg.Jobs); err != nil {
+		endReport()
+		return RoundResult{}, s.abortRound(tc, fmt.Errorf("fl: round %d: %w", s.round, err))
 	}
 	endReport()
 

@@ -150,11 +150,14 @@ func (f *treeFold) ensureTier(t int) *treeTier {
 	return f.tiers[t]
 }
 
-// fold streams one surviving leaf update into the open tier-0 group. Must be
-// called under the turnstile, in leaf index order.
-func (f *treeFold) fold(w int64, params []float64) {
+// fold streams one surviving leaf contribution into the open tier-0 group.
+// contrib is the aggregator-produced vector (weighted parameters plus the
+// strategy's statistic slots, already scaled); w is the integer example
+// weight, tracked for quorum accounting and the ledger. Must be called under
+// the turnstile, in leaf index order.
+func (f *treeFold) fold(w int64, contrib []float64) {
 	t0 := f.tiers[0]
-	t0.vec.AddScaled(float64(w), params)
+	t0.vec.Add(contrib)
 	t0.weight += w
 	t0.arrived++
 }

@@ -274,7 +274,9 @@ func TestTreeSpineMemoryBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	depth := int(math.Ceil(math.Log(float64(clients)) / math.Log(fanout)))
-	perAcc := exact.NewVec(dim).MemoryBytes()
+	// The spine accumulates the fold vector: model dims plus the
+	// aggregator's statistic slots.
+	perAcc := exact.NewVec(dim + srv.Aggregator().ExtraDim(dim)).MemoryBytes()
 	got := srv.tree.MemoryBytes()
 	if max := int64(depth+1) * perAcc; got > max {
 		t.Fatalf("spine %d bytes exceeds depth bound %d", got, max)

@@ -158,6 +158,33 @@ func PartitionNonIID(examples []Example, parts, classes int, alpha float64, seed
 	return out, nil
 }
 
+// LabelDistribution returns each shard's empirical label distribution: one
+// row per shard, normalized to sum to 1 over `classes` columns. The scenario
+// harness uses it to check a Dirichlet partition's skew against its target α.
+func LabelDistribution(shards [][]Example, classes int) ([][]float64, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("ml: %d classes", classes)
+	}
+	out := make([][]float64, len(shards))
+	for s, shard := range shards {
+		row := make([]float64, classes)
+		if len(shard) == 0 {
+			return nil, fmt.Errorf("ml: shard %d is empty", s)
+		}
+		for i, ex := range shard {
+			if ex.Label < 0 || ex.Label >= classes {
+				return nil, fmt.Errorf("ml: shard %d example %d label %d out of range", s, i, ex.Label)
+			}
+			row[ex.Label]++
+		}
+		for c := range row {
+			row[c] /= float64(len(shard))
+		}
+		out[s] = row
+	}
+	return out, nil
+}
+
 // dirichlet draws a Dirichlet(α,…,α) sample via normalized Gamma variates
 // (Marsaglia–Tsang for α < 1 via boosting).
 func dirichlet(rng *rand.Rand, n int, alpha float64) []float64 {

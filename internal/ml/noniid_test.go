@@ -174,3 +174,139 @@ func TestGammaSamplePositive(t *testing.T) {
 		}
 	}
 }
+
+// meanSimpson computes the mean per-shard Simpson concentration index
+// Σ_c p_c² from the shards' label distributions.
+func meanSimpson(t *testing.T, shards [][]Example, classes int) float64 {
+	t.Helper()
+	rows, err := LabelDistribution(shards, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, row := range rows {
+		s := 0.0
+		for _, p := range row {
+			s += p * p
+		}
+		sum += s
+	}
+	return sum / float64(len(rows))
+}
+
+// TestPartitionNonIIDMatchesTargetAlpha is the statistical acceptance test
+// for the Dirichlet partitioner: a Dirichlet(α,…,α) distribution over K
+// classes has E[Σ p_c²] = (α+1)/(Kα+1), so the mean per-shard Simpson index
+// must track that target across three α regimes — near-single-label (0.1),
+// moderate (1) and near-IID (10) — within a seeded tolerance.
+func TestPartitionNonIIDMatchesTargetAlpha(t *testing.T) {
+	const classes, parts = 4, 40
+	data, err := Blobs(4000, 4, classes, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.1, 1, 10} {
+		shards, err := PartitionNonIID(data, parts, classes, alpha, 12)
+		if err != nil {
+			t.Fatalf("alpha %v: %v", alpha, err)
+		}
+		got := meanSimpson(t, shards, classes)
+		want := (alpha + 1) / (float64(classes)*alpha + 1)
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("alpha %v: mean Simpson index %.4f, want %.4f ± 0.08", alpha, got, want)
+		}
+	}
+}
+
+// TestLabelDistributionValidation pins the helper's contract: rows sum to 1,
+// and empty shards or out-of-range labels are rejected.
+func TestLabelDistributionValidation(t *testing.T) {
+	data, err := Blobs(100, 4, 4, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := PartitionNonIID(data, 5, 4, 0.5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := LabelDistribution(shards, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, row := range rows {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("shard %d distribution sums to %v", s, sum)
+		}
+	}
+	if _, err := LabelDistribution(shards, 0); err == nil {
+		t.Error("0 classes accepted")
+	}
+	if _, err := LabelDistribution([][]Example{{}}, 4); err == nil {
+		t.Error("empty shard accepted")
+	}
+	if _, err := LabelDistribution(shards, 2); err == nil {
+		t.Error("labels out of class range accepted")
+	}
+}
+
+// shardsBitIdentical compares two partitions example by example, feature by
+// feature, on the raw float bits.
+func shardsBitIdentical(a, b [][]Example) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if len(a[s]) != len(b[s]) {
+			return false
+		}
+		for i := range a[s] {
+			x, y := a[s][i], b[s][i]
+			if x.Label != y.Label || len(x.Features) != len(y.Features) || len(x.Seq) != len(y.Seq) {
+				return false
+			}
+			for j := range x.Features {
+				if math.Float64bits(x.Features[j]) != math.Float64bits(y.Features[j]) {
+					return false
+				}
+			}
+			for j := range x.Seq {
+				if x.Seq[j] != y.Seq[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestPartitionNonIIDReproducibleFromSeed: same seed → byte-identical
+// partition (shard order, example order, feature bits); different seed →
+// a different partition.
+func TestPartitionNonIIDReproducibleFromSeed(t *testing.T) {
+	data, err := Blobs(600, 4, 4, 0.5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PartitionNonIID(data, 8, 4, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionNonIID(data, 8, 4, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shardsBitIdentical(a, b) {
+		t.Fatal("same-seed partitions differ")
+	}
+	c, err := PartitionNonIID(data, 8, 4, 0.3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardsBitIdentical(a, c) {
+		t.Fatal("seeds 99 and 100 produced identical partitions")
+	}
+}
